@@ -1,0 +1,57 @@
+#ifndef ALP_BENCH_ALP_MICRO_H_
+#define ALP_BENCH_ALP_MICRO_H_
+
+#include <vector>
+
+#include "alp/alp.h"
+
+/// \file alp_micro.h
+/// Per-vector ALP [de]compression kernels for the micro-benchmarks
+/// (Table 5 / Figure 1). Mirroring the paper's methodology, the rowgroup
+/// (level-1) sampling is done once during setup and excluded from the
+/// measured loop; the measured compression path is level-2 sampling +
+/// encode + FFOR, and the measured decompression path is the fused
+/// unFFOR+ALP_dec kernel + exception patching.
+
+namespace alp::bench {
+
+/// Level-1 state prepared outside the measured region.
+struct AlpMicroState {
+  std::vector<Combination> candidates;
+  SamplerConfig config;
+};
+
+inline AlpMicroState PrepareAlpMicro(const double* rowgroup, size_t n) {
+  AlpMicroState state;
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(rowgroup, n, state.config);
+  state.candidates = analysis.combinations;
+  if (state.candidates.empty()) state.candidates.push_back(Combination{0, 0});
+  return state;
+}
+
+/// One compressed vector produced by the micro path.
+struct AlpMicroVector {
+  EncodedVector<double> enc;
+  fastlanes::FforParams ffor;
+  uint64_t packed[kVectorSize];
+};
+
+/// Measured compression kernel: level-2 choose + encode + fused FFOR pack.
+inline void AlpMicroCompress(const double* vec, const AlpMicroState& state,
+                             AlpMicroVector* out) {
+  const Combination c =
+      ChooseForVector(vec, kVectorSize, state.candidates, state.config);
+  EncodeVector(vec, kVectorSize, c, &out->enc);
+  out->ffor = out->enc.ffor;  // Frame computed inside the encode pass.
+  fastlanes::FforEncode(out->enc.encoded, out->packed, out->ffor);
+}
+
+/// Measured decompression kernel: fused unFFOR+ALP_dec + patching.
+inline void AlpMicroDecompress(const AlpMicroVector& v, double* out) {
+  DecodeVectorFused<double>(v.packed, v.ffor, v.enc.combination, out);
+  PatchExceptions(out, v.enc.exceptions, v.enc.exc_positions, v.enc.exc_count);
+}
+
+}  // namespace alp::bench
+
+#endif  // ALP_BENCH_ALP_MICRO_H_

@@ -1,0 +1,82 @@
+// Ablation of the sampler's design parameters (paper Section 3.2 / 4.2):
+// how compression ratio and compression speed respond to
+//   - k  (combinations kept from level 1; paper picks 5 from Figure 3),
+//   - m  (vectors sampled per rowgroup at level 1; paper picks 8),
+//   - s  (values sampled per vector at level 2; paper picks 32).
+// Run over a mixed-precision workload where adaptivity actually matters,
+// plus two homogeneous datasets as controls.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "util/cycle_clock.h"
+
+namespace {
+
+struct Outcome {
+  double bits_per_value = 0;
+  double comp_tuples_per_cycle = 0;
+};
+
+Outcome Run(const std::vector<double>& data, const alp::SamplerConfig& config) {
+  const uint64_t t0 = alp::CycleNow();
+  const auto buffer = alp::CompressColumn(data.data(), data.size(), config);
+  const uint64_t cycles = alp::CycleNow() - t0;
+  Outcome o;
+  o.bits_per_value = buffer.size() * 8.0 / data.size();
+  o.comp_tuples_per_cycle = cycles == 0 ? 0.0 : static_cast<double>(data.size()) / cycles;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = alp::bench::ValuesPerDataset(512 * 1024);
+  const char* kDatasets[] = {"CMS/1", "City-Temp", "Stocks-USA"};
+
+  for (const char* name : kDatasets) {
+    const auto data = alp::data::Generate(*alp::data::FindDataset(name), n);
+    std::printf("=== %s (%zu values) ===\n", name, n);
+
+    std::printf("%-26s %12s %12s\n", "configuration", "bits/value", "comp t/c");
+    alp::bench::Rule('-', 54);
+
+    // k sweep.
+    for (unsigned k : {1u, 2u, 3u, 5u, 8u}) {
+      alp::SamplerConfig config;
+      config.max_combinations = k;
+      const Outcome o = Run(data, config);
+      std::printf("k = %-22u %12.2f %12.3f%s\n", k, o.bits_per_value,
+                  o.comp_tuples_per_cycle, k == 5 ? "   <- paper" : "");
+    }
+    // m sweep.
+    for (unsigned m : {2u, 4u, 8u, 16u, 32u}) {
+      alp::SamplerConfig config;
+      config.vectors_per_rowgroup = m;
+      const Outcome o = Run(data, config);
+      std::printf("m = %-22u %12.2f %12.3f%s\n", m, o.bits_per_value,
+                  o.comp_tuples_per_cycle, m == 8 ? "   <- paper" : "");
+    }
+    // s sweep.
+    for (unsigned s : {8u, 16u, 32u, 128u, 1024u}) {
+      alp::SamplerConfig config;
+      config.values_level_two = s;
+      const Outcome o = Run(data, config);
+      std::printf("s = %-22u %12.2f %12.3f%s\n", s, o.bits_per_value,
+                  o.comp_tuples_per_cycle, s == 32 ? "   <- paper" : "");
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks:\n"
+      "  - on mixed-precision data (CMS/1), k = 1 costs compression ratio and\n"
+      "    k >= 5 recovers it (Figure 3's justification for k = 5);\n"
+      "  - on single-combination data (City-Temp), k is irrelevant;\n"
+      "  - larger m/s trade compression speed for marginal ratio, flattening\n"
+      "    around the paper's choices (m = 8, s = 32).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef ALP_BENCH_BENCH_COMMON_H_
+#define ALP_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "alp/alp.h"
+#include "util/cycle_clock.h"
+
+/// \file bench_common.h
+/// Shared helpers for the benchmark harness. Each bench binary regenerates
+/// one table or figure of the paper (see DESIGN.md's per-experiment index)
+/// and prints rows in the paper's format. Sizes are tuned so the full
+/// harness runs in minutes on a laptop; set ALP_BENCH_VALUES to override
+/// the per-dataset value count.
+
+namespace alp::bench {
+
+/// Values generated per dataset for ratio-style experiments.
+inline size_t ValuesPerDataset(size_t default_count = 256 * 1024) {
+  if (const char* env = std::getenv("ALP_BENCH_VALUES")) {
+    const long long v = std::atoll(env);
+    if (v > 0) return static_cast<size_t>(v);
+  }
+  return default_count;
+}
+
+/// Measures average cycles per iteration of \p fn, running it repeatedly
+/// until \p min_cycles cycles have elapsed (past a warm-up run).
+template <typename Fn>
+double MeasureCycles(const Fn& fn, uint64_t min_cycles = 40'000'000) {
+  fn();  // Warm-up (also makes data L1-resident, as in the paper).
+  uint64_t iters = 0;
+  const uint64_t start = CycleNow();
+  uint64_t elapsed = 0;
+  while (elapsed < min_cycles) {
+    fn();
+    ++iters;
+    elapsed = CycleNow() - start;
+  }
+  return static_cast<double>(elapsed) / static_cast<double>(iters);
+}
+
+/// The paper's speed metric: tuples per CPU cycle for a kernel processing
+/// \p tuples values per invocation.
+template <typename Fn>
+double TuplesPerCycle(const Fn& fn, size_t tuples, uint64_t min_cycles = 40'000'000) {
+  return static_cast<double>(tuples) / MeasureCycles(fn, min_cycles);
+}
+
+/// Pretty separator line.
+inline void Rule(char c = '-', int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace alp::bench
+
+#endif  // ALP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,62 @@
+// Regenerates Figure 4's software axis: decompression speed of the same
+// fused ALP+FFOR kernel compiled three ways - Scalar (auto-vectorization
+// disabled), Auto-vectorized (default -O3) and SIMDized (explicit AVX-512
+// intrinsics). The paper runs this across five CPU architectures; on one
+// host the reproducible claim is the *ordering*: Auto-vectorized matches or
+// beats Scalar everywhere, and explicit SIMD is comparable to
+// auto-vectorization.
+
+#include <cstdio>
+#include <string>
+
+#include "alp/decode_kernels.h"
+#include "alp_micro.h"
+#include "bench_common.h"
+#include "data/datasets.h"
+
+int main() {
+  constexpr uint64_t kBudget = 8'000'000;
+  std::printf("Figure 4: fused decode kernel flavours, tuples per cycle\n");
+  std::printf("(explicit SIMD path %s on this host)\n\n",
+              alp::simd::Available() ? "uses AVX-512" : "falls back to scalar");
+  std::printf("%-14s %12s %16s %12s\n", "Dataset", "Scalar", "Auto-vectorized",
+              "SIMDized");
+  alp::bench::Rule('-', 58);
+
+  double sum_scalar = 0, sum_auto = 0, sum_simd = 0;
+  size_t count = 0;
+
+  for (const auto& spec : alp::data::AllDatasets()) {
+    const auto data = alp::data::Generate(spec, alp::kRowgroupSize);
+    const auto state = alp::bench::PrepareAlpMicro(data.data(), data.size());
+    alp::bench::AlpMicroVector vec;
+    alp::bench::AlpMicroCompress(data.data(), state, &vec);
+
+    double out[alp::kVectorSize];
+    const auto c = vec.enc.combination;
+    const double scalar = alp::bench::TuplesPerCycle(
+        [&] { alp::scalar::DecodeAlpFused(vec.packed, vec.ffor, c, out); },
+        alp::kVectorSize, kBudget);
+    const double autovec = alp::bench::TuplesPerCycle(
+        [&] { alp::DecodeVectorFused<double>(vec.packed, vec.ffor, c, out); },
+        alp::kVectorSize, kBudget);
+    const double simd = alp::bench::TuplesPerCycle(
+        [&] { alp::simd::DecodeAlpFused(vec.packed, vec.ffor, c, out); },
+        alp::kVectorSize, kBudget);
+
+    std::printf("%-14s %12.3f %16.3f %12.3f\n", std::string(spec.name).c_str(),
+                scalar, autovec, simd);
+    sum_scalar += scalar;
+    sum_auto += autovec;
+    sum_simd += simd;
+    ++count;
+  }
+
+  alp::bench::Rule('-', 58);
+  std::printf("%-14s %12.3f %16.3f %12.3f\n", "AVG.", sum_scalar / count,
+              sum_auto / count, sum_simd / count);
+  std::printf("\nShape check (paper Fig. 4): Auto-vectorized >= Scalar on every\n"
+              "dataset; on wide-SIMD hosts (Ice Lake) Auto-vectorized and SIMDized\n"
+              "are several times faster than Scalar.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Predicate push-down ablation: quantifies the skippability advantage the
+// paper claims for ALP over block-based compression (Figure 1's caption,
+// Section 4.1 and the Conclusions: "one can skip through ALP-compressed
+// data at the vector level"). A range-filtered SUM runs over clustered
+// time-series data at selectivities from 100% down to 0.1%; ALP consults
+// per-vector zone maps and skips disjoint vectors, while Zstd must inflate
+// whole rowgroups and Uncompressed must stream all bytes.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "engine/operators.h"
+
+int main() {
+  const size_t n = alp::bench::ValuesPerDataset(2 * 1024 * 1024);
+  // Clustered values: a slowly drifting series, so value ranges correlate
+  // with position and zone maps have discriminating power (the common case
+  // for time-ordered ingest).
+  const auto data = alp::data::Generate(*alp::data::FindDataset("Stocks-USA"), n);
+
+  auto minmax = std::minmax_element(data.begin(), data.end());
+  const double lo_all = *minmax.first;
+  const double hi_all = *minmax.second;
+
+  alp::engine::ThreadPool pool(1);
+  const auto uncompressed = alp::engine::StoredColumn::MakeUncompressed(data);
+  const auto alp_col = alp::engine::StoredColumn::MakeAlp(data.data(), data.size());
+  const auto zstd_col = alp::engine::StoredColumn::MakeCodec(
+      alp::codecs::MakeZstd(), data.data(), data.size());
+
+  std::printf("Predicate push-down: filtered SUM over %zu clustered values\n", n);
+  std::printf("(ALP skips vectors via zone maps; Zstd inflates whole rowgroups)\n\n");
+  std::printf("%12s | %21s | %21s | %12s\n", "selectivity", "ALP t/c (skipped%)",
+              "Zstd t/c (skipped%)", "Uncompr. t/c");
+  alp::bench::Rule('-', 76);
+
+  for (double selectivity : {1.0, 0.25, 0.05, 0.01, 0.001}) {
+    // A range whose *value span* is `selectivity` of the full span; on
+    // drifting data this selects a similar fraction of positions.
+    const double span = (hi_all - lo_all) * selectivity;
+    const double lo = lo_all + (hi_all - lo_all) * 0.4;
+    const double hi = lo + span;
+
+    const auto run = [&](const alp::engine::StoredColumn& column) {
+      // Median-ish of three runs to stabilize the cycle counts.
+      alp::engine::QueryResult best;
+      for (int i = 0; i < 3; ++i) {
+        const auto r = alp::engine::RunFilterSum(column, lo, hi, pool);
+        if (i == 0 || r.cycles < best.cycles) best = r;
+      }
+      return best;
+    };
+    const auto a = run(alp_col);
+    const auto z = run(zstd_col);
+    const auto u = run(uncompressed);
+    const size_t vectors = (n + alp::kVectorSize - 1) / alp::kVectorSize;
+
+    std::printf("%11.1f%% | %12.3f (%4.1f%%) | %12.3f (%4.1f%%) | %12.3f\n",
+                100.0 * selectivity, a.TuplesPerCyclePerCore(),
+                100.0 * a.vectors_skipped / vectors, z.TuplesPerCyclePerCore(),
+                100.0 * z.vectors_skipped / vectors, u.TuplesPerCyclePerCore());
+  }
+
+  std::printf(
+      "\nShape check: as selectivity drops, ALP's effective tuples/cycle climbs\n"
+      "(skipped vectors are never decoded) while Zstd stays flat - the paper's\n"
+      "\"a system has to decompress 32 vectors even if 31 are not needed\".\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Regenerates Table 2: the fifteen per-dataset metrics that motivated ALP's
+// design (decimal precision, per-vector statistics, IEEE exponents,
+// P_enc/P_dec success rates under three exponent policies, and XOR
+// leading/trailing zero bits), computed over the dataset surrogates.
+
+#include <cstdio>
+#include <string>
+
+#include "analysis/metrics.h"
+#include "bench_common.h"
+#include "data/datasets.h"
+
+int main() {
+  const size_t n = alp::bench::ValuesPerDataset();
+  std::printf("Table 2: dataset metrics over %zu values per surrogate\n\n", n);
+  std::printf("%-14s %4s %4s %5s %5s | %7s %11s %11s | %7s %6s | %6s %9s %6s | %6s %6s\n",
+              "Dataset", "Pmax", "Pmin", "Pavg", "Pstd", "NonUnq%", "ValAvg",
+              "ValStd", "ExpAvg", "ExpStd", "C11%", "C12(e,%)", "C13%", "XorLd",
+              "XorTr");
+  alp::bench::Rule('-', 132);
+
+  alp::analysis::DatasetMetrics ts_avg{};
+  alp::analysis::DatasetMetrics nts_avg{};
+  int ts_count = 0;
+  int nts_count = 0;
+
+  for (const auto& spec : alp::data::AllDatasets()) {
+    const auto data = alp::data::Generate(spec, n);
+    const auto m = alp::analysis::ComputeMetrics(data.data(), data.size());
+    std::printf(
+        "%-14s %4d %4d %5.1f %5.1f | %6.1f%% %11.4g %11.4g | %7.1f %6.1f | "
+        "%5.1f%% %3d(%4.1f%%) %5.1f%% | %6.1f %6.1f\n",
+        std::string(spec.name).c_str(), m.precision_max, m.precision_min,
+        m.precision_avg, m.precision_std, 100.0 * m.non_unique_fraction, m.value_avg,
+        m.value_std, m.exponent_avg, m.exponent_std, 100.0 * m.success_per_value,
+        m.best_dataset_exponent, 100.0 * m.success_dataset,
+        100.0 * m.success_per_vector, m.xor_leading_avg, m.xor_trailing_avg);
+
+    auto& acc = spec.time_series ? ts_avg : nts_avg;
+    (spec.time_series ? ts_count : nts_count)++;
+    acc.precision_avg += m.precision_avg;
+    acc.non_unique_fraction += m.non_unique_fraction;
+    acc.success_per_value += m.success_per_value;
+    acc.success_dataset += m.success_dataset;
+    acc.success_per_vector += m.success_per_vector;
+    acc.xor_leading_avg += m.xor_leading_avg;
+    acc.xor_trailing_avg += m.xor_trailing_avg;
+  }
+
+  alp::bench::Rule('-', 132);
+  const auto print_avg = [](const char* label, alp::analysis::DatasetMetrics& m,
+                            int count) {
+    std::printf("%-14s Pavg %.1f | NonUnq %.1f%% | C11 %.1f%% | C12 %.1f%% | "
+                "C13 %.1f%% | XorLd %.1f XorTr %.1f\n",
+                label, m.precision_avg / count,
+                100.0 * m.non_unique_fraction / count,
+                100.0 * m.success_per_value / count, 100.0 * m.success_dataset / count,
+                100.0 * m.success_per_vector / count, m.xor_leading_avg / count,
+                m.xor_trailing_avg / count);
+  };
+  print_avg("TS AVG.", ts_avg, ts_count);
+  print_avg("NON-TS AVG.", nts_avg, nts_count);
+
+  std::printf(
+      "\nPaper's key Table 2 claims to verify:\n"
+      "  - C11 (visible-precision P_enc) ~82%% avg, well below C12/C13;\n"
+      "  - one high exponent per dataset (C12, mostly e=14) reaches ~95%%;\n"
+      "  - per-vector exponents (C13) reach ~97%%, motivating ALP's design;\n"
+      "  - POI surrogates stay far below 90%% on all three -> ALP_rd.\n");
+  return 0;
+}

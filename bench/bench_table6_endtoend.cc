@@ -1,0 +1,106 @@
+// Regenerates Table 6 and Figure 6: end-to-end SCAN, SUM and COMP queries
+// in the Tectorwise-style vectorized engine, for the paper's five diverse
+// datasets (Gov/26, City-Temp, Food-prices, Blockchain-tr, NYC/29) across
+// ALP, Uncompressed and the baseline codecs, with thread scaling up to the
+// host's cores (the paper uses 1/8/16 on a 16-core box; counts are clamped
+// here). Metrics: tuples per cycle per core (Table 6) and cycles per tuple
+// (Figure 6; lower is better).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "engine/operators.h"
+
+namespace {
+
+using alp::engine::QueryResult;
+using alp::engine::RunCompression;
+using alp::engine::RunScan;
+using alp::engine::RunSum;
+using alp::engine::StoredColumn;
+using alp::engine::ThreadPool;
+
+std::vector<unsigned> ThreadCounts() {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<unsigned> counts = {1};
+  for (unsigned t : {8u, 16u}) {
+    if (t <= hw) counts.push_back(t);
+  }
+  if (counts.size() == 1 && hw > 1) counts.push_back(hw);
+  return counts;
+}
+
+}  // namespace
+
+int main() {
+  const size_t n = alp::bench::ValuesPerDataset(4 * 1024 * 1024);
+  const auto threads = ThreadCounts();
+  const char* kDatasets[] = {"Gov/26", "City-Temp", "Food-prices", "Blockchain",
+                             "NYC/29"};
+
+  std::printf("Table 6 / Figure 6: end-to-end queries, %zu tuples per dataset\n", n);
+  std::printf("thread counts on this host:");
+  for (unsigned t : threads) std::printf(" %u", t);
+  std::printf(" (paper: 1/8/16 on 16 cores)\n\n");
+
+  for (const char* name : kDatasets) {
+    const auto* spec = alp::data::FindDataset(name);
+    const auto data = alp::data::Generate(*spec, n);
+    std::printf("=== %s ===\n", name);
+    std::printf("%-14s", "scheme");
+    for (unsigned t : threads) std::printf("  SCAN%-2u t/c/core", t);
+    for (unsigned t : threads) std::printf("   SUM%-2u t/c/core", t);
+    std::printf("     COMP t/c   SUM cyc/tuple\n");
+    alp::bench::Rule('-', 30 + 34 * static_cast<int>(threads.size()));
+
+    // Build the stored columns.
+    std::vector<StoredColumn> columns;
+    columns.push_back(StoredColumn::MakeUncompressed(data));
+    columns.push_back(StoredColumn::MakeAlp(data.data(), data.size()));
+    for (auto& codec : alp::codecs::AllDoubleCodecs()) {
+      const auto codec_name = codec->name();
+      if (codec_name == "ALP" || codec_name == "Elf") continue;  // Elf: as in paper.
+      columns.push_back(StoredColumn::MakeCodec(std::move(codec), data.data(),
+                                                data.size()));
+    }
+
+    for (const StoredColumn& column : columns) {
+      std::printf("%-14s", column.scheme().c_str());
+      double sum_cpt = 0;
+      for (unsigned t : threads) {
+        ThreadPool pool(t);
+        const QueryResult r = RunScan(column, pool);
+        std::printf("  %15.3f", r.TuplesPerCyclePerCore());
+      }
+      for (unsigned t : threads) {
+        ThreadPool pool(t);
+        const QueryResult r = RunSum(column, pool);
+        std::printf("  %15.3f", r.TuplesPerCyclePerCore());
+        if (t == threads.front()) sum_cpt = r.CyclesPerTuple();
+      }
+      const QueryResult comp = RunCompression(column, data.data(), data.size());
+      if (column.scheme() == "Uncompressed") {
+        std::printf("  %11s", "N/A");
+      } else {
+        std::printf("  %11.3f", comp.TuplesPerCyclePerCore());
+      }
+      std::printf("  %14.2f\n", sum_cpt);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks (paper Table 6 / Fig. 6):\n"
+      "  - ALP SCAN/SUM beats Uncompressed (decompression cheaper than the\n"
+      "    extra memory traffic) and beats every codec by >= an order of\n"
+      "    magnitude;\n"
+      "  - the XOR-family codecs are CPU-bound: per-core speed roughly flat\n"
+      "    across thread counts;\n"
+      "  - COMP: ALP fastest, Patas/Gorilla next, PDE slowest.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Cascading lightweight compression (paper Section 4.1, "When ALP
+// struggles", and the LWC+ALP column of Table 4): columns dominated by
+// duplicates or runs first go through Dictionary or RLE, and ALP then
+// compresses the dictionary / run values. This example builds two such
+// columns - a product-price catalogue with heavy repetition and a
+// Gov/26-style sparse ledger - and shows the cascade beating plain ALP.
+
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "alp/alp.h"
+#include "util/bits.h"
+
+namespace {
+
+double BitsPerValueOf(const std::vector<uint8_t>& buffer, size_t n) {
+  return buffer.size() * 8.0 / static_cast<double>(n);
+}
+
+void Report(const char* name, const std::vector<double>& column) {
+  const auto plain = alp::CompressColumn(column.data(), column.size());
+  alp::CascadeStrategy strategy;
+  const auto cascaded = alp::CascadeCompress(column.data(), column.size(), {}, &strategy);
+
+  const char* strategy_name =
+      strategy == alp::CascadeStrategy::kDictionary
+          ? "DICT+ALP"
+          : strategy == alp::CascadeStrategy::kRle ? "RLE+ALP" : "plain ALP";
+
+  // Verify bit-exactness of the cascade.
+  std::vector<double> restored(column.size());
+  alp::CascadeDecompress(cascaded, restored.data());
+  size_t mismatches = 0;
+  for (size_t i = 0; i < column.size(); ++i) {
+    mismatches += alp::BitsOf(restored[i]) != alp::BitsOf(column[i]);
+  }
+
+  std::printf("%-18s ALP: %6.2f b/v | LWC+ALP (%s): %6.2f b/v | lossless: %s\n",
+              name, BitsPerValueOf(plain, column.size()), strategy_name,
+              BitsPerValueOf(cascaded, column.size()), mismatches == 0 ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main() {
+  std::mt19937_64 rng(7);
+
+  // Column 1: product prices - 2000 distinct SKU prices repeated millions
+  // of times in arbitrary order (CMS/1-like).
+  std::vector<double> sku_prices(2000);
+  for (double& p : sku_prices) p = static_cast<double>(rng() % 1000000) / 100.0;
+  std::vector<double> orders(2'000'000);
+  for (double& o : orders) o = sku_prices[rng() % sku_prices.size()];
+
+  // Column 2: a sparse subsidy ledger - 99% zeros in long runs (Gov/26-like).
+  std::vector<double> ledger;
+  ledger.reserve(2'000'000);
+  while (ledger.size() < 2'000'000) {
+    ledger.insert(ledger.end(), 50 + rng() % 400, 0.0);
+    ledger.push_back(static_cast<double>(rng() % 100000) / 100.0);
+  }
+
+  // Column 3: unique decimal measurements - the cascade should detect that
+  // neither DICT nor RLE helps and stay with plain ALP.
+  std::vector<double> measurements(2'000'000);
+  for (double& m : measurements) m = static_cast<double>(rng() % 100000000) / 1000.0;
+
+  std::printf("column             compression (bits per value, raw = 64)\n");
+  Report("orders", orders);
+  Report("ledger", ledger);
+  Report("measurements", measurements);
+
+  std::printf("\nThe cascade mirrors Table 4's LWC+ALP column: Dictionary or RLE in\n");
+  std::printf("front of ALP on repetitive data, plain ALP elsewhere.\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#ifndef ALP_ALP_ALP_H_
+#define ALP_ALP_ALP_H_
+
+/// \file alp.h
+/// Umbrella header for the ALP library. Most applications only need:
+///
+///   #include "alp/alp.h"
+///
+///   std::vector<uint8_t> compressed = alp::CompressColumn(data, n);
+///   alp::ColumnReader<double> reader(compressed.data(), compressed.size());
+///   reader.DecodeVector(42, out);   // random access, vector granularity
+///   reader.DecodeAll(out);          // full decompression
+///
+/// Lower-level building blocks (per-vector encoder, sampler, ALP_rd,
+/// cascades) are exposed through the individual headers re-exported here.
+
+#include "alp/cascade.h"
+#include "alp/column.h"
+#include "alp/constants.h"
+#include "alp/encoder.h"
+#include "alp/rd.h"
+#include "alp/sampler.h"
+
+#endif  // ALP_ALP_ALP_H_

@@ -1,0 +1,174 @@
+#include "alp/cascade.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "alp/column.h"
+#include "fastlanes/dict.h"
+#include "fastlanes/ffor.h"
+#include "fastlanes/rle.h"
+#include "util/serialize.h"
+
+namespace alp {
+namespace {
+
+struct CascadeHeader {
+  uint8_t strategy;
+  uint8_t pad[7];
+  uint64_t value_count;
+};
+static_assert(sizeof(CascadeHeader) == 16);
+
+/// FFOR-packs an arbitrary-length unsigned integer column in 1024-value
+/// blocks (tail padded with the last value). Used for dictionary codes and
+/// run lengths.
+void WriteFforColumn(const uint64_t* values, size_t n, ByteBuffer* out) {
+  out->Append(static_cast<uint64_t>(n));
+  const size_t blocks = (n + kVectorSize - 1) / kVectorSize;
+  for (size_t b = 0; b < blocks; ++b) {
+    const size_t off = b * kVectorSize;
+    const size_t len = std::min<size_t>(kVectorSize, n - off);
+    int64_t block[kVectorSize];
+    std::memcpy(block, values + off, len * sizeof(uint64_t));
+    for (size_t i = len; i < kVectorSize; ++i) block[i] = block[len - 1];
+    const auto params = fastlanes::FforAnalyze(block, kVectorSize);
+    uint64_t packed[kVectorSize];
+    fastlanes::FforEncode(block, packed, params);
+    out->Append(static_cast<uint8_t>(params.width));
+    out->AlignTo(8);
+    out->Append(params.base);
+    out->AppendArray(packed, static_cast<size_t>(params.width) * 16);
+  }
+}
+
+std::vector<uint64_t> ReadFforColumn(ByteReader* reader) {
+  const uint64_t n = reader->Read<uint64_t>();
+  std::vector<uint64_t> values(n);
+  const size_t blocks = (n + kVectorSize - 1) / kVectorSize;
+  for (size_t b = 0; b < blocks; ++b) {
+    const uint8_t width = reader->Read<uint8_t>();
+    reader->AlignTo(8);
+    fastlanes::FforParams params;
+    params.base = reader->Read<uint64_t>();
+    params.width = width;
+    const uint64_t* packed = reinterpret_cast<const uint64_t*>(reader->Here());
+    int64_t block[kVectorSize];
+    fastlanes::FforDecode(packed, block, params);
+    reader->Skip(static_cast<size_t>(width) * 16 * sizeof(uint64_t));
+    const size_t off = b * kVectorSize;
+    const size_t len = std::min<size_t>(kVectorSize, n - off);
+    std::memcpy(values.data() + off, block, len * sizeof(uint64_t));
+  }
+  return values;
+}
+
+/// Appends a length-prefixed nested buffer.
+void WriteNested(const std::vector<uint8_t>& nested, ByteBuffer* out) {
+  out->Append(static_cast<uint64_t>(nested.size()));
+  out->AppendArray(nested.data(), nested.size());
+  out->AlignTo(8);
+}
+
+std::vector<uint8_t> ReadNested(ByteReader* reader) {
+  const uint64_t size = reader->Read<uint64_t>();
+  std::vector<uint8_t> nested(size);
+  reader->ReadArray(nested.data(), size);
+  reader->AlignTo(8);
+  return nested;
+}
+
+}  // namespace
+
+std::vector<uint8_t> CascadeCompress(const double* data, size_t n,
+                                     const CascadeConfig& config, CascadeStrategy* used) {
+  // Pick the strategy from a prefix sample.
+  const size_t sample_n = std::min(config.sample_size, n);
+  CascadeStrategy strategy = CascadeStrategy::kPlain;
+  if (sample_n > 0) {
+    const double avg_run = fastlanes::AverageRunLength(data, sample_n);
+    const double dup_frac = fastlanes::DuplicateFraction(data, sample_n);
+    if (avg_run >= config.min_avg_run_length) {
+      strategy = CascadeStrategy::kRle;
+    } else if (dup_frac >= config.min_duplicate_fraction) {
+      strategy = CascadeStrategy::kDictionary;
+    }
+  }
+
+  ByteBuffer out;
+  CascadeHeader header{};
+  header.value_count = n;
+
+  if (strategy == CascadeStrategy::kDictionary) {
+    auto dict = fastlanes::DictEncode(data, n, config.max_dictionary_size);
+    if (!dict.has_value()) {
+      strategy = CascadeStrategy::kPlain;  // Too many distinct values.
+    } else {
+      header.strategy = static_cast<uint8_t>(CascadeStrategy::kDictionary);
+      out.Append(header);
+      WriteNested(CompressColumn(dict->dictionary.data(), dict->dictionary.size(),
+                                 config.alp),
+                  &out);
+      std::vector<uint64_t> codes(dict->codes.begin(), dict->codes.end());
+      WriteFforColumn(codes.data(), codes.size(), &out);
+      if (used != nullptr) *used = CascadeStrategy::kDictionary;
+      return out.Take();
+    }
+  }
+
+  if (strategy == CascadeStrategy::kRle) {
+    const auto rle = fastlanes::RleEncode(data, n);
+    header.strategy = static_cast<uint8_t>(CascadeStrategy::kRle);
+    out.Append(header);
+    WriteNested(CompressColumn(rle.values.data(), rle.values.size(), config.alp), &out);
+    std::vector<uint64_t> lengths(rle.lengths.begin(), rle.lengths.end());
+    WriteFforColumn(lengths.data(), lengths.size(), &out);
+    if (used != nullptr) *used = CascadeStrategy::kRle;
+    return out.Take();
+  }
+
+  header.strategy = static_cast<uint8_t>(CascadeStrategy::kPlain);
+  out.Append(header);
+  WriteNested(CompressColumn(data, n, config.alp), &out);
+  if (used != nullptr) *used = CascadeStrategy::kPlain;
+  return out.Take();
+}
+
+size_t CascadeValueCount(const std::vector<uint8_t>& buffer) {
+  ByteReader reader(buffer.data(), buffer.size());
+  return reader.Read<CascadeHeader>().value_count;
+}
+
+void CascadeDecompress(const std::vector<uint8_t>& buffer, double* out) {
+  ByteReader reader(buffer.data(), buffer.size());
+  const auto header = reader.Read<CascadeHeader>();
+  const auto strategy = static_cast<CascadeStrategy>(header.strategy);
+
+  if (strategy == CascadeStrategy::kPlain) {
+    const auto nested = ReadNested(&reader);
+    DecompressColumn(nested, out);
+    return;
+  }
+
+  if (strategy == CascadeStrategy::kDictionary) {
+    const auto nested = ReadNested(&reader);
+    ColumnReader<double> dict_reader(nested.data(), nested.size());
+    std::vector<double> dictionary(dict_reader.value_count());
+    dict_reader.DecodeAll(dictionary.data());
+    const auto codes = ReadFforColumn(&reader);
+    for (size_t i = 0; i < codes.size(); ++i) out[i] = dictionary[codes[i]];
+    return;
+  }
+
+  // RLE.
+  const auto nested = ReadNested(&reader);
+  ColumnReader<double> values_reader(nested.data(), nested.size());
+  std::vector<double> run_values(values_reader.value_count());
+  values_reader.DecodeAll(run_values.data());
+  const auto lengths = ReadFforColumn(&reader);
+  size_t o = 0;
+  for (size_t r = 0; r < run_values.size(); ++r) {
+    for (uint64_t i = 0; i < lengths[r]; ++i) out[o++] = run_values[r];
+  }
+}
+
+}  // namespace alp

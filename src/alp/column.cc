@@ -1,0 +1,580 @@
+#include "alp/column.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+
+#include "alp/encoder.h"
+#include "fastlanes/bitpack.h"
+#include "fastlanes/delta.h"
+#include "fastlanes/ffor.h"
+#include "util/serialize.h"
+
+namespace alp {
+namespace {
+
+constexpr uint32_t kMagic = 0x43504C41;  // "ALPC"
+constexpr uint8_t kVersion = 2;  // v2 added the per-vector zone map section.
+
+template <typename T>
+constexpr uint8_t TypeTag() {
+  return sizeof(T) == 8 ? 0 : 1;
+}
+
+struct ColumnHeader {
+  uint32_t magic;
+  uint8_t version;
+  uint8_t type;
+  uint16_t pad0;
+  uint64_t value_count;
+  uint32_t rowgroup_count;
+  uint32_t pad1;
+};
+static_assert(sizeof(ColumnHeader) == 24);
+
+struct RowgroupHeader {
+  uint8_t scheme;
+  uint8_t pad[3];
+  uint32_t vector_count;
+};
+static_assert(sizeof(RowgroupHeader) == 8);
+
+struct RdHeader {
+  uint8_t right_bits;
+  uint8_t dict_width;
+  uint8_t dict_size;
+  uint8_t pad0;
+  uint16_t dict[8];
+  uint32_t pad1;
+};
+static_assert(sizeof(RdHeader) == 24);
+
+struct AlpVectorHeader {
+  uint8_t e;
+  uint8_t f;
+  uint8_t width;
+  uint8_t int_encoding;  ///< 0 = FFOR, 1 = Delta (+ zig-zag); base = first.
+  uint16_t exc_count;
+  uint16_t n;
+  uint64_t base;
+};
+
+constexpr uint8_t kIntFfor = 0;
+constexpr uint8_t kIntDelta = 1;
+static_assert(sizeof(AlpVectorHeader) == 16);
+
+struct RdVectorHeader {
+  uint16_t exc_count;
+  uint16_t n;
+  uint32_t pad;
+};
+static_assert(sizeof(RdVectorHeader) == 8);
+
+/// Appends one ALP-encoded vector to \p out. With \p try_delta, Delta
+/// (+ zig-zag) competes against FOR for the integer encoding and the
+/// narrower of the two wins (the paper's "somewhat ordered" extension).
+template <typename T>
+void WriteAlpVector(const EncodedVector<T>& enc, bool try_delta, ByteBuffer* out) {
+  using Uint = typename AlpTraits<T>::Uint;
+  constexpr unsigned kLanes = fastlanes::kLanes<Uint>;
+
+  const fastlanes::FforParams& ffor = enc.ffor;  // Computed during encoding.
+
+  AlpVectorHeader header{};
+  header.e = enc.combination.e;
+  header.f = enc.combination.f;
+  header.exc_count = enc.exc_count;
+  header.n = kVectorSize;  // Patched by the caller for tail vectors.
+
+  Uint packed[kVectorSize];
+  fastlanes::DeltaParams delta;
+  bool use_delta = false;
+  if constexpr (sizeof(T) == 8) {
+    if (try_delta) {
+      delta = fastlanes::DeltaAnalyze(enc.encoded, kVectorSize);
+      use_delta = delta.width < ffor.width;
+    }
+  }
+  if (use_delta) {
+    if constexpr (sizeof(T) == 8) {
+      fastlanes::DeltaEncode(enc.encoded, packed, delta);
+      header.int_encoding = kIntDelta;
+      header.width = static_cast<uint8_t>(delta.width);
+      header.base = static_cast<uint64_t>(delta.first);
+    }
+  } else {
+    fastlanes::FforEncode(enc.encoded, packed, ffor);
+    header.int_encoding = kIntFfor;
+    header.width = static_cast<uint8_t>(ffor.width);
+    header.base = ffor.base;
+  }
+  out->Append(header);
+  out->AppendArray(packed, static_cast<size_t>(header.width) * kLanes);
+  // Exceptions: raw value bits, then positions.
+  for (unsigned i = 0; i < enc.exc_count; ++i) out->Append(BitsOf(enc.exceptions[i]));
+  out->AppendArray(enc.exc_positions, enc.exc_count);
+  out->AlignTo(8);
+}
+
+/// Appends one ALP_rd-encoded vector to \p out.
+template <typename T>
+void WriteRdVector(const RdEncodedVector<T>& enc, const RdParams<T>& params,
+                   ByteBuffer* out) {
+  using Uint = typename AlpTraits<T>::Uint;
+  constexpr unsigned kLanes = fastlanes::kLanes<Uint>;
+
+  RdVectorHeader header{};
+  header.exc_count = enc.exc_count;
+  header.n = kVectorSize;  // Patched by the caller for tail vectors.
+  out->Append(header);
+
+  Uint packed[kVectorSize];
+  fastlanes::Pack(enc.right_parts, packed, params.right_bits);
+  out->AppendArray(packed, static_cast<size_t>(params.right_bits) * kLanes);
+
+  Uint codes[kVectorSize];
+  for (unsigned i = 0; i < kVectorSize; ++i) codes[i] = enc.left_codes[i];
+  fastlanes::Pack(codes, packed, params.dict_width);
+  out->AppendArray(packed, static_cast<size_t>(params.dict_width) * kLanes);
+
+  out->AppendArray(enc.exceptions, enc.exc_count);
+  out->AppendArray(enc.exc_positions, enc.exc_count);
+  out->AlignTo(8);
+}
+
+/// Compresses one rowgroup (scheme analysis + per-vector encode) starting
+/// at the current, 8-aligned position of \p out. Rowgroup payloads are
+/// position-independent (vector offsets are relative to the rowgroup
+/// start), which is what lets ColumnAppender build them incrementally.
+template <typename T>
+void CompressRowgroupTo(const T* rg_data, size_t rg_len, const SamplerConfig& config,
+                        ByteBuffer* out, VectorStats* stats, CompressionInfo* info) {
+  const size_t rg_begin = out->size();
+  const uint32_t vectors_here =
+      static_cast<uint32_t>((rg_len + kVectorSize - 1) / kVectorSize);
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(rg_data, rg_len, config);
+
+  RowgroupHeader rg_header{};
+  rg_header.scheme = static_cast<uint8_t>(analysis.scheme);
+  rg_header.vector_count = vectors_here;
+  out->Append(rg_header);
+
+  RdParams<T> rd_params;
+  if (analysis.scheme == Scheme::kAlpRd) {
+    rd_params = RdAnalyzeRowgroup(rg_data, rg_len, config);
+    RdHeader rd_header{};
+    rd_header.right_bits = rd_params.right_bits;
+    rd_header.dict_width = rd_params.dict_width;
+    rd_header.dict_size = rd_params.dict_size;
+    std::memcpy(rd_header.dict, rd_params.dict, sizeof(rd_header.dict));
+    out->Append(rd_header);
+    if (info != nullptr) ++info->rowgroups_rd;
+  }
+
+  const size_t vec_offsets_slot = out->ReserveSlot<uint32_t>(vectors_here);
+  out->AlignTo(8);
+  std::vector<uint32_t> vec_offsets(vectors_here, 0);
+
+  for (uint32_t v = 0; v < vectors_here; ++v) {
+    const size_t off = static_cast<size_t>(v) * kVectorSize;
+    const unsigned len = static_cast<unsigned>(std::min<size_t>(kVectorSize, rg_len - off));
+    vec_offsets[v] = static_cast<uint32_t>(out->size() - rg_begin);
+    const size_t vec_header_at = out->size();
+
+    // Zone map entry (NaNs fail both comparisons and are excluded).
+    VectorStats& vs = stats[v];
+    for (unsigned i = 0; i < len; ++i) {
+      const double value = static_cast<double>(rg_data[off + i]);
+      vs.min = value < vs.min ? value : vs.min;
+      vs.max = value > vs.max ? value : vs.max;
+    }
+
+    if (analysis.scheme == Scheme::kAlp) {
+      const Combination c =
+          ChooseForVector(rg_data + off, len, analysis.combinations, config,
+                          info != nullptr ? &info->sampler : nullptr);
+      EncodedVector<T> enc;
+      EncodeVector(rg_data + off, len, c, &enc);
+      WriteAlpVector(enc, config.try_delta_encoding, out);
+      out->PatchAt(vec_header_at + offsetof(AlpVectorHeader, n),
+                   static_cast<uint16_t>(len));
+      if (info != nullptr) info->exceptions += enc.exc_count;
+    } else {
+      RdEncodedVector<T> enc;
+      RdEncodeVector(rg_data + off, len, rd_params, &enc);
+      WriteRdVector(enc, rd_params, out);
+      out->PatchAt(vec_header_at + offsetof(RdVectorHeader, n),
+                   static_cast<uint16_t>(len));
+    }
+    if (info != nullptr) ++info->vectors;
+  }
+
+  out->PatchArrayAt(vec_offsets_slot, vec_offsets.data(), vec_offsets.size());
+  if (info != nullptr) ++info->rowgroups;
+}
+
+/// Assembles a full column buffer from per-rowgroup payload segments
+/// produced by CompressRowgroupTo. Shared by CompressColumn (one pass) and
+/// ColumnAppender::Finish (incremental).
+template <typename T>
+std::vector<uint8_t> AssembleColumn(uint64_t value_count,
+                                    const std::vector<std::vector<uint8_t>>& segments,
+                                    const std::vector<VectorStats>& stats) {
+  ByteBuffer out;
+  ColumnHeader header{};
+  header.magic = kMagic;
+  header.version = kVersion;
+  header.type = TypeTag<T>();
+  header.value_count = value_count;
+  header.rowgroup_count = static_cast<uint32_t>(std::max<size_t>(segments.size(), 1));
+  out.Append(header);
+  const size_t rg_offsets_slot = out.ReserveSlot<uint64_t>(header.rowgroup_count);
+  const size_t stats_slot = out.ReserveSlot<VectorStats>(stats.size());
+  out.AlignTo(8);
+
+  std::vector<uint64_t> rg_offsets(header.rowgroup_count, out.size());
+  for (size_t rg = 0; rg < segments.size(); ++rg) {
+    rg_offsets[rg] = out.size();
+    out.AppendArray(segments[rg].data(), segments[rg].size());
+    out.AlignTo(8);
+  }
+  out.PatchArrayAt(rg_offsets_slot, rg_offsets.data(), rg_offsets.size());
+  if (!stats.empty()) out.PatchArrayAt(stats_slot, stats.data(), stats.size());
+  return out.Take();
+}
+
+}  // namespace
+
+namespace internal {
+
+/// Compresses one rowgroup into a standalone payload segment; exposed for
+/// ColumnAppender.
+template <typename T>
+std::vector<uint8_t> CompressRowgroupSegment(const T* data, size_t n,
+                                             const SamplerConfig& config,
+                                             std::vector<VectorStats>* stats,
+                                             CompressionInfo* info) {
+  ByteBuffer segment;
+  const size_t vectors = (n + kVectorSize - 1) / kVectorSize;
+  std::vector<VectorStats> local(vectors);
+  CompressRowgroupTo(data, n, config, &segment, local.data(), info);
+  stats->insert(stats->end(), local.begin(), local.end());
+  return segment.Take();
+}
+
+template std::vector<uint8_t> CompressRowgroupSegment<double>(
+    const double*, size_t, const SamplerConfig&, std::vector<VectorStats>*,
+    CompressionInfo*);
+template std::vector<uint8_t> CompressRowgroupSegment<float>(
+    const float*, size_t, const SamplerConfig&, std::vector<VectorStats>*,
+    CompressionInfo*);
+
+template <typename T>
+std::vector<uint8_t> AssembleColumnFromSegments(
+    uint64_t value_count, const std::vector<std::vector<uint8_t>>& segments,
+    const std::vector<VectorStats>& stats) {
+  return AssembleColumn<T>(value_count, segments, stats);
+}
+
+template std::vector<uint8_t> AssembleColumnFromSegments<double>(
+    uint64_t, const std::vector<std::vector<uint8_t>>&,
+    const std::vector<VectorStats>&);
+template std::vector<uint8_t> AssembleColumnFromSegments<float>(
+    uint64_t, const std::vector<std::vector<uint8_t>>&,
+    const std::vector<VectorStats>&);
+
+}  // namespace internal
+
+template <typename T>
+std::vector<uint8_t> CompressColumn(const T* data, size_t n, const SamplerConfig& config,
+                                    CompressionInfo* info) {
+  const size_t total_vectors = (n + kVectorSize - 1) / kVectorSize;
+  const size_t rowgroup_count =
+      std::max<size_t>((total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
+
+  CompressionInfo local_info;
+  std::vector<VectorStats> stats;
+  stats.reserve(total_vectors);
+  std::vector<std::vector<uint8_t>> segments;
+  segments.reserve(rowgroup_count);
+  for (size_t rg = 0; rg < rowgroup_count; ++rg) {
+    const size_t begin = rg * kRowgroupSize;
+    const size_t len = n == 0 ? 0 : std::min<size_t>(kRowgroupSize, n - begin);
+    segments.push_back(internal::CompressRowgroupSegment(data + begin, len, config,
+                                                         &stats, &local_info));
+  }
+  if (info != nullptr) *info = local_info;
+  return internal::AssembleColumnFromSegments<T>(n, segments, stats);
+}
+
+template <typename T>
+ColumnReader<T>::ColumnReader(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  ByteReader reader(data, size);
+  const auto header = reader.Read<ColumnHeader>();
+  if (header.magic != kMagic || header.type != TypeTag<T>()) {
+    value_count_ = 0;
+    return;
+  }
+  value_count_ = header.value_count;
+  vector_count_ = (value_count_ + kVectorSize - 1) / kVectorSize;
+
+  std::vector<uint64_t> rg_offsets(header.rowgroup_count);
+  reader.ReadArray(rg_offsets.data(), rg_offsets.size());
+  stats_.resize(vector_count_);
+  reader.ReadArray(stats_.data(), stats_.size());
+
+  size_t first_vector = 0;
+  rowgroups_.reserve(header.rowgroup_count);
+  for (uint64_t rg_offset : rg_offsets) {
+    RowgroupInfo info;
+    info.byte_offset = rg_offset;
+    reader.SeekTo(rg_offset);
+    const auto rg_header = reader.Read<RowgroupHeader>();
+    info.scheme = static_cast<Scheme>(rg_header.scheme);
+    info.vector_count = rg_header.vector_count;
+    info.first_vector = first_vector;
+    first_vector += rg_header.vector_count;
+    if (info.scheme == Scheme::kAlpRd) {
+      const auto rd_header = reader.Read<RdHeader>();
+      info.rd.right_bits = rd_header.right_bits;
+      info.rd.dict_width = rd_header.dict_width;
+      info.rd.dict_size = rd_header.dict_size;
+      std::memcpy(info.rd.dict, rd_header.dict, sizeof(info.rd.dict));
+    }
+    info.vector_offsets.resize(rg_header.vector_count);
+    reader.ReadArray(info.vector_offsets.data(), info.vector_offsets.size());
+    rowgroups_.push_back(std::move(info));
+  }
+}
+
+template <typename T>
+unsigned ColumnReader<T>::VectorLength(size_t v) const {
+  const size_t begin = v * kVectorSize;
+  return static_cast<unsigned>(std::min<size_t>(kVectorSize, value_count_ - begin));
+}
+
+template <typename T>
+Scheme ColumnReader<T>::VectorScheme(size_t v) const {
+  return rowgroups_[v / kRowgroupVectors].scheme;
+}
+
+template <typename T>
+void ColumnReader<T>::DecodeAlpVector(const RowgroupInfo& rg, size_t local_v,
+                                      T* out) const {
+  using Uint = typename AlpTraits<T>::Uint;
+  ByteReader reader(data_, size_);
+  reader.SeekTo(rg.byte_offset + rg.vector_offsets[local_v]);
+  const auto header = reader.Read<AlpVectorHeader>();
+
+  const Uint* packed = reinterpret_cast<const Uint*>(reader.Here());
+  const Combination c{header.e, header.f};
+
+  const auto decode_full = [&](T* dst) {
+    if (header.int_encoding == kIntDelta) {
+      if constexpr (sizeof(T) == 8) {
+        // Delta path: unpack + prefix sum, then the ALP_dec multiplies.
+        fastlanes::DeltaParams delta;
+        delta.first = static_cast<int64_t>(header.base);
+        delta.width = header.width;
+        int64_t ints[kVectorSize];
+        fastlanes::DeltaDecode(packed, ints, delta);
+        alp::DecodeVector<T>(ints, c, dst);
+      }
+      return;
+    }
+    fastlanes::FforParams ffor;
+    ffor.base = header.base;
+    ffor.width = header.width;
+    DecodeVectorFused<T>(packed, ffor, c, dst);
+  };
+
+  if (header.n == kVectorSize) {
+    decode_full(out);
+  } else {
+    T full[kVectorSize];
+    decode_full(full);
+    std::memcpy(out, full, header.n * sizeof(T));
+  }
+
+  reader.Skip(static_cast<size_t>(header.width) * fastlanes::kLanes<Uint> * sizeof(Uint));
+  // Exceptions: value bits array followed by position array (stack
+  // buffers; this is the per-vector hot path).
+  Uint exc_bits[kVectorSize];
+  uint16_t exc_pos[kVectorSize];
+  reader.ReadArray(exc_bits, header.exc_count);
+  reader.ReadArray(exc_pos, header.exc_count);
+  for (unsigned i = 0; i < header.exc_count; ++i) {
+    out[exc_pos[i]] = std::bit_cast<T>(exc_bits[i]);
+  }
+}
+
+template <typename T>
+void ColumnReader<T>::DecodeRdVector(const RowgroupInfo& rg, size_t local_v,
+                                     T* out) const {
+  using Uint = typename AlpTraits<T>::Uint;
+  constexpr unsigned kLanes = fastlanes::kLanes<Uint>;
+  ByteReader reader(data_, size_);
+  reader.SeekTo(rg.byte_offset + rg.vector_offsets[local_v]);
+  const auto header = reader.Read<RdVectorHeader>();
+
+  RdEncodedVector<T> enc;
+  const Uint* packed_right = reinterpret_cast<const Uint*>(reader.Here());
+  fastlanes::Unpack(packed_right, enc.right_parts, rg.rd.right_bits);
+  reader.Skip(static_cast<size_t>(rg.rd.right_bits) * kLanes * sizeof(Uint));
+
+  const Uint* packed_codes = reinterpret_cast<const Uint*>(reader.Here());
+  Uint codes[kVectorSize];
+  fastlanes::Unpack(packed_codes, codes, rg.rd.dict_width);
+  reader.Skip(static_cast<size_t>(rg.rd.dict_width) * kLanes * sizeof(Uint));
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    enc.left_codes[i] = static_cast<uint16_t>(codes[i]);
+  }
+
+  enc.exc_count = header.exc_count;
+  reader.ReadArray(enc.exceptions, header.exc_count);
+  reader.ReadArray(enc.exc_positions, header.exc_count);
+
+  if (header.n == kVectorSize) {
+    RdDecodeVector(enc, rg.rd, out);
+  } else {
+    T full[kVectorSize];
+    RdDecodeVector(enc, rg.rd, full);
+    std::memcpy(out, full, header.n * sizeof(T));
+  }
+}
+
+template <typename T>
+void ColumnReader<T>::DecodeVector(size_t v, T* out) const {
+  const RowgroupInfo& rg = rowgroups_[v / kRowgroupVectors];
+  const size_t local_v = v - rg.first_vector;
+  if (rg.scheme == Scheme::kAlp) {
+    DecodeAlpVector(rg, local_v, out);
+  } else {
+    DecodeRdVector(rg, local_v, out);
+  }
+}
+
+template <typename T>
+void ColumnReader<T>::DecodeAll(T* out) const {
+  for (size_t v = 0; v < vector_count_; ++v) {
+    DecodeVector(v, out + v * kVectorSize);
+  }
+}
+
+template <typename T>
+bool ValidateColumn(const uint8_t* data, size_t size, std::string* reason) {
+  const auto fail = [&](const char* r) {
+    if (reason != nullptr) *reason = r;
+    return false;
+  };
+
+  if (data == nullptr || size < sizeof(ColumnHeader)) {
+    return fail("buffer smaller than the column header");
+  }
+  ColumnHeader header;
+  std::memcpy(&header, data, sizeof(header));
+  if (header.magic != kMagic) return fail("bad magic");
+  if (header.version != kVersion) return fail("unsupported format version");
+  if (header.type != TypeTag<T>()) return fail("value type tag mismatch");
+
+  const size_t total_vectors = (header.value_count + kVectorSize - 1) / kVectorSize;
+  const size_t expected_rowgroups =
+      std::max<size_t>((total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
+  if (header.rowgroup_count != expected_rowgroups) {
+    return fail("rowgroup count inconsistent with value count");
+  }
+
+  size_t pos = sizeof(ColumnHeader);
+  const size_t offsets_bytes = header.rowgroup_count * sizeof(uint64_t);
+  const size_t stats_bytes = total_vectors * sizeof(VectorStats);
+  if (pos + offsets_bytes + stats_bytes > size) {
+    return fail("truncated index sections");
+  }
+  std::vector<uint64_t> rg_offsets(header.rowgroup_count);
+  std::memcpy(rg_offsets.data(), data + pos, offsets_bytes);
+
+  size_t vectors_seen = 0;
+  for (size_t rg = 0; rg < header.rowgroup_count; ++rg) {
+    const uint64_t off = rg_offsets[rg];
+    if (off % 8 != 0) return fail("misaligned rowgroup offset");
+    if (off + sizeof(RowgroupHeader) > size) return fail("rowgroup offset out of bounds");
+    RowgroupHeader rg_header;
+    std::memcpy(&rg_header, data + off, sizeof(rg_header));
+    if (rg_header.scheme > 1) return fail("unknown rowgroup scheme");
+    if (rg_header.vector_count > kRowgroupVectors) {
+      return fail("rowgroup vector count exceeds the rowgroup size");
+    }
+    size_t index_at = off + sizeof(RowgroupHeader);
+    if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlpRd)) {
+      if (index_at + sizeof(RdHeader) > size) return fail("truncated ALP_rd header");
+      RdHeader rd;
+      std::memcpy(&rd, data + index_at, sizeof(rd));
+      if (rd.right_bits == 0 || rd.right_bits > sizeof(T) * 8) {
+        return fail("ALP_rd cut position out of range");
+      }
+      if (rd.dict_size > 8 || rd.dict_width > 3) return fail("ALP_rd dictionary too big");
+      index_at += sizeof(RdHeader);
+    }
+    if (index_at + rg_header.vector_count * sizeof(uint32_t) > size) {
+      return fail("truncated vector offset index");
+    }
+    for (uint32_t v = 0; v < rg_header.vector_count; ++v) {
+      uint32_t vec_off;
+      std::memcpy(&vec_off, data + index_at + v * sizeof(uint32_t), sizeof(vec_off));
+      const size_t vec_at = off + vec_off;
+      if (vec_at + 16 > size) return fail("vector offset out of bounds");
+      // Verify the full payload extent of the vector. Each packed width
+      // unit occupies 128 bytes for both lane types.
+      size_t end;
+      if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlp)) {
+        AlpVectorHeader vh;
+        std::memcpy(&vh, data + vec_at, sizeof(vh));
+        if (vh.width > sizeof(T) * 8) return fail("packed width out of range");
+        if (vh.int_encoding > kIntDelta) return fail("unknown integer encoding");
+        if (vh.n > kVectorSize || vh.exc_count > vh.n) {
+          return fail("vector counts out of range");
+        }
+        end = vec_at + sizeof(AlpVectorHeader) + size_t{vh.width} * 128 +
+              size_t{vh.exc_count} * (sizeof(T) + sizeof(uint16_t));
+      } else {
+        RdVectorHeader vh;
+        std::memcpy(&vh, data + vec_at, sizeof(vh));
+        RdHeader rd;
+        std::memcpy(&rd, data + off + sizeof(RowgroupHeader), sizeof(rd));
+        if (vh.n > kVectorSize || vh.exc_count > vh.n) {
+          return fail("vector counts out of range");
+        }
+        end = vec_at + sizeof(RdVectorHeader) +
+              (size_t{rd.right_bits} + rd.dict_width) * 128 +
+              size_t{vh.exc_count} * 2 * sizeof(uint16_t);
+      }
+      if (end > size) return fail("vector payload truncated");
+    }
+    vectors_seen += rg_header.vector_count;
+  }
+  if (vectors_seen != total_vectors) return fail("vector count mismatch");
+  if (reason != nullptr) reason->clear();
+  return true;
+}
+
+template <typename T>
+void DecompressColumn(const std::vector<uint8_t>& buffer, T* out) {
+  ColumnReader<T> reader(buffer.data(), buffer.size());
+  reader.DecodeAll(out);
+}
+
+template std::vector<uint8_t> CompressColumn<double>(const double*, size_t,
+                                                     const SamplerConfig&,
+                                                     CompressionInfo*);
+template std::vector<uint8_t> CompressColumn<float>(const float*, size_t,
+                                                    const SamplerConfig&,
+                                                    CompressionInfo*);
+template class ColumnReader<double>;
+template class ColumnReader<float>;
+template bool ValidateColumn<double>(const uint8_t*, size_t, std::string*);
+template bool ValidateColumn<float>(const uint8_t*, size_t, std::string*);
+template void DecompressColumn<double>(const std::vector<uint8_t>&, double*);
+template void DecompressColumn<float>(const std::vector<uint8_t>&, float*);
+
+}  // namespace alp

@@ -1,0 +1,157 @@
+#ifndef ALP_ALP_COLUMN_H_
+#define ALP_ALP_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "alp/constants.h"
+#include "alp/rd.h"
+#include "alp/sampler.h"
+
+/// \file column.h
+/// The self-describing ALP column container: the public entry point most
+/// applications use. A column is split into rowgroups of 100 vectors; each
+/// rowgroup independently chooses ALP or ALP_rd via the two-level sampler,
+/// and every vector is individually addressable so scans can skip straight
+/// to a vector (the capability the paper contrasts with block-based Zstd).
+///
+/// Layout (all sections 8-byte aligned, host endianness):
+///
+///   ColumnHeader | rowgroup offset index | rowgroups...
+///   Rowgroup: header (+ ALP_rd params) | vector offset index | vectors...
+///   ALP vector: {e, f, width, exc_count, n, FOR base} | packed words
+///               | exception values | exception positions
+///   RD vector:  {exc_count, n} | packed right parts | packed left codes
+///               | exception lefts | exception positions
+
+namespace alp {
+
+/// Per-vector zone map entry: min/max over the vector's non-NaN values
+/// (min > max means the vector holds no comparable values). Zone maps are
+/// what let a scan skip compressed vectors under a range predicate - the
+/// capability the paper contrasts with block-based compression throughout.
+struct VectorStats {
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  /// Whether any value in [lo, hi] can exist in this vector. NaNs never
+  /// satisfy range predicates, so they are safely excluded from the map.
+  bool MayContain(double lo, double hi) const { return min <= hi && max >= lo; }
+};
+
+/// Summary counters produced while compressing one column.
+struct CompressionInfo {
+  size_t rowgroups = 0;
+  size_t rowgroups_rd = 0;      ///< Rowgroups that fell back to ALP_rd.
+  size_t vectors = 0;
+  size_t exceptions = 0;        ///< Total ALP exceptions across vectors.
+  SamplerStats sampler;         ///< Level-2 search effort.
+
+  /// Average ALP exceptions per vector.
+  double ExceptionsPerVector() const {
+    return vectors == 0 ? 0.0 : static_cast<double>(exceptions) / vectors;
+  }
+};
+
+/// Compresses \p n values into a self-describing byte buffer.
+template <typename T>
+std::vector<uint8_t> CompressColumn(const T* data, size_t n,
+                                    const SamplerConfig& config = {},
+                                    CompressionInfo* info = nullptr);
+
+/// Random-access reader over a compressed column buffer.
+template <typename T>
+class ColumnReader {
+ public:
+  /// Parses the header and indexes; the buffer must outlive the reader.
+  ColumnReader(const uint8_t* data, size_t size);
+
+  /// Total logical values in the column.
+  size_t value_count() const { return value_count_; }
+
+  /// Total vectors (the skippable unit).
+  size_t vector_count() const { return vector_count_; }
+
+  /// Number of values in vector \p v (1024 except possibly the last).
+  unsigned VectorLength(size_t v) const;
+
+  /// Scheme used by the rowgroup containing vector \p v.
+  Scheme VectorScheme(size_t v) const;
+
+  /// Zone map entry for vector \p v (see VectorStats).
+  const VectorStats& Stats(size_t v) const { return stats_[v]; }
+
+  /// Whether vector \p v may contain a value in [lo, hi]; scans use this
+  /// to skip decoding (predicate push-down).
+  bool VectorMayContain(size_t v, double lo, double hi) const {
+    return stats_[v].MayContain(lo, hi);
+  }
+
+  /// Decodes vector \p v into \p out (room for VectorLength(v) values).
+  void DecodeVector(size_t v, T* out) const;
+
+  /// Decodes the whole column into \p out (room for value_count() values).
+  void DecodeAll(T* out) const;
+
+ private:
+  struct RowgroupInfo {
+    size_t byte_offset = 0;          ///< Absolute offset in the buffer.
+    Scheme scheme = Scheme::kAlp;
+    RdParams<T> rd;                  ///< Valid when scheme == kAlpRd.
+    std::vector<uint32_t> vector_offsets;  ///< Relative to rowgroup start.
+    size_t first_vector = 0;         ///< Global index of its first vector.
+    uint32_t vector_count = 0;
+  };
+
+  void DecodeAlpVector(const RowgroupInfo& rg, size_t local_v, T* out) const;
+  void DecodeRdVector(const RowgroupInfo& rg, size_t local_v, T* out) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t value_count_ = 0;
+  size_t vector_count_ = 0;
+  std::vector<RowgroupInfo> rowgroups_;
+  std::vector<VectorStats> stats_;
+};
+
+/// Structural validation of a compressed column buffer: magic, version,
+/// type tag, index bounds and section sizes. Returns false (and, if given,
+/// a reason) instead of crashing on truncated or foreign buffers.
+template <typename T>
+bool ValidateColumn(const uint8_t* data, size_t size, std::string* reason = nullptr);
+
+/// Convenience one-shot decompression.
+template <typename T>
+void DecompressColumn(const std::vector<uint8_t>& buffer, T* out);
+
+namespace internal {
+
+/// Compresses one rowgroup (<= kRowgroupSize values) into a standalone,
+/// position-independent payload segment, appending its per-vector zone map
+/// entries to \p stats. Building block of ColumnAppender.
+template <typename T>
+std::vector<uint8_t> CompressRowgroupSegment(const T* data, size_t n,
+                                             const SamplerConfig& config,
+                                             std::vector<VectorStats>* stats,
+                                             CompressionInfo* info);
+
+/// Assembles a full column buffer from rowgroup segments.
+template <typename T>
+std::vector<uint8_t> AssembleColumnFromSegments(
+    uint64_t value_count, const std::vector<std::vector<uint8_t>>& segments,
+    const std::vector<VectorStats>& stats);
+
+}  // namespace internal
+
+/// Compressed size in bits per value, the paper's Table 4 metric.
+template <typename T>
+double BitsPerValue(const std::vector<uint8_t>& buffer, size_t n) {
+  return n == 0 ? 0.0 : static_cast<double>(buffer.size()) * 8.0 / static_cast<double>(n);
+}
+
+}  // namespace alp
+
+#endif  // ALP_ALP_COLUMN_H_

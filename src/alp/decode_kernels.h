@@ -1,0 +1,39 @@
+#ifndef ALP_ALP_DECODE_KERNELS_H_
+#define ALP_ALP_DECODE_KERNELS_H_
+
+#include <cstdint>
+
+#include "alp/constants.h"
+#include "fastlanes/ffor.h"
+
+/// \file decode_kernels.h
+/// The three implementation flavours of the fused ALP+FFOR decode kernel
+/// compared in Figure 4 of the paper:
+///
+///   - *Auto-vectorized*: DecodeVectorFused in encoder.h, plain scalar C++
+///     compiled at -O3 (the compiler vectorizes it). This is ALP's default.
+///   - *Scalar*: the identical source compiled in a separate translation
+///     unit with -fno-tree-vectorize -fno-tree-slp-vectorize.
+///   - *SIMDized*: an explicit AVX-512 intrinsics kernel (falls back to the
+///     generic code on hosts without AVX-512DQ).
+
+namespace alp::scalar {
+
+/// Fused unpack + FOR + ALP_dec, guaranteed unvectorized (see CMake flags).
+void DecodeAlpFused(const uint64_t* packed, const fastlanes::FforParams& ffor,
+                    Combination c, double* out);
+
+}  // namespace alp::scalar
+
+namespace alp::simd {
+
+/// Fused decode with explicit SIMD intrinsics.
+void DecodeAlpFused(const uint64_t* packed, const fastlanes::FforParams& ffor,
+                    Combination c, double* out);
+
+/// Whether the explicit-SIMD path (AVX-512DQ) was compiled in.
+bool Available();
+
+}  // namespace alp::simd
+
+#endif  // ALP_ALP_DECODE_KERNELS_H_

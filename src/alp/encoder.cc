@@ -1,0 +1,219 @@
+#include "alp/encoder.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "util/bits.h"
+
+namespace alp {
+namespace {
+
+/// ALP_enc for one value (Formula 1). The arithmetic always runs at double
+/// precision: for the float port (Section 4.4) this is what makes the
+/// compressed representation identical to the 64-bit one - float-precision
+/// inverse powers of ten are too inaccurate for the round-trip to succeed.
+template <typename T>
+inline typename AlpTraits<T>::Int AlpEnc(T n, double f10_e, double if10_f) {
+  return static_cast<typename AlpTraits<T>::Int>(
+      FastRound(static_cast<double>(n) * f10_e * if10_f));
+}
+
+/// ALP_dec for one value (Formula 2). The two multiplications must stay
+/// separate (in this order) to reproduce the exact rounding the encoder
+/// verified against.
+template <typename T>
+inline T AlpDec(typename AlpTraits<T>::Int d, double f10_f, double if10_e) {
+  return static_cast<T>(static_cast<double>(d) * f10_f * if10_e);
+}
+
+}  // namespace
+
+template <typename T>
+void EncodeVector(const T* in, unsigned n, Combination c, EncodedVector<T>* out) {
+  using Traits = AlpTraits<T>;
+  using Int = typename Traits::Int;
+
+  const double f10_e = AlpTraits<double>::kF10[c.e];
+  const double if10_f = AlpTraits<double>::kIF10[c.f];
+  const double f10_f = AlpTraits<double>::kF10[c.f];
+  const double if10_e = AlpTraits<double>::kIF10[c.e];
+  out->combination = c;
+
+  // Encode + immediately re-decode every value (both loops branch-free).
+  T decoded[kVectorSize];
+  for (unsigned i = 0; i < n; ++i) {
+    const Int d = AlpEnc(in[i], f10_e, if10_f);
+    out->encoded[i] = d;
+    decoded[i] = AlpDec<T>(d, f10_f, if10_e);
+  }
+
+  // Find exceptions with a predicated (branch-free) comparison - bitwise,
+  // so NaNs, infinities and -0.0 are never silently altered - and fold the
+  // FOR frame (min/max over the *valid* integers) into the same pass so
+  // bit-packing needs no further analysis.
+  unsigned exc_count = 0;
+  Int min = std::numeric_limits<Int>::max();
+  Int max = std::numeric_limits<Int>::min();
+  for (unsigned i = 0; i < n; ++i) {
+    const bool neq = BitsOf(decoded[i]) != BitsOf(in[i]);
+    out->exc_positions[exc_count] = static_cast<uint16_t>(i);
+    exc_count += neq;
+    // Valid slots participate in the frame; exception slots repeat the
+    // current min/max (branch-free select).
+    const Int d = out->encoded[i];
+    min = (!neq && d < min) ? d : min;
+    max = (!neq && d > max) ? d : max;
+  }
+
+  // First successfully encoded value (any non-exception slot); fall back to
+  // 0 when the entire vector is exceptional. The exception positions array
+  // is sorted, so the first gap in it is the first valid slot.
+  Int first_encoded = 0;
+  if (exc_count < n) {
+    unsigned p = 0;
+    for (unsigned i = 0; i < exc_count && out->exc_positions[i] == p; ++i) ++p;
+    first_encoded = out->encoded[p];
+  }
+
+  // Fetch exceptions and patch their slots.
+  for (unsigned i = 0; i < exc_count; ++i) {
+    const uint16_t pos = out->exc_positions[i];
+    out->exceptions[i] = in[pos];
+    out->encoded[pos] = first_encoded;
+  }
+  out->exc_count = static_cast<uint16_t>(exc_count);
+
+  // Pad a partial tail so it packs as a full block without widening FFOR.
+  for (unsigned i = n; i < kVectorSize; ++i) out->encoded[i] = first_encoded;
+
+  // The frame: all-exception vectors collapse to {first_encoded} = {0}.
+  if (exc_count >= n) {
+    min = first_encoded;
+    max = first_encoded;
+  }
+  using Uint = typename Traits::Uint;
+  out->ffor.base = static_cast<uint64_t>(static_cast<Uint>(min));
+  out->ffor.width = BitWidth(static_cast<Uint>(static_cast<Uint>(max) - static_cast<Uint>(min)));
+}
+
+template <typename T>
+void DecodeVector(const typename AlpTraits<T>::Int* encoded, Combination c, T* out) {
+  const double f10_f = AlpTraits<double>::kF10[c.f];
+  const double if10_e = AlpTraits<double>::kIF10[c.e];
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    out[i] = AlpDec<T>(encoded[i], f10_f, if10_e);
+  }
+}
+
+template <typename T>
+void DecodeVectorFused(const typename AlpTraits<T>::Uint* packed,
+                       const fastlanes::FforParams& ffor, Combination c, T* out) {
+  using Traits = AlpTraits<T>;
+  using Int = typename Traits::Int;
+  using Uint = typename Traits::Uint;
+  const double f10_f = AlpTraits<double>::kF10[c.f];
+  const double if10_e = AlpTraits<double>::kIF10[c.e];
+  const Uint base = static_cast<Uint>(ffor.base);
+
+  // One fused kernel: unpack, add the FOR base and apply ALP_dec per value
+  // without materializing the intermediate integer vector.
+  auto dispatch = [&]<unsigned... W>(std::integer_sequence<unsigned, W...>) {
+    using Fn = void (*)(const Uint*, Uint, double, double, T*);
+    static constexpr Fn kTable[] = {+[](const Uint* p, Uint b, double ff, double ife,
+                                        T* o) {
+      fastlanes::detail::UnpackBlockImpl<Uint, W>(p, [&](unsigned i, Uint v) {
+        o[i] = static_cast<T>(static_cast<double>(static_cast<Int>(v + b)) * ff * ife);
+      });
+    }...};
+    kTable[ffor.width](packed, base, f10_f, if10_e, out);
+  };
+  if constexpr (sizeof(T) == 8) {
+    dispatch(std::make_integer_sequence<unsigned, 65>{});
+  } else {
+    dispatch(std::make_integer_sequence<unsigned, 33>{});
+  }
+}
+
+void DecodeVectorUnfused(const uint64_t* packed, const fastlanes::FforParams& ffor,
+                         Combination c, int64_t* scratch, double* out) {
+  uint64_t tmp[kVectorSize];
+  fastlanes::FforDecodeUnfused(packed, scratch, tmp, ffor);
+  DecodeVector<double>(scratch, c, out);
+}
+
+template <typename T>
+void PatchExceptions(T* out, const T* exceptions, const uint16_t* positions,
+                     unsigned count) {
+  for (unsigned i = 0; i < count; ++i) out[positions[i]] = exceptions[i];
+}
+
+template <typename T>
+uint64_t EstimateCompressedBits(const T* in, unsigned n, Combination c,
+                                unsigned* exc_count_out, uint64_t abort_above) {
+  using Traits = AlpTraits<T>;
+  using Int = typename Traits::Int;
+  using Uint = typename Traits::Uint;
+
+  const double f10_e = AlpTraits<double>::kF10[c.e];
+  const double if10_f = AlpTraits<double>::kIF10[c.f];
+  const double f10_f = AlpTraits<double>::kF10[c.f];
+  const double if10_e = AlpTraits<double>::kIF10[c.e];
+
+  // Exceptions alone disqualify a combination once they cost more than the
+  // best candidate seen so far.
+  const unsigned abort_exceptions =
+      abort_above == UINT64_MAX
+          ? n + 1
+          : static_cast<unsigned>(
+                std::min<uint64_t>(abort_above / Traits::kExceptionBits + 1, n + 1));
+
+  unsigned exc_count = 0;
+  Int min = 0;
+  Int max = 0;
+  bool any = false;
+  for (unsigned i = 0; i < n; ++i) {
+    const Int d = AlpEnc(in[i], f10_e, if10_f);
+    const T dec = AlpDec<T>(d, f10_f, if10_e);
+    if (BitsOf(dec) != BitsOf(in[i])) {
+      if (++exc_count >= abort_exceptions) {
+        if (exc_count_out != nullptr) *exc_count_out = exc_count;
+        return UINT64_MAX;
+      }
+      continue;
+    }
+    if (!any) {
+      min = max = d;
+      any = true;
+    } else {
+      min = d < min ? d : min;
+      max = d > max ? d : max;
+    }
+  }
+  const unsigned width =
+      any ? BitWidth(static_cast<Uint>(static_cast<Uint>(max) - static_cast<Uint>(min)))
+          : 0;
+  if (exc_count_out != nullptr) *exc_count_out = exc_count;
+  return static_cast<uint64_t>(n) * width +
+         static_cast<uint64_t>(exc_count) * Traits::kExceptionBits;
+}
+
+// Explicit instantiations for the two supported value types.
+template void EncodeVector<double>(const double*, unsigned, Combination,
+                                   EncodedVector<double>*);
+template void EncodeVector<float>(const float*, unsigned, Combination,
+                                  EncodedVector<float>*);
+template void DecodeVector<double>(const int64_t*, Combination, double*);
+template void DecodeVector<float>(const int32_t*, Combination, float*);
+template void DecodeVectorFused<double>(const uint64_t*, const fastlanes::FforParams&,
+                                        Combination, double*);
+template void DecodeVectorFused<float>(const uint32_t*, const fastlanes::FforParams&,
+                                       Combination, float*);
+template void PatchExceptions<double>(double*, const double*, const uint16_t*, unsigned);
+template void PatchExceptions<float>(float*, const float*, const uint16_t*, unsigned);
+template uint64_t EstimateCompressedBits<double>(const double*, unsigned, Combination,
+                                                 unsigned*, uint64_t);
+template uint64_t EstimateCompressedBits<float>(const float*, unsigned, Combination,
+                                                unsigned*, uint64_t);
+
+}  // namespace alp

@@ -1,0 +1,178 @@
+#include "alp/sampler.h"
+
+#include <algorithm>
+
+#include "alp/encoder.h"
+
+namespace alp {
+namespace {
+
+/// Orders candidate combinations: better (smaller) size first; ties prefer
+/// higher exponents, then higher factors (paper Section 3.2).
+struct RankedCombination {
+  Combination c;
+  uint64_t count = 0;  // Level-1 votes.
+
+  bool BeatsForTie(const RankedCombination& other) const {
+    if (c.e != other.c.e) return c.e > other.c.e;
+    return c.f > other.c.f;
+  }
+};
+
+/// Collects \p want equidistant samples from [0, n) into \p out.
+template <typename T>
+unsigned SampleEquidistant(const T* data, size_t n, unsigned want, T* out) {
+  if (n == 0) return 0;
+  if (n <= want) {
+    for (size_t i = 0; i < n; ++i) out[i] = data[i];
+    return static_cast<unsigned>(n);
+  }
+  const size_t stride = n / want;
+  for (unsigned i = 0; i < want; ++i) out[i] = data[i * stride];
+  return want;
+}
+
+}  // namespace
+
+template <typename T>
+Combination FindBestCombination(const T* values, unsigned n, uint64_t* best_bits_out) {
+  using Traits = AlpTraits<T>;
+  Combination best{0, 0};
+  uint64_t best_bits = UINT64_MAX;
+  for (int e = Traits::kMaxExponent; e >= 0; --e) {
+    for (int f = e; f >= 0; --f) {
+      const Combination c{static_cast<uint8_t>(e), static_cast<uint8_t>(f)};
+      const uint64_t bits = EstimateCompressedBits(values, n, c, nullptr, best_bits);
+      // Strictly-better wins; on ties the first seen wins, and the loop
+      // order (descending e, then descending f) implements the paper's
+      // preference for higher exponents and factors.
+      if (bits < best_bits) {
+        best_bits = bits;
+        best = c;
+      }
+    }
+  }
+  if (best_bits_out != nullptr) *best_bits_out = best_bits;
+  return best;
+}
+
+template <typename T>
+RowgroupAnalysis AnalyzeRowgroup(const T* data, size_t n, const SamplerConfig& config) {
+  RowgroupAnalysis analysis;
+  if (n == 0) {
+    analysis.combinations.push_back(Combination{0, 0});
+    return analysis;
+  }
+
+  const size_t vectors_in_group = (n + kVectorSize - 1) / kVectorSize;
+  const unsigned m = static_cast<unsigned>(
+      std::min<size_t>(config.vectors_per_rowgroup, vectors_in_group));
+  const size_t vector_stride = vectors_in_group / m;
+
+  std::vector<RankedCombination> ranked;
+  uint64_t total_bits = 0;
+  uint64_t total_values = 0;
+
+  T sample[kVectorSize];
+  for (unsigned v = 0; v < m; ++v) {
+    const size_t vec_index = v * vector_stride;
+    const size_t offset = vec_index * kVectorSize;
+    const size_t len = std::min<size_t>(kVectorSize, n - offset);
+    const unsigned sampled =
+        SampleEquidistant(data + offset, len, config.values_per_vector, sample);
+    if (sampled == 0) continue;
+
+    uint64_t bits = 0;
+    const Combination best = FindBestCombination(sample, sampled, &bits);
+    total_bits += bits;
+    total_values += sampled;
+
+    auto it = std::find_if(ranked.begin(), ranked.end(),
+                           [&](const RankedCombination& r) { return r.c == best; });
+    if (it == ranked.end()) {
+      ranked.push_back(RankedCombination{best, 1});
+    } else {
+      ++it->count;
+    }
+  }
+
+  // Scheme decision: estimated bits/value close to raw means the data does
+  // not originate from decimals; fall back to ALP_rd for this rowgroup.
+  const double bits_per_value =
+      total_values == 0 ? 0.0
+                        : static_cast<double>(total_bits) / static_cast<double>(total_values);
+  const unsigned threshold = config.rd_threshold_bits_per_value == kAutoRdThreshold
+                                 ? AlpTraits<T>::kRdThresholdBits
+                                 : config.rd_threshold_bits_per_value;
+  if (bits_per_value > threshold) {
+    analysis.scheme = Scheme::kAlpRd;
+    return analysis;
+  }
+
+  // Keep the k most frequent combinations; break ties toward higher e / f.
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedCombination& a, const RankedCombination& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.BeatsForTie(b);
+            });
+  const size_t keep = std::min<size_t>(config.max_combinations, ranked.size());
+  analysis.combinations.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) analysis.combinations.push_back(ranked[i].c);
+  if (analysis.combinations.empty()) analysis.combinations.push_back(Combination{0, 0});
+  return analysis;
+}
+
+template <typename T>
+Combination ChooseForVector(const T* vec, unsigned n,
+                            const std::vector<Combination>& candidates,
+                            const SamplerConfig& config, SamplerStats* stats) {
+  if (candidates.size() <= 1) {
+    if (stats != nullptr) {
+      ++stats->vectors_skipped;
+    }
+    return candidates.empty() ? Combination{0, 0} : candidates.front();
+  }
+
+  T sample[kVectorSize];
+  const unsigned sampled = SampleEquidistant(vec, n, config.values_level_two, sample);
+
+  Combination best = candidates.front();
+  uint64_t best_bits = UINT64_MAX;
+  unsigned worse_streak = 0;
+  unsigned tried = 0;
+  for (const Combination& c : candidates) {
+    ++tried;
+    const uint64_t bits = EstimateCompressedBits(sample, sampled, c);
+    if (bits < best_bits) {
+      best_bits = bits;
+      best = c;
+      worse_streak = 0;
+    } else {
+      // Early exit: two consecutive candidates no better than the best.
+      if (++worse_streak >= 2) break;
+    }
+  }
+
+  if (stats != nullptr) {
+    ++stats->vectors;
+    stats->combinations_tried += tried;
+    const unsigned bucket = tried < 8 ? tried : 7;
+    ++stats->tried_histogram[bucket];
+  }
+  return best;
+}
+
+template Combination FindBestCombination<double>(const double*, unsigned, uint64_t*);
+template Combination FindBestCombination<float>(const float*, unsigned, uint64_t*);
+template RowgroupAnalysis AnalyzeRowgroup<double>(const double*, size_t,
+                                                  const SamplerConfig&);
+template RowgroupAnalysis AnalyzeRowgroup<float>(const float*, size_t,
+                                                 const SamplerConfig&);
+template Combination ChooseForVector<double>(const double*, unsigned,
+                                             const std::vector<Combination>&,
+                                             const SamplerConfig&, SamplerStats*);
+template Combination ChooseForVector<float>(const float*, unsigned,
+                                            const std::vector<Combination>&,
+                                            const SamplerConfig&, SamplerStats*);
+
+}  // namespace alp

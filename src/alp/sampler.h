@@ -1,0 +1,93 @@
+#ifndef ALP_ALP_SAMPLER_H_
+#define ALP_ALP_SAMPLER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "alp/constants.h"
+
+/// \file sampler.h
+/// The two-level adaptive sampling mechanism of Section 3.2.
+///
+/// Level 1 (once per rowgroup): sample m equidistant vectors, n equidistant
+/// values each; brute-force the full (e, f) search space on each sampled
+/// vector, minimizing estimated compressed size; keep the k most frequent
+/// winners (ties favour higher e, then higher f). If the winning estimates
+/// indicate incompressible "real doubles" (estimated size close to raw),
+/// the rowgroup switches to ALP_rd.
+///
+/// Level 2 (once per vector, only when k' > 1): sample s equidistant values
+/// of the vector and evaluate only the k' rowgroup combinations, with the
+/// paper's early-exit rule (stop when two consecutive candidates are no
+/// better than the best so far).
+
+namespace alp {
+
+/// Sentinel: use the value type's own ALP_rd fallback threshold
+/// (AlpTraits<T>::kRdThresholdBits - 48 for doubles, 22 for floats).
+inline constexpr unsigned kAutoRdThreshold = 0xFFFFFFFFu;
+
+/// Sampling parameters (paper Section 4, "Sampling Parameters").
+struct SamplerConfig {
+  unsigned vectors_per_rowgroup = 8;   ///< m: vectors sampled at level 1.
+  unsigned values_per_vector = 32;     ///< n: values sampled per level-1 vector.
+  unsigned max_combinations = 5;       ///< k: combinations kept from level 1.
+  unsigned values_level_two = 32;      ///< s: values sampled at level 2.
+
+  /// If the best level-1 estimate exceeds this many bits per value, the
+  /// rowgroup is deemed "real doubles" and ALP_rd takes over (Section 3.4:
+  /// "a high number of exceptions and integers bigger than 2^48").
+  /// kAutoRdThreshold picks the per-type default; 0 forces ALP_rd.
+  unsigned rd_threshold_bits_per_value = kAutoRdThreshold;
+
+  /// Also consider Delta (+ zig-zag) instead of FOR for the encoded
+  /// integers, per vector, keeping whichever packs narrower. Off by
+  /// default: it is the paper's "somewhat ordered data" extension
+  /// (Section 3.1) and trades a little decode speed on the vectors where
+  /// it wins. See bench_ablation_delta.
+  bool try_delta_encoding = false;
+};
+
+/// Which encoding a rowgroup uses.
+enum class Scheme : uint8_t { kAlp = 0, kAlpRd = 1 };
+
+/// Result of level-1 sampling for one rowgroup.
+struct RowgroupAnalysis {
+  Scheme scheme = Scheme::kAlp;
+  /// The k' best combinations, most frequent first. Empty only when
+  /// scheme == kAlpRd.
+  std::vector<Combination> combinations;
+};
+
+/// Statistics on the level-2 search, accumulated across vectors; feeds the
+/// Section 4.2 "Sampling Overhead in Compression" experiment.
+struct SamplerStats {
+  uint64_t vectors = 0;            ///< Vectors that ran level 2.
+  uint64_t vectors_skipped = 0;    ///< Vectors skipped because k' == 1.
+  uint64_t combinations_tried = 0; ///< Total candidates evaluated.
+  uint64_t tried_histogram[8] = {};///< tried_histogram[t]: vectors trying t combos.
+};
+
+/// Level 1: analyze one rowgroup of \p n values (n <= kRowgroupSize).
+template <typename T>
+RowgroupAnalysis AnalyzeRowgroup(const T* data, size_t n,
+                                 const SamplerConfig& config = {});
+
+/// Level 2: choose the combination for one vector of \p n values from the
+/// rowgroup's k' candidates. \p stats (optional) records search effort.
+template <typename T>
+Combination ChooseForVector(const T* vec, unsigned n,
+                            const std::vector<Combination>& candidates,
+                            const SamplerConfig& config = {},
+                            SamplerStats* stats = nullptr);
+
+/// Exhaustive per-vector search over the full (e, f) space; used by the
+/// Figure 3 analysis and as the level-1 inner step.
+template <typename T>
+Combination FindBestCombination(const T* values, unsigned n,
+                                uint64_t* best_bits_out = nullptr);
+
+}  // namespace alp
+
+#endif  // ALP_ALP_SAMPLER_H_

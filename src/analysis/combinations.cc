@@ -1,0 +1,31 @@
+#include "analysis/combinations.h"
+
+#include <algorithm>
+
+#include "alp/sampler.h"
+
+namespace alp::analysis {
+
+CombinationAnalysis AnalyzeBestCombinations(const double* data, size_t n) {
+  CombinationAnalysis analysis;
+  const size_t vectors = n / alp::kVectorSize;  // Full vectors only.
+  analysis.vectors = vectors;
+
+  std::vector<std::pair<alp::Combination, size_t>>& hist = analysis.histogram;
+  for (size_t v = 0; v < vectors; ++v) {
+    const alp::Combination best =
+        alp::FindBestCombination(data + v * alp::kVectorSize, alp::kVectorSize);
+    auto it = std::find_if(hist.begin(), hist.end(),
+                           [&](const auto& entry) { return entry.first == best; });
+    if (it == hist.end()) {
+      hist.emplace_back(best, 1);
+    } else {
+      ++it->second;
+    }
+  }
+  std::sort(hist.begin(), hist.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return analysis;
+}
+
+}  // namespace alp::analysis

@@ -1,0 +1,39 @@
+#ifndef ALP_ANALYSIS_COMBINATIONS_H_
+#define ALP_ANALYSIS_COMBINATIONS_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "alp/constants.h"
+
+/// \file combinations.h
+/// Figure 3 analysis: for every 1024-value vector of a dataset, find the
+/// *globally best* (exponent e, factor f) combination by exhaustive search,
+/// then report how many distinct best combinations exist and how much of
+/// the dataset the most frequent k of them cover. The paper uses this to
+/// justify a level-1 sample of k = 5 combinations.
+
+namespace alp::analysis {
+
+/// Result of the exhaustive per-vector search over one dataset.
+struct CombinationAnalysis {
+  /// Distinct winning combinations with their vector counts, most frequent
+  /// first.
+  std::vector<std::pair<alp::Combination, size_t>> histogram;
+  size_t vectors = 0;
+
+  /// Fraction of vectors covered by the most frequent k combinations.
+  double CoverageOfTop(size_t k) const {
+    size_t covered = 0;
+    for (size_t i = 0; i < k && i < histogram.size(); ++i) covered += histogram[i].second;
+    return vectors == 0 ? 0.0 : static_cast<double>(covered) / vectors;
+  }
+};
+
+/// Runs the full-search analysis (O(n * 190) encode probes).
+CombinationAnalysis AnalyzeBestCombinations(const double* data, size_t n);
+
+}  // namespace alp::analysis
+
+#endif  // ALP_ANALYSIS_COMBINATIONS_H_

@@ -1,0 +1,158 @@
+#include "analysis/metrics.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "alp/constants.h"
+#include "util/bits.h"
+
+namespace alp::analysis {
+namespace {
+
+constexpr int kMaxE = 20;
+
+/// Exact powers of ten up to 10^22 (all exactly representable as doubles)
+/// and their inverse factors, extending the ALP tables for analysis only.
+constexpr double kF10[kMaxE + 1] = {
+    1e0,  1e1,  1e2,  1e3,  1e4,  1e5,  1e6,  1e7,  1e8,  1e9, 1e10,
+    1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20};
+constexpr double kIF10[kMaxE + 1] = {
+    1e0,   1e-1,  1e-2,  1e-3,  1e-4,  1e-5,  1e-6,  1e-7,  1e-8,  1e-9, 1e-10,
+    1e-11, 1e-12, 1e-13, 1e-14, 1e-15, 1e-16, 1e-17, 1e-18, 1e-19, 1e-20};
+
+/// P_enc / P_dec round-trip test at exponent \p e (Section 2.5).
+inline bool RoundTrips(double v, int e) {
+  const double scaled = v * kF10[e];
+  if (!(scaled >= -9.2e18 && scaled <= 9.2e18)) return false;
+  const int64_t d = std::llround(scaled);
+  return BitsOf(static_cast<double>(d) * kIF10[e]) == BitsOf(v);
+}
+
+}  // namespace
+
+int VisiblePrecision(double v) {
+  if (!std::isfinite(v)) return 0;
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  const std::string_view s(buf, result.ptr - buf);
+
+  int frac_digits = 0;
+  int exponent = 0;
+  const size_t dot = s.find('.');
+  const size_t e_pos = s.find('e');
+  if (dot != std::string_view::npos) {
+    const size_t end = e_pos == std::string_view::npos ? s.size() : e_pos;
+    frac_digits = static_cast<int>(end - dot - 1);
+  }
+  if (e_pos != std::string_view::npos) {
+    size_t exp_begin = e_pos + 1;
+    if (exp_begin < s.size() && s[exp_begin] == '+') ++exp_begin;  // from_chars
+    std::from_chars(s.data() + exp_begin, s.data() + s.size(), exponent);
+  }
+  return std::clamp(frac_digits - exponent, 0, 20);
+}
+
+DatasetMetrics ComputeMetrics(const double* data, size_t n) {
+  DatasetMetrics m;
+  if (n == 0) return m;
+
+  // --- Precision statistics and per-value success (C2-C5, C11). ---
+  double prec_sum = 0.0;
+  double prec_sq_sum = 0.0;
+  m.precision_max = 0;
+  m.precision_min = 99;
+  size_t per_value_success = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int p = VisiblePrecision(data[i]);
+    prec_sum += p;
+    prec_sq_sum += static_cast<double>(p) * p;
+    m.precision_max = std::max(m.precision_max, p);
+    m.precision_min = std::min(m.precision_min, p);
+    per_value_success += RoundTrips(data[i], std::min(p, kMaxE));
+  }
+  m.precision_avg = prec_sum / n;
+  m.precision_std =
+      std::sqrt(std::max(0.0, prec_sq_sum / n - m.precision_avg * m.precision_avg));
+  m.success_per_value = static_cast<double>(per_value_success) / n;
+
+  // --- Per-vector statistics and per-exponent success (C6-C10, C12-C13). ---
+  const size_t vectors = (n + kVectorSize - 1) / kVectorSize;
+  size_t success_by_e[kMaxE + 1] = {};
+  size_t best_per_vector_sum = 0;
+  double non_unique_sum = 0.0;
+  double value_avg_sum = 0.0;
+  double value_std_sum = 0.0;
+  double exp_avg_sum = 0.0;
+  double exp_std_sum = 0.0;
+
+  std::vector<uint64_t> scratch(kVectorSize);
+  for (size_t v = 0; v < vectors; ++v) {
+    const size_t off = v * kVectorSize;
+    const size_t len = std::min<size_t>(kVectorSize, n - off);
+
+    size_t vec_success[kMaxE + 1] = {};
+    double sum = 0.0;
+    double sq_sum = 0.0;
+    double exp_sum = 0.0;
+    double exp_sq_sum = 0.0;
+    for (size_t i = 0; i < len; ++i) {
+      const double x = data[off + i];
+      sum += x;
+      sq_sum += x * x;
+      const double be = BiasedExponent(x);
+      exp_sum += be;
+      exp_sq_sum += be * be;
+      scratch[i] = BitsOf(x);
+      for (int e = 0; e <= kMaxE; ++e) vec_success[e] += RoundTrips(x, e);
+    }
+    for (int e = 0; e <= kMaxE; ++e) success_by_e[e] += vec_success[e];
+    best_per_vector_sum += *std::max_element(vec_success, vec_success + kMaxE + 1);
+
+    std::sort(scratch.begin(), scratch.begin() + len);
+    const size_t distinct =
+        std::unique(scratch.begin(), scratch.begin() + len) - scratch.begin();
+    non_unique_sum += 1.0 - static_cast<double>(distinct) / len;
+
+    const double mean = sum / len;
+    value_avg_sum += mean;
+    value_std_sum += std::sqrt(std::max(0.0, sq_sum / len - mean * mean));
+    const double exp_mean = exp_sum / len;
+    exp_avg_sum += exp_mean;
+    exp_std_sum += std::sqrt(std::max(0.0, exp_sq_sum / len - exp_mean * exp_mean));
+  }
+  m.non_unique_fraction = non_unique_sum / vectors;
+  m.value_avg = value_avg_sum / vectors;
+  m.value_std = value_std_sum / vectors;
+  m.exponent_avg = exp_avg_sum / vectors;
+  m.exponent_std = exp_std_sum / vectors;
+
+  size_t best = 0;
+  for (int e = 0; e <= kMaxE; ++e) {
+    if (success_by_e[e] >= best) {  // >= so ties pick the higher exponent.
+      best = success_by_e[e];
+      m.best_dataset_exponent = e;
+    }
+  }
+  m.success_dataset = static_cast<double>(best) / n;
+  m.success_per_vector = static_cast<double>(best_per_vector_sum) / n;
+
+  // --- XOR zero-bit averages (C14-C15). ---
+  double lead_sum = 0.0;
+  double trail_sum = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t x = BitsOf(data[i]) ^ BitsOf(data[i - 1]);
+    lead_sum += LeadingZeros(x);
+    trail_sum += TrailingZeros(x);
+  }
+  if (n > 1) {
+    m.xor_leading_avg = lead_sum / (n - 1);
+    m.xor_trailing_avg = trail_sum / (n - 1);
+  }
+  return m;
+}
+
+}  // namespace alp::analysis

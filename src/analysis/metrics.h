@@ -1,0 +1,56 @@
+#ifndef ALP_ANALYSIS_METRICS_H_
+#define ALP_ANALYSIS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file metrics.h
+/// Computes the per-dataset statistics of the paper's Table 2: decimal
+/// precision distribution (C2-C5), per-vector value statistics (C6-C8),
+/// IEEE-754 exponent statistics (C9-C10), P_enc/P_dec success rates under
+/// the three exponent policies (C11-C13) and XOR leading/trailing zero-bit
+/// averages (C14-C15). These metrics motivated ALP's design (Section 2);
+/// reproducing them validates that the synthetic surrogates behave like the
+/// original datasets.
+
+namespace alp::analysis {
+
+/// All fifteen Table 2 columns for one dataset.
+struct DatasetMetrics {
+  // C2-C5: visible decimal precision (digits after the point in the
+  // shortest round-trip representation).
+  int precision_max = 0;
+  int precision_min = 0;
+  double precision_avg = 0.0;
+  double precision_std = 0.0;
+
+  // C6-C8: per-vector (1024 values) statistics, averaged over vectors.
+  double non_unique_fraction = 0.0;  ///< C6.
+  double value_avg = 0.0;            ///< C7.
+  double value_std = 0.0;            ///< C8 (per-vector std, averaged).
+
+  // C9-C10: biased IEEE-754 exponent, per vector.
+  double exponent_avg = 0.0;
+  double exponent_std = 0.0;
+
+  // C11-C13: P_enc/P_dec round-trip success rates.
+  double success_per_value = 0.0;   ///< C11: e = per-value visible precision.
+  int best_dataset_exponent = 0;    ///< C12: best single e for the dataset.
+  double success_dataset = 0.0;     ///< C12: success at that e.
+  double success_per_vector = 0.0;  ///< C13: best e chosen per vector.
+
+  // C14-C15: zero bits after XOR with the previous value.
+  double xor_leading_avg = 0.0;
+  double xor_trailing_avg = 0.0;
+};
+
+/// Computes the metrics over \p n doubles. Cost is O(n * max_exponent).
+DatasetMetrics ComputeMetrics(const double* data, size_t n);
+
+/// Digits after the decimal point in the shortest round-trip decimal
+/// representation of \p v (0 for integers/infinities/NaN; capped at 20).
+int VisiblePrecision(double v);
+
+}  // namespace alp::analysis
+
+#endif  // ALP_ANALYSIS_METRICS_H_

@@ -1,0 +1,93 @@
+#ifndef ALP_CODECS_RING_INDEX_H_
+#define ALP_CODECS_RING_INDEX_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/bits.h"
+
+/// \file ring_index.h
+/// The "previous 128 values" reference finder shared by Chimp128 and Patas:
+/// a ring buffer of the last 128 values plus a small hash table keyed on the
+/// values' low bits, so a candidate with many trailing XOR zeros can be
+/// found in O(1) (the trick Chimp128 introduces on top of Chimp; Bruno et
+/// al.'s TSXor explored it first, as the paper's related work notes).
+
+namespace alp::codecs {
+
+/// Tracks the last kWindow values and finds, for a new value, the in-window
+/// predecessor most likely to XOR well. The default key is the value's low
+/// bits (Chimp128's choice: equal low bits promise trailing XOR zeros);
+/// kMixHash keys on a multiplicative hash of the whole value instead, for
+/// streams whose low bits carry no entropy (Elf's truncated values).
+template <typename Bits, bool kMixHash = false>
+class RingIndex {
+ public:
+  static constexpr unsigned kWindow = 128;
+  static constexpr unsigned kKeyBits = 14;
+  static constexpr uint32_t kKeyMask = (1u << kKeyBits) - 1;
+
+  RingIndex() { std::memset(last_seen_, 0xFF, sizeof(last_seen_)); }
+
+  /// Index (0..127) into the window of the best reference for \p value:
+  /// the most recent value sharing its low 14 bits, or the immediately
+  /// previous value when no such match exists.
+  unsigned FindReference(Bits value) const {
+    const uint32_t key = KeyOf(value);
+    const uint64_t seen = last_seen_[key];
+    if (seen != UINT64_MAX && count_ > 0 && seen + kWindow >= count_) {
+      return static_cast<unsigned>(seen % kWindow);
+    }
+    return count_ == 0 ? 0 : static_cast<unsigned>((count_ - 1) % kWindow);
+  }
+
+  /// Value stored at window slot \p index.
+  Bits At(unsigned index) const { return window_[index]; }
+
+  /// Appends a value to the window (also updates the key index).
+  void Push(Bits value) {
+    const uint32_t key = KeyOf(value);
+    window_[count_ % kWindow] = value;
+    last_seen_[key] = count_;
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  static uint32_t KeyOf(Bits value) {
+    if constexpr (kMixHash) {
+      const uint64_t mixed = static_cast<uint64_t>(value) * 0x9E3779B97F4A7C15ULL;
+      return static_cast<uint32_t>(mixed >> (64 - kKeyBits));
+    } else {
+      return static_cast<uint32_t>(value) & kKeyMask;
+    }
+  }
+
+  Bits window_[kWindow] = {};
+  uint64_t last_seen_[1u << kKeyBits];
+  uint64_t count_ = 0;
+};
+
+/// Decoder-side ring buffer (no key index needed: indices are explicit in
+/// the stream).
+template <typename Bits>
+class RingBuffer {
+ public:
+  static constexpr unsigned kWindow = 128;
+
+  Bits At(unsigned index) const { return window_[index]; }
+
+  void Push(Bits value) {
+    window_[count_ % kWindow] = value;
+    ++count_;
+  }
+
+ private:
+  Bits window_[kWindow] = {};
+  uint64_t count_ = 0;
+};
+
+}  // namespace alp::codecs
+
+#endif  // ALP_CODECS_RING_INDEX_H_

@@ -1,0 +1,66 @@
+#include "data/datasets.h"
+
+namespace alp::data {
+
+// Parameters are transcribed from the paper's Tables 1 and 2: magnitude is
+// C7 (values-per-vector average), precision is the dominant decimal
+// precision (C2-C4), duplicate_fraction is C6 (non-unique % per vector).
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec> kDatasets = {
+      // ---- Time series -------------------------------------------------
+      {"Air-Pressure", true, Kind::kDecimalWalk, 93.4, 0.002, 5, 1, 0.747, 0.0,
+       137721453},
+      {"Basel-Temp", true, Kind::kDecimalWalk, 11.4, 0.40, 6, 1, 0.262, 0.0, 123480},
+      {"Basel-Wind", true, Kind::kDecimalWalk, 7.1, 0.58, 6, 2, 0.618, 0.0, 123480},
+      {"Bird-Mig", true, Kind::kDecimalWalk, 26.6, 0.23, 5, 1, 0.559, 0.0, 17964},
+      {"Btc-Price", true, Kind::kDecimalWalk, 19187.5, 0.04, 4, 1, 0.0, 0.0, 2686},
+      {"City-Temp", true, Kind::kDecimalWalk, 56.0, 0.38, 1, 0, 0.603, 0.0, 2905887},
+      {"Dew-Temp", true, Kind::kDecimalWalk, 14.4, 0.10, 3, 0, 0.193, 0.0, 5413914},
+      {"Bio-Temp", true, Kind::kDecimalWalk, 12.7, 0.33, 2, 0, 0.491, 0.0, 380817839},
+      {"PM10-dust", true, Kind::kDecimalWalk, 1.5, 0.53, 3, 0, 0.937, 0.0, 221568},
+      {"Stocks-DE", true, Kind::kDecimalWalk, 63.8, 0.14, 3, 1, 0.892, 0.0, 43565658},
+      {"Stocks-UK", true, Kind::kDecimalWalk, 1593.7, 0.20, 2, 1, 0.881, 0.0, 59305326},
+      {"Stocks-USA", true, Kind::kDecimalWalk, 146.1, 0.08, 2, 0, 0.915, 0.0, 282076179},
+      {"Wind-dir", true, Kind::kDecimalWalk, 192.4, 0.42, 2, 0, 0.039, 0.0, 198898762},
+      // ---- Non time series ---------------------------------------------
+      {"Arade/4", false, Kind::kDecimalCluster, 738.4, 0.53, 4, 1, 0.002, 0.0, 9888775},
+      {"Blockchain", false, Kind::kDecimalCluster, 638646.4, 1.0, 4, 1, 0.006, 0.0,
+       231031},
+      {"CMS/1", false, Kind::kDecimalCluster, 97.0, 1.13, 10, 10, 0.547, 0.0, 18575752},
+      {"CMS/25", false, Kind::kDecimalCluster, 12.6, 1.52, 10, 3, 0.057, 0.0, 18575752},
+      {"CMS/9", false, Kind::kInteger, 235.7, 3.85, 0, 0, 0.715, 0.0, 18575752},
+      {"Food-prices", false, Kind::kDecimalCluster, 6415.8, 2.28, 2, 2, 0.525, 0.0,
+       2050638},
+      {"Gov/10", false, Kind::kSparseZero, 240153.6, 2.0, 1, 1, 0.261, 0.30, 141123827},
+      {"Gov/26", false, Kind::kSparseZero, 442.3, 2.0, 0, 0, 0.995, 0.99, 141123827},
+      {"Gov/30", false, Kind::kSparseZero, 10998.7, 2.0, 1, 1, 0.897, 0.88, 141123827},
+      {"Gov/31", false, Kind::kSparseZero, 893.2, 2.0, 1, 1, 0.960, 0.95, 141123827},
+      {"Gov/40", false, Kind::kSparseZero, 791.4, 2.0, 0, 0, 0.991, 0.99, 141123827},
+      {"Medicare/1", false, Kind::kDecimalCluster, 97.0, 1.5, 10, 10, 0.413, 0.0, 9287876},
+      {"Medicare/9", false, Kind::kInteger, 235.7, 4.2, 0, 0, 0.706, 0.0, 9287876},
+      {"NYC/29", false, Kind::kNarrowDecimal, -73.9, 0.0, 13, 0, 0.510, 0.0, 17446346},
+      {"POI-lat", false, Kind::kFullPrecision, 0.6, 0.6, 16, 4, 0.014, 0.0, 424205},
+      {"POI-lon", false, Kind::kFullPrecision, -0.1, 1.5, 16, 4, 0.008, 0.0, 424205},
+      {"SD-bench", false, Kind::kDecimalCluster, 446.0, 1.17, 1, 0, 0.924, 0.0, 8927},
+  };
+  return kDatasets;
+}
+
+const DatasetSpec* FindDataset(std::string_view name) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<DatasetSpec, std::vector<double>>> GenerateAll(size_t count,
+                                                                     uint64_t seed) {
+  std::vector<std::pair<DatasetSpec, std::vector<double>>> all;
+  all.reserve(AllDatasets().size());
+  for (const DatasetSpec& spec : AllDatasets()) {
+    all.emplace_back(spec, Generate(spec, count, seed));
+  }
+  return all;
+}
+
+}  // namespace alp::data

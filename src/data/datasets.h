@@ -1,0 +1,62 @@
+#ifndef ALP_DATA_DATASETS_H_
+#define ALP_DATA_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+/// \file datasets.h
+/// Synthetic surrogates for the paper's 30 evaluation datasets (Table 1).
+/// The originals (NEON sensor feeds, Public BI Benchmark columns, stock
+/// ticks, POI coordinates) are multi-gigabyte downloads that are not
+/// available offline, so each surrogate is generated from the
+/// compression-relevant statistics the paper itself publishes in Table 2:
+/// decimal precision (avg/std/max), value magnitude, duplicate fraction and
+/// behaviour class. Section 2 of the paper establishes that these are
+/// precisely the properties the competing codecs exploit, so the *shape* of
+/// every comparison carries over. See DESIGN.md, "Substitutions".
+
+namespace alp::data {
+
+/// Behaviour class driving the generator.
+enum class Kind : uint8_t {
+  kDecimalWalk,    ///< Time series: random walk quantized to a decimal grid.
+  kDecimalCluster, ///< Non-TS: decimals drawn around a handful of centers.
+  kInteger,        ///< Whole numbers stored as doubles (CMS/9, Medicare/9).
+  kSparseZero,     ///< Mostly zero with zero runs (Gov/26, Gov/40, ...).
+  kFullPrecision,  ///< Full-mantissa-entropy reals (POI radians) -> ALP_rd.
+  kNarrowDecimal,  ///< Near-constant magnitude, deep precision (NYC/29).
+};
+
+/// One dataset surrogate description.
+struct DatasetSpec {
+  std::string_view name;       ///< Paper's dataset name.
+  bool time_series;            ///< Table 1 category.
+  Kind kind;
+  double magnitude;            ///< Typical value scale (Table 2:C7).
+  double magnitude_spread;     ///< Relative spread of the scale (C8 / C7).
+  int precision;               ///< Dominant decimal precision (Table 2:C2-C4).
+  int precision_jitter;        ///< Max deviation of precision across values.
+  double duplicate_fraction;   ///< Non-unique fraction per vector (C6).
+  double zero_fraction;        ///< Only for kSparseZero.
+  uint64_t paper_value_count;  ///< N of values in the original (Table 1).
+};
+
+/// All 30 surrogates in the paper's Table 1 order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Lookup by the paper's name; nullptr if unknown.
+const DatasetSpec* FindDataset(std::string_view name);
+
+/// Deterministically generates \p count values of the surrogate.
+std::vector<double> Generate(const DatasetSpec& spec, size_t count, uint64_t seed = 42);
+
+/// Generate(spec, ...) for every dataset at a common size; the workhorse of
+/// the benchmark harness.
+std::vector<std::pair<DatasetSpec, std::vector<double>>> GenerateAll(size_t count,
+                                                                     uint64_t seed = 42);
+
+}  // namespace alp::data
+
+#endif  // ALP_DATA_DATASETS_H_

@@ -1,0 +1,247 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+
+#include "alp/constants.h"
+#include "data/datasets.h"
+
+namespace alp::data {
+
+double Rng::NextGaussian() {
+  // Box-Muller; clamp u1 away from 0.
+  const double u1 = std::max(NextDouble(), 1e-300);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+namespace {
+
+/// Builds the double nearest to the decimal d * 10^-p, exactly the value a
+/// text parser would produce for that decimal literal (both operands of the
+/// division are exact, and IEEE division rounds correctly).
+inline double DecimalToDouble(int64_t d, int p) {
+  return static_cast<double>(d) / AlpTraits<double>::kF10[p];
+}
+
+/// Drops \p k trailing decimal digits from integer significand \p d.
+inline int64_t DropDigits(int64_t d, int k) {
+  for (int i = 0; i < k; ++i) d /= 10;
+  return d;
+}
+
+/// Time-series surrogate: an integer random walk on the decimal grid, with
+/// exact repeats at the dataset's duplicate rate and occasional values of
+/// slightly lower precision (precision_jitter). Repeats mostly revisit a
+/// recent *pool* value (sensor readings oscillate between nearby grid
+/// points) rather than always the immediately previous value - real
+/// duplicates are rarely all consecutive, which keeps the XOR schemes'
+/// zero-XOR shortcut at realistic rates.
+void GenerateDecimalWalk(const DatasetSpec& spec, size_t count, Rng& rng,
+                         std::vector<double>* out) {
+  const int p = spec.precision;
+  const double grid = AlpTraits<double>::kF10[p];
+  int64_t cur = static_cast<int64_t>(std::llround(spec.magnitude * grid));
+  const double sigma =
+      std::max(1.0, std::abs(spec.magnitude) * spec.magnitude_spread * grid / 64.0);
+
+  constexpr unsigned kPool = 64;
+  double pool[kPool] = {};
+  unsigned pool_fill = 0;
+  double prev_value = DecimalToDouble(cur, p);
+
+  for (size_t i = 0; i < count; ++i) {
+    if (rng.NextDouble() < spec.duplicate_fraction) {
+      const bool from_pool = pool_fill > 0 && rng.NextDouble() < 0.7;
+      out->push_back(from_pool ? pool[rng.NextBelow(pool_fill)] : prev_value);
+      continue;
+    }
+    cur += static_cast<int64_t>(std::llround(rng.NextGaussian() * sigma));
+    int pi = p;
+    int64_t d = cur;
+    if (spec.precision_jitter > 0 && rng.NextDouble() < 0.05) {
+      const int k = 1 + static_cast<int>(rng.NextBelow(spec.precision_jitter));
+      d = DropDigits(d, std::min(k, pi));
+      pi -= std::min(k, pi);
+    }
+    prev_value = DecimalToDouble(d, pi);
+    pool[pool_fill < kPool ? pool_fill++ : rng.NextBelow(kPool)] = prev_value;
+    out->push_back(prev_value);
+  }
+}
+
+/// Non-time-series decimal surrogate: values cluster around a handful of
+/// magnitudes (like prices in a catalogue); duplicates come from re-drawing
+/// out of a recent pool.
+void GenerateDecimalCluster(const DatasetSpec& spec, size_t count, Rng& rng,
+                            std::vector<double>* out) {
+  const int p = spec.precision;
+  const double grid = AlpTraits<double>::kF10[p];
+
+  // A few magnitude centers spread per magnitude_spread.
+  constexpr unsigned kCenters = 12;
+  int64_t centers[kCenters];
+  for (unsigned c = 0; c < kCenters; ++c) {
+    const double scale =
+        spec.magnitude * std::exp(rng.NextGaussian() * std::min(spec.magnitude_spread, 2.5));
+    centers[c] = static_cast<int64_t>(std::llround(scale * grid));
+  }
+
+  constexpr unsigned kPool = 256;
+  double pool[kPool] = {};
+  unsigned pool_fill = 0;
+
+  // Real BI columns have row locality (sorted/grouped fact tables): values
+  // stay near one magnitude center for a stretch of rows. The XOR family's
+  // published numbers depend on this, so the surrogate reproduces it.
+  unsigned current_center = 0;
+  size_t burst_left = 0;
+
+  for (size_t i = 0; i < count; ++i) {
+    if (pool_fill > 0 && rng.NextDouble() < spec.duplicate_fraction) {
+      out->push_back(pool[rng.NextBelow(pool_fill)]);
+      continue;
+    }
+    if (burst_left == 0) {
+      current_center = static_cast<unsigned>(rng.NextBelow(kCenters));
+      burst_left = 1 + rng.NextBelow(64);
+    }
+    --burst_left;
+    const int64_t center = centers[current_center];
+    const int64_t spread = std::max<int64_t>(std::llabs(center) / 8, 4);
+    int64_t d = center + static_cast<int64_t>(rng.NextBelow(2 * spread)) - spread;
+    int pi = p;
+    if (spec.precision_jitter > 0) {
+      // Per-value precision uniform in [p - jitter, p]: reproduces the high
+      // precision *variance* of CMS/1 and Medicare/1 (Table 2: C5), the
+      // property that makes ALP "struggle" in Section 4.1.
+      const int k = static_cast<int>(rng.NextBelow(spec.precision_jitter + 1));
+      d = DropDigits(d, std::min(k, pi));
+      pi -= std::min(k, pi);
+    }
+    const double v = DecimalToDouble(d, pi);
+    pool[pool_fill < kPool ? pool_fill++ : rng.NextBelow(kPool)] = v;
+    out->push_back(v);
+  }
+}
+
+/// Whole numbers stored as doubles (discrete counts: CMS/9, Medicare/9).
+void GenerateInteger(const DatasetSpec& spec, size_t count, Rng& rng,
+                     std::vector<double>* out) {
+  constexpr unsigned kPool = 256;
+  double pool[kPool] = {};
+  unsigned pool_fill = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (pool_fill > 0 && rng.NextDouble() < spec.duplicate_fraction) {
+      out->push_back(pool[rng.NextBelow(pool_fill)]);
+      continue;
+    }
+    const double scale = spec.magnitude * std::exp(rng.NextGaussian() * 1.2);
+    const double v = std::floor(std::max(scale, 0.0));
+    pool[pool_fill < kPool ? pool_fill++ : rng.NextBelow(kPool)] = v;
+    out->push_back(v);
+  }
+}
+
+/// Mostly-zero monetary columns (Gov/xx): alternating geometric runs of
+/// zeros and of clustered decimals, reproducing both the duplicate ratio
+/// and the long XOR zero-runs the paper highlights for these datasets.
+void GenerateSparseZero(const DatasetSpec& spec, size_t count, Rng& rng,
+                        std::vector<double>* out) {
+  const double z = spec.zero_fraction;
+  // Long zero blocks, as in the real Gov/xx columns (whole vectors of
+  // zeros, which is what lets ALP reach < 1 bit/value there).
+  const double mean_zero_run = std::max(4.0, 4096.0 * z);
+  const double mean_value_run = std::max(1.0, mean_zero_run * (1.0 - z) / std::max(z, 0.01));
+  const int p = std::max(spec.precision, 1);
+  const double grid = AlpTraits<double>::kF10[p];
+
+  bool in_zero_run = true;
+  size_t run_left = static_cast<size_t>(mean_zero_run);
+  while (out->size() < count) {
+    if (run_left == 0) {
+      in_zero_run = !in_zero_run;
+      const double mean = in_zero_run ? mean_zero_run : mean_value_run;
+      run_left = 1 + static_cast<size_t>(-mean * std::log(std::max(rng.NextDouble(), 1e-12)));
+    }
+    if (in_zero_run) {
+      out->push_back(0.0);
+    } else {
+      const double scale = spec.magnitude * std::exp(rng.NextGaussian() * 1.0);
+      const int64_t d = static_cast<int64_t>(std::llround(std::abs(scale) * grid));
+      out->push_back(DecimalToDouble(d, p));
+    }
+    --run_left;
+  }
+}
+
+/// Full-precision reals (POI coordinates in radians): uniform doubles in a
+/// narrow range - the mantissa tail is pure entropy, which is what pushes
+/// ALP to its ALP_rd fallback exactly as the paper reports.
+void GenerateFullPrecision(const DatasetSpec& spec, size_t count, Rng& rng,
+                           std::vector<double>* out) {
+  const double lo = spec.magnitude - spec.magnitude_spread;
+  const double hi = spec.magnitude + spec.magnitude_spread;
+  for (size_t i = 0; i < count; ++i) {
+    out->push_back(lo + (hi - lo) * rng.NextDouble());
+  }
+}
+
+/// Near-constant magnitude with deep fixed precision (NYC/29 longitudes:
+/// -73.9xxxxxxxxxxx at 13 decimals).
+void GenerateNarrowDecimal(const DatasetSpec& spec, size_t count, Rng& rng,
+                           std::vector<double>* out) {
+  const int p = spec.precision;
+  const int64_t base =
+      static_cast<int64_t>(std::llround(spec.magnitude * AlpTraits<double>::kF10[p]));
+  // Vary the last 11 digits; magnitude digits stay fixed (C8 = 0.0).
+  const int64_t span = static_cast<int64_t>(1e11);
+
+  constexpr unsigned kPool = 256;
+  double pool[kPool] = {};
+  unsigned pool_fill = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (pool_fill > 0 && rng.NextDouble() < spec.duplicate_fraction) {
+      out->push_back(pool[rng.NextBelow(pool_fill)]);
+      continue;
+    }
+    const int64_t jitter = static_cast<int64_t>(rng.NextBelow(span));
+    const double v = DecimalToDouble(base - jitter, p);
+    pool[pool_fill < kPool ? pool_fill++ : rng.NextBelow(kPool)] = v;
+    out->push_back(v);
+  }
+}
+
+}  // namespace
+
+std::vector<double> Generate(const DatasetSpec& spec, size_t count, uint64_t seed) {
+  std::vector<double> out;
+  out.reserve(count);
+  Rng rng(seed ^ (std::hash<std::string_view>{}(spec.name)));
+  switch (spec.kind) {
+    case Kind::kDecimalWalk:
+      GenerateDecimalWalk(spec, count, rng, &out);
+      break;
+    case Kind::kDecimalCluster:
+      GenerateDecimalCluster(spec, count, rng, &out);
+      break;
+    case Kind::kInteger:
+      GenerateInteger(spec, count, rng, &out);
+      break;
+    case Kind::kSparseZero:
+      GenerateSparseZero(spec, count, rng, &out);
+      break;
+    case Kind::kFullPrecision:
+      GenerateFullPrecision(spec, count, rng, &out);
+      break;
+    case Kind::kNarrowDecimal:
+      GenerateNarrowDecimal(spec, count, rng, &out);
+      break;
+  }
+  out.resize(count);
+  return out;
+}
+
+}  // namespace alp::data

@@ -1,0 +1,41 @@
+#ifndef ALP_DATA_GENERATOR_H_
+#define ALP_DATA_GENERATOR_H_
+
+#include <cstdint>
+
+/// \file generator.h
+/// Internal helpers shared by the dataset generators. The public entry
+/// points are in datasets.h and ml_weights.h.
+
+namespace alp::data {
+
+/// SplitMix64: tiny deterministic PRNG used so surrogate datasets are
+/// bit-identical across platforms and standard library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound).
+  uint64_t NextBelow(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  /// Standard normal via Box-Muller (one draw per call, second discarded
+  /// for simplicity; generation speed is not on any measured path).
+  double NextGaussian();
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace alp::data
+
+#endif  // ALP_DATA_GENERATOR_H_

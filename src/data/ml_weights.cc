@@ -1,0 +1,42 @@
+#include "data/ml_weights.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "data/generator.h"
+
+namespace alp::data {
+
+const std::vector<ModelSpec>& AllModels() {
+  static const std::vector<ModelSpec> kModels = {
+      {"Dino-Vitb16", "Vision Transformer", 86389248},
+      {"GPT2", "Text Generation", 124439808},
+      {"Grammarly-lg", "Text2Text", 783092736},
+      {"W2V Tweets", "Word2Vec", 3000},
+  };
+  return kModels;
+}
+
+std::vector<float> GenerateWeights(const ModelSpec& spec, size_t count, uint64_t seed) {
+  std::vector<float> weights;
+  weights.reserve(count);
+  Rng rng(seed ^ std::hash<std::string_view>{}(spec.name));
+
+  // Per-"tensor" blocks: scale drawn from a typical trained-weight range
+  // (attention/MLP matrices ~N(0, 0.01..0.05), LayerNorm gains near 1).
+  while (weights.size() < count) {
+    const size_t tensor = std::min<size_t>(4096 + rng.NextBelow(16384),
+                                           count - weights.size());
+    const bool layer_norm = rng.NextDouble() < 0.05;
+    const double scale = layer_norm ? 0.02 : 0.01 * std::exp(rng.NextGaussian() * 0.6);
+    const double mean = layer_norm ? 1.0 : 0.0;
+    for (size_t i = 0; i < tensor; ++i) {
+      weights.push_back(static_cast<float>(mean + rng.NextGaussian() * scale));
+    }
+  }
+  weights.resize(count);
+  return weights;
+}
+
+}  // namespace alp::data

@@ -1,0 +1,38 @@
+#ifndef ALP_DATA_ML_WEIGHTS_H_
+#define ALP_DATA_ML_WEIGHTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+/// \file ml_weights.h
+/// Synthetic stand-ins for the trained model weights of the paper's Table 7
+/// (Dino-Vitb16, GPT2, Grammarly-coedit-lg, a Word2Vec embedding). Trained
+/// float32 weights are the product of many multiply-adds: near-Gaussian per
+/// tensor, full-entropy mantissas, and a narrow band of (negative)
+/// exponents that varies by layer. The generator emits per-"tensor" blocks
+/// of Gaussian floats with per-tensor scales drawn from a typical
+/// initialization/LayerNorm range, which reproduces exactly the property
+/// ALP_rd exploits (low front-bit variance, incompressible tails).
+
+namespace alp::data {
+
+/// One surrogate model.
+struct ModelSpec {
+  std::string_view name;       ///< Paper's model name.
+  std::string_view model_type; ///< Table 7 "Model Type" column.
+  uint64_t paper_param_count;  ///< Table 7 "N of Params".
+};
+
+/// The four models of Table 7.
+const std::vector<ModelSpec>& AllModels();
+
+/// Deterministically generates \p count float32 weights for a model
+/// (per-tensor Gaussian blocks with varying scale).
+std::vector<float> GenerateWeights(const ModelSpec& spec, size_t count,
+                                   uint64_t seed = 42);
+
+}  // namespace alp::data
+
+#endif  // ALP_DATA_ML_WEIGHTS_H_

@@ -1,0 +1,73 @@
+#ifndef ALP_ENGINE_COLUMN_STORE_H_
+#define ALP_ENGINE_COLUMN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alp/column.h"
+#include "codecs/codec.h"
+
+/// \file column_store.h
+/// Compressed column storage for the Tectorwise-style engine (Section 4.3):
+/// a column is stored uncompressed, as an ALP column, or as per-rowgroup
+/// blocks of any baseline codec, behind one scan-oriented interface that
+/// surfaces data one rowgroup at a time (the scan operator then feeds it
+/// vector-at-a-time to its consumer).
+
+namespace alp::engine {
+
+/// One stored (possibly compressed) column of doubles.
+class StoredColumn {
+ public:
+  /// Keeps the raw values (the paper's "Uncompressed" row).
+  static StoredColumn MakeUncompressed(std::vector<double> values);
+
+  /// ALP column format.
+  static StoredColumn MakeAlp(const double* data, size_t n);
+
+  /// Per-rowgroup blocks compressed with \p codec (the codec is owned).
+  static StoredColumn MakeCodec(std::unique_ptr<codecs::DoubleCodec> codec,
+                                const double* data, size_t n);
+
+  const std::string& scheme() const { return scheme_; }
+  size_t value_count() const { return value_count_; }
+  size_t rowgroup_count() const {
+    return (value_count_ + kRowgroupSize - 1) / kRowgroupSize;
+  }
+  size_t compressed_bytes() const { return compressed_bytes_; }
+
+  /// Values in rowgroup \p rg.
+  unsigned RowgroupLength(size_t rg) const;
+
+  /// Decodes rowgroup \p rg into \p out (room for RowgroupLength(rg));
+  /// uncompressed columns copy (modeling a buffer-pool read).
+  void DecodeRowgroup(size_t rg, double* out) const;
+
+  /// For uncompressed columns: zero-copy view of a rowgroup (nullptr for
+  /// compressed columns). SUM uses this to aggregate in place.
+  const double* RowgroupPointer(size_t rg) const;
+
+  /// For ALP columns: the vector-level reader with zone maps (nullptr for
+  /// other storage). FILTER queries use it to skip compressed vectors.
+  const ColumnReader<double>* AlpReader() const { return alp_reader_.get(); }
+
+ private:
+  StoredColumn() = default;
+
+  std::string scheme_;
+  size_t value_count_ = 0;
+  size_t compressed_bytes_ = 0;
+
+  std::vector<double> raw_;                        // kUncompressed.
+  std::vector<uint8_t> alp_buffer_;                // kAlp.
+  std::unique_ptr<ColumnReader<double>> alp_reader_;
+  std::unique_ptr<codecs::DoubleCodec> codec_;     // kCodec.
+  std::vector<std::vector<uint8_t>> codec_blocks_;
+};
+
+}  // namespace alp::engine
+
+#endif  // ALP_ENGINE_COLUMN_STORE_H_

@@ -1,0 +1,236 @@
+#include "engine/operators.h"
+
+#include <atomic>
+#include <bit>
+#include <limits>
+#include <vector>
+
+#include "util/cycle_clock.h"
+
+namespace alp::engine {
+namespace {
+
+/// Runs \p per_rowgroup over all rowgroups with morsel-driven parallelism
+/// and returns the per-thread double results summed together.
+template <typename PerRowgroup>
+QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
+                        const PerRowgroup& per_rowgroup) {
+  const size_t rowgroups = column.rowgroup_count();
+  std::atomic<size_t> next{0};
+  std::vector<double> partials(pool.size(), 0.0);
+
+  const uint64_t start = CycleNow();
+  pool.Run([&](unsigned worker) {
+    double local = 0.0;
+    // Each worker gets a private decode buffer (vector-at-a-time consumers
+    // in Tectorwise own their vector chunk).
+    std::vector<double> buffer(kRowgroupSize);
+    while (true) {
+      const size_t rg = next.fetch_add(1, std::memory_order_relaxed);
+      if (rg >= rowgroups) break;
+      local += per_rowgroup(rg, buffer.data());
+    }
+    partials[worker] = local;
+  });
+  const uint64_t cycles = CycleNow() - start;
+
+  QueryResult result;
+  for (double p : partials) result.sum += p;
+  result.cycles = cycles;
+  result.tuples = column.value_count();
+  result.threads = pool.size();
+  return result;
+}
+
+}  // namespace
+
+QueryResult RunScan(const StoredColumn& column, ThreadPool& pool) {
+  return RunParallel(column, pool, [&](size_t rg, double* buffer) {
+    const unsigned len = column.RowgroupLength(rg);
+    column.DecodeRowgroup(rg, buffer);
+    // Touch one value per vector so the decode cannot be elided; this is
+    // the "scan operator produced a vector" hand-off point.
+    double checksum = 0.0;
+    for (unsigned v = 0; v < len; v += kVectorSize) checksum += buffer[v];
+    return checksum;
+  });
+}
+
+QueryResult RunSum(const StoredColumn& column, ThreadPool& pool) {
+  const double* raw0 = column.RowgroupPointer(0);
+  if (raw0 != nullptr) {
+    // Uncompressed columns aggregate in place (no buffer-pool copy).
+    return RunParallel(column, pool, [&](size_t rg, double*) {
+      const double* data = column.RowgroupPointer(rg);
+      const unsigned len = column.RowgroupLength(rg);
+      double sum = 0.0;
+      for (unsigned i = 0; i < len; ++i) sum += data[i];
+      return sum;
+    });
+  }
+  return RunParallel(column, pool, [&](size_t rg, double* buffer) {
+    const unsigned len = column.RowgroupLength(rg);
+    column.DecodeRowgroup(rg, buffer);
+    double sum = 0.0;
+    for (unsigned i = 0; i < len; ++i) sum += buffer[i];
+    return sum;
+  });
+}
+
+QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
+                         ThreadPool& pool) {
+  const ColumnReader<double>* alp_reader = column.AlpReader();
+  std::atomic<size_t> skipped{0};
+
+  QueryResult result;
+  if (alp_reader != nullptr) {
+    // Push-down path: consult the zone map per vector, decode only vectors
+    // whose [min, max] intersects the predicate range.
+    result = RunParallel(column, pool, [&](size_t rg, double* buffer) {
+      const size_t first_vector = rg * kRowgroupVectors;
+      const size_t vectors =
+          (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
+      double sum = 0.0;
+      size_t local_skipped = 0;
+      for (size_t v = 0; v < vectors; ++v) {
+        const size_t vec = first_vector + v;
+        if (!alp_reader->VectorMayContain(vec, lo, hi)) {
+          ++local_skipped;
+          continue;
+        }
+        alp_reader->DecodeVector(vec, buffer);
+        const unsigned len = alp_reader->VectorLength(vec);
+        for (unsigned i = 0; i < len; ++i) {
+          const double x = buffer[i];
+          sum += (x >= lo && x <= hi) ? x : 0.0;  // Predicated, branch-free.
+        }
+      }
+      skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+      return sum;
+    });
+  } else if (column.RowgroupPointer(0) != nullptr) {
+    result = RunParallel(column, pool, [&](size_t rg, double*) {
+      const double* data = column.RowgroupPointer(rg);
+      const unsigned len = column.RowgroupLength(rg);
+      double sum = 0.0;
+      for (unsigned i = 0; i < len; ++i) {
+        const double x = data[i];
+        sum += (x >= lo && x <= hi) ? x : 0.0;
+      }
+      return sum;
+    });
+  } else {
+    // Block-based storage: the whole rowgroup must be decompressed before
+    // the predicate can run (the paper's Zstd disadvantage).
+    result = RunParallel(column, pool, [&](size_t rg, double* buffer) {
+      column.DecodeRowgroup(rg, buffer);
+      const unsigned len = column.RowgroupLength(rg);
+      double sum = 0.0;
+      for (unsigned i = 0; i < len; ++i) {
+        const double x = buffer[i];
+        sum += (x >= lo && x <= hi) ? x : 0.0;
+      }
+      return sum;
+    });
+  }
+  result.vectors_skipped = skipped.load();
+  return result;
+}
+
+QueryResult RunMinMax(const StoredColumn& column, ThreadPool& pool, double* min_out,
+                      double* max_out) {
+  const ColumnReader<double>* alp_reader = column.AlpReader();
+  double min = std::numeric_limits<double>::infinity();
+  double max = -min;
+
+  if (alp_reader != nullptr) {
+    // Zone maps are exact per-vector min/max: the aggregate needs no
+    // decoding at all.
+    QueryResult result;
+    const uint64_t start = CycleNow();
+    for (size_t v = 0; v < alp_reader->vector_count(); ++v) {
+      const VectorStats& stats = alp_reader->Stats(v);
+      min = stats.min < min ? stats.min : min;
+      max = stats.max > max ? stats.max : max;
+    }
+    result.cycles = CycleNow() - start;
+    result.tuples = column.value_count();
+    result.threads = pool.size();
+    result.vectors_skipped = alp_reader->vector_count();
+    *min_out = min;
+    *max_out = max;
+    result.sum = min;
+    return result;
+  }
+
+  // Lock-free folds over the rowgroup-local minima/maxima (NaNs fail the
+  // improvement comparison and are ignored, SQL-style).
+  std::atomic<uint64_t> min_cell{std::bit_cast<uint64_t>(min)};
+  std::atomic<uint64_t> max_cell{std::bit_cast<uint64_t>(max)};
+  const auto fold = [](std::atomic<uint64_t>& cell, double value, bool is_min) {
+    uint64_t expected = cell.load(std::memory_order_relaxed);
+    while (true) {
+      const double current = std::bit_cast<double>(expected);
+      const bool improves = is_min ? value < current : value > current;
+      if (!improves) return;
+      if (cell.compare_exchange_weak(expected, std::bit_cast<uint64_t>(value),
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  };
+
+  QueryResult result = RunParallel(column, pool, [&](size_t rg, double* buffer) {
+    const double* data = column.RowgroupPointer(rg);
+    if (data == nullptr) {
+      column.DecodeRowgroup(rg, buffer);
+      data = buffer;
+    }
+    const unsigned len = column.RowgroupLength(rg);
+    double local_min = std::numeric_limits<double>::infinity();
+    double local_max = -local_min;
+    for (unsigned i = 0; i < len; ++i) {
+      local_min = data[i] < local_min ? data[i] : local_min;
+      local_max = data[i] > local_max ? data[i] : local_max;
+    }
+    fold(min_cell, local_min, true);
+    fold(max_cell, local_max, false);
+    return 0.0;
+  });
+  min = std::bit_cast<double>(min_cell.load());
+  max = std::bit_cast<double>(max_cell.load());
+  *min_out = min;
+  *max_out = max;
+  result.sum = min;
+  return result;
+}
+
+QueryResult RunCompression(const StoredColumn& column, const double* data, size_t n) {
+  QueryResult result;
+  result.tuples = n;
+  result.threads = 1;
+  const uint64_t start = CycleNow();
+  if (column.scheme() == "Uncompressed") {
+    result.cycles = 0;
+    return result;
+  }
+  if (column.scheme() == "ALP") {
+    const auto buffer = CompressColumn(data, n);
+    result.sum = static_cast<double>(buffer.size());
+  } else {
+    // Rebuild with the same codec, rowgroup blocks like MakeCodec.
+    StoredColumn rebuilt = StoredColumn::MakeCodec(
+        [&]() -> std::unique_ptr<codecs::DoubleCodec> {
+          for (auto& codec : codecs::AllDoubleCodecs()) {
+            if (codec->name() == column.scheme()) return std::move(codec);
+          }
+          return codecs::MakeAlpCodec();
+        }(),
+        data, n);
+    result.sum = static_cast<double>(rebuilt.compressed_bytes());
+  }
+  result.cycles = CycleNow() - start;
+  return result;
+}
+
+}  // namespace alp::engine

@@ -1,0 +1,59 @@
+#ifndef ALP_ENGINE_TABLE_H_
+#define ALP_ENGINE_TABLE_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "engine/column_store.h"
+#include "engine/operators.h"
+
+/// \file table.h
+/// Multi-column tables and a Tectorwise-style two-column query. The paper's
+/// end-to-end evaluation is single-column (SCAN/SUM); this extends the
+/// engine to the multi-column shape real scans have, where push-down on one
+/// column saves the decoding work of *every* projected column: a vector
+/// skipped by the filter column's zone map is never decoded in any column.
+
+namespace alp::engine {
+
+/// A named collection of equal-length stored columns.
+class Table {
+ public:
+  /// Adds a column; all columns must have the same value count.
+  void AddColumn(std::string name, StoredColumn column) {
+    columns_.emplace_back(std::move(name), std::move(column));
+  }
+
+  /// Column by name; nullptr if absent.
+  const StoredColumn* Column(std::string_view name) const {
+    for (const auto& [n, c] : columns_) {
+      if (n == name) return &c;
+    }
+    return nullptr;
+  }
+
+  size_t column_count() const { return columns_.size(); }
+  size_t row_count() const {
+    return columns_.empty() ? 0 : columns_.front().second.value_count();
+  }
+
+ private:
+  std::vector<std::pair<std::string, StoredColumn>> columns_;
+};
+
+/// SELECT SUM(a * b) WHERE lo <= filter <= hi, vector-at-a-time.
+///
+/// When the filter column is ALP-compressed, its zone maps prune vectors
+/// before *any* column is decoded; qualifying vectors are decoded from all
+/// three columns and combined with a branch-free predicated multiply-add.
+/// Columns must be ALP or Uncompressed (vector-addressable storage).
+/// `vectors_skipped` counts vectors never decoded in any column.
+QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column,
+                              double lo, double hi, std::string_view a_column,
+                              std::string_view b_column, ThreadPool& pool);
+
+}  // namespace alp::engine
+
+#endif  // ALP_ENGINE_TABLE_H_

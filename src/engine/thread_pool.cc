@@ -1,0 +1,53 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+
+namespace alp::engine {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = std::max(1u, threads);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Run(const std::function<void(unsigned)>& task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  task_ = &task;
+  running_ = static_cast<unsigned>(workers_.size());
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return running_ == 0; });
+  task_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop(unsigned index) {
+  uint64_t seen_generation = 0;
+  while (true) {
+    const std::function<void(unsigned)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace alp::engine

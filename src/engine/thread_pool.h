@@ -1,0 +1,48 @@
+#ifndef ALP_ENGINE_THREAD_POOL_H_
+#define ALP_ENGINE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.h
+/// A minimal fork-join worker pool for the end-to-end query experiments
+/// (Table 6 / Figure 6): the same task runs on every worker (each worker
+/// claims rowgroup morsels from a shared atomic counter) and Run() blocks
+/// until all workers finish. Workers are persistent so per-query thread
+/// creation does not pollute the cycle counts.
+
+namespace alp::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns \p threads persistent workers (>= 1).
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs task(worker_index) on every worker; returns when all are done.
+  void Run(const std::function<void(unsigned)>& task);
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void WorkerLoop(unsigned index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* task_ = nullptr;
+  uint64_t generation_ = 0;
+  unsigned running_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace alp::engine
+
+#endif  // ALP_ENGINE_THREAD_POOL_H_

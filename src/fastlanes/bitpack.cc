@@ -1,0 +1,67 @@
+#include "fastlanes/bitpack.h"
+
+#include <array>
+
+namespace alp::fastlanes {
+namespace {
+
+template <typename U>
+using PackFn = void (*)(const U*, U*);
+template <typename U>
+using FforFn = void (*)(const U*, U*, U);
+
+template <typename U, unsigned... W>
+constexpr auto MakePackTable(std::integer_sequence<unsigned, W...>) {
+  return std::array<PackFn<U>, sizeof...(W)>{&PackBlock<U, W>...};
+}
+
+template <typename U, unsigned... W>
+constexpr auto MakeUnpackTable(std::integer_sequence<unsigned, W...>) {
+  return std::array<PackFn<U>, sizeof...(W)>{&UnpackBlock<U, W>...};
+}
+
+template <typename U, unsigned... W>
+constexpr auto MakeFforPackTable(std::integer_sequence<unsigned, W...>) {
+  return std::array<FforFn<U>, sizeof...(W)>{&FforPackBlock<U, W>...};
+}
+
+template <typename U, unsigned... W>
+constexpr auto MakeFforUnpackTable(std::integer_sequence<unsigned, W...>) {
+  return std::array<FforFn<U>, sizeof...(W)>{&FforUnpackBlock<U, W>...};
+}
+
+constexpr auto kPack64 = MakePackTable<uint64_t>(std::make_integer_sequence<unsigned, 65>{});
+constexpr auto kUnpack64 = MakeUnpackTable<uint64_t>(std::make_integer_sequence<unsigned, 65>{});
+constexpr auto kFforPack64 =
+    MakeFforPackTable<uint64_t>(std::make_integer_sequence<unsigned, 65>{});
+constexpr auto kFforUnpack64 =
+    MakeFforUnpackTable<uint64_t>(std::make_integer_sequence<unsigned, 65>{});
+
+constexpr auto kPack32 = MakePackTable<uint32_t>(std::make_integer_sequence<unsigned, 33>{});
+constexpr auto kUnpack32 = MakeUnpackTable<uint32_t>(std::make_integer_sequence<unsigned, 33>{});
+constexpr auto kFforPack32 =
+    MakeFforPackTable<uint32_t>(std::make_integer_sequence<unsigned, 33>{});
+constexpr auto kFforUnpack32 =
+    MakeFforUnpackTable<uint32_t>(std::make_integer_sequence<unsigned, 33>{});
+
+}  // namespace
+
+void Pack(const uint64_t* in, uint64_t* out, unsigned width) { kPack64[width](in, out); }
+void Unpack(const uint64_t* in, uint64_t* out, unsigned width) { kUnpack64[width](in, out); }
+void Pack(const uint32_t* in, uint32_t* out, unsigned width) { kPack32[width](in, out); }
+void Unpack(const uint32_t* in, uint32_t* out, unsigned width) { kUnpack32[width](in, out); }
+
+void FforPack(const uint64_t* in, uint64_t* out, unsigned width, uint64_t base) {
+  kFforPack64[width](in, out, base);
+}
+void FforUnpack(const uint64_t* in, uint64_t* out, unsigned width, uint64_t base) {
+  kFforUnpack64[width](in, out, base);
+}
+void FforPack(const uint32_t* in, uint32_t* out, unsigned width, uint32_t base) {
+  kFforPack32[width](in, out, base);
+}
+void FforUnpack(const uint32_t* in, uint32_t* out, unsigned width, uint32_t base) {
+  kFforUnpack32[width](in, out, base);
+}
+
+}  // namespace alp::fastlanes

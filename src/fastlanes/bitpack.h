@@ -1,0 +1,188 @@
+#ifndef ALP_FASTLANES_BITPACK_H_
+#define ALP_FASTLANES_BITPACK_H_
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "util/bits.h"
+
+/// \file bitpack.h
+/// FastLanes-style vectorized bit-packing for blocks of 1024 integers.
+///
+/// Layout. A block of 1024 w-bit values is stored "vertically": the block is
+/// viewed as a row-major matrix of kRows x kLanes values (64x16 for 64-bit
+/// lanes, 32x32 for 32-bit lanes) and each of the kLanes columns is packed
+/// independently into w output words, interleaved lane-by-lane. Because one
+/// column holds exactly `word-width` values, a column of w-bit values fills
+/// exactly w words with no cross-block straddling. The per-row kernels below
+/// are plain scalar loops over the kLanes columns with compile-time shift
+/// amounts, which C++ compilers auto-vectorize into wide SIMD (this is the
+/// property the ALP paper's speed results rely on).
+///
+/// All kernels are templated on the bit width and fully unrolled over rows;
+/// the runtime-width entry points dispatch through constexpr tables of
+/// function pointers (see bitpack.cc).
+
+namespace alp::fastlanes {
+
+/// Values per block. Matches the ALP vector size.
+inline constexpr unsigned kBlockSize = 1024;
+
+/// Number of interleaved lanes for a given word type.
+template <typename U>
+inline constexpr unsigned kLanes = kBlockSize / (sizeof(U) * 8);
+
+/// Number of packed words a 1024-value block occupies at width \p w.
+template <typename U>
+constexpr unsigned PackedWords(unsigned w) {
+  return w * kLanes<U>;
+}
+
+/// Bytes occupied by a packed 1024-value block at width \p w.
+template <typename U>
+constexpr unsigned PackedBytes(unsigned w) {
+  return PackedWords<U>(w) * sizeof(U);
+}
+
+namespace detail {
+
+template <typename U>
+inline constexpr unsigned kWordBits = sizeof(U) * 8;
+
+/// Packs row R of the block: ORs the masked values into the lane
+/// accumulators and flushes accumulators that became full.
+template <typename U, unsigned W, unsigned R, typename Transform>
+inline void PackRow(const U* __restrict in, U* __restrict out, U* __restrict acc,
+                    const Transform& transform) {
+  constexpr unsigned kB = kWordBits<U>;
+  constexpr unsigned kL = kLanes<U>;
+  constexpr unsigned shift = (R * W) % kB;
+  constexpr U mask = static_cast<U>(W >= kB ? ~U{0} : ((U{1} << W) - 1));
+  const U* row = in + R * kL;
+  if constexpr (shift == 0) {
+    for (unsigned c = 0; c < kL; ++c) acc[c] = static_cast<U>(transform(row[c]) & mask);
+  } else {
+    for (unsigned c = 0; c < kL; ++c) {
+      acc[c] = static_cast<U>(acc[c] | ((transform(row[c]) & mask) << shift));
+    }
+  }
+  if constexpr (shift + W >= kB) {
+    constexpr unsigned word = (R * W) / kB;
+    U* dst = out + word * kL;
+    for (unsigned c = 0; c < kL; ++c) dst[c] = acc[c];
+    if constexpr (shift + W > kB) {
+      for (unsigned c = 0; c < kL; ++c) {
+        acc[c] = static_cast<U>((transform(row[c]) & mask) >> (kB - shift));
+      }
+    }
+  }
+}
+
+/// Unpacks row R of the block, applying \p emit(lane, value) per value.
+template <typename U, unsigned W, unsigned R, typename Emit>
+inline void UnpackRow(const U* __restrict in, const Emit& emit) {
+  constexpr unsigned kB = kWordBits<U>;
+  constexpr unsigned kL = kLanes<U>;
+  constexpr unsigned shift = (R * W) % kB;
+  constexpr unsigned word = (R * W) / kB;
+  constexpr U mask = static_cast<U>(W >= kB ? ~U{0} : ((U{1} << W) - 1));
+  const U* src = in + word * kL;
+  if constexpr (shift + W <= kB) {
+    for (unsigned c = 0; c < kL; ++c) {
+      emit(R * kL + c, static_cast<U>((src[c] >> shift) & mask));
+    }
+  } else {
+    const U* src2 = in + (word + 1) * kL;
+    for (unsigned c = 0; c < kL; ++c) {
+      emit(R * kL + c,
+           static_cast<U>(((src[c] >> shift) | (src2[c] << (kB - shift))) & mask));
+    }
+  }
+}
+
+/// Packs a full block at compile-time width W with a per-value transform
+/// (identity for plain packing, subtract-base for fused FFOR).
+template <typename U, unsigned W, typename Transform>
+inline void PackBlockImpl(const U* __restrict in, U* __restrict out,
+                          const Transform& transform) {
+  constexpr unsigned kB = kWordBits<U>;
+  if constexpr (W == 0) {
+    (void)in;
+    (void)out;
+  } else if constexpr (W == kB) {
+    for (unsigned i = 0; i < kBlockSize; ++i) out[i] = transform(in[i]);
+  } else {
+    U acc[kLanes<U>];
+    [&]<std::size_t... R>(std::index_sequence<R...>) {
+      (PackRow<U, W, static_cast<unsigned>(R)>(in, out, acc, transform), ...);
+    }(std::make_index_sequence<kB>{});
+  }
+}
+
+/// Unpacks a full block at compile-time width W with a per-value emit.
+template <typename U, unsigned W, typename Emit>
+inline void UnpackBlockImpl(const U* __restrict in, const Emit& emit) {
+  constexpr unsigned kB = kWordBits<U>;
+  if constexpr (W == 0) {
+    for (unsigned i = 0; i < kBlockSize; ++i) emit(i, U{0});
+  } else if constexpr (W == kB) {
+    for (unsigned i = 0; i < kBlockSize; ++i) emit(i, in[i]);
+  } else {
+    [&]<std::size_t... R>(std::index_sequence<R...>) {
+      (UnpackRow<U, W, static_cast<unsigned>(R)>(in, emit), ...);
+    }(std::make_index_sequence<kB>{});
+  }
+}
+
+}  // namespace detail
+
+/// Packs 1024 values at compile-time width \p W. Values must fit in W bits
+/// (higher bits are masked off).
+template <typename U, unsigned W>
+inline void PackBlock(const U* __restrict in, U* __restrict out) {
+  detail::PackBlockImpl<U, W>(in, out, [](U v) { return v; });
+}
+
+/// Unpacks 1024 values at compile-time width \p W.
+template <typename U, unsigned W>
+inline void UnpackBlock(const U* __restrict in, U* __restrict out) {
+  detail::UnpackBlockImpl<U, W>(in, [&](unsigned i, U v) { out[i] = v; });
+}
+
+/// Fused FFOR pack: packs (in[i] - base) at width W.
+template <typename U, unsigned W>
+inline void FforPackBlock(const U* __restrict in, U* __restrict out, U base) {
+  detail::PackBlockImpl<U, W>(in, out, [base](U v) { return static_cast<U>(v - base); });
+}
+
+/// Fused FFOR unpack: unpacks and adds \p base in one pass.
+template <typename U, unsigned W>
+inline void FforUnpackBlock(const U* __restrict in, U* __restrict out, U base) {
+  detail::UnpackBlockImpl<U, W>(in, [&](unsigned i, U v) {
+    out[i] = static_cast<U>(v + base);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-width entry points (dispatch tables live in bitpack.cc).
+// ---------------------------------------------------------------------------
+
+/// Packs 1024 64-bit values at runtime width 0..64.
+void Pack(const uint64_t* in, uint64_t* out, unsigned width);
+/// Unpacks 1024 64-bit values at runtime width 0..64.
+void Unpack(const uint64_t* in, uint64_t* out, unsigned width);
+/// Packs 1024 32-bit values at runtime width 0..32.
+void Pack(const uint32_t* in, uint32_t* out, unsigned width);
+/// Unpacks 1024 32-bit values at runtime width 0..32.
+void Unpack(const uint32_t* in, uint32_t* out, unsigned width);
+
+/// Fused FFOR variants: subtract/add \p base inside the kernel.
+void FforPack(const uint64_t* in, uint64_t* out, unsigned width, uint64_t base);
+void FforUnpack(const uint64_t* in, uint64_t* out, unsigned width, uint64_t base);
+void FforPack(const uint32_t* in, uint32_t* out, unsigned width, uint32_t base);
+void FforUnpack(const uint32_t* in, uint32_t* out, unsigned width, uint32_t base);
+
+}  // namespace alp::fastlanes
+
+#endif  // ALP_FASTLANES_BITPACK_H_

@@ -1,0 +1,39 @@
+#include "fastlanes/delta.h"
+
+namespace alp::fastlanes {
+
+DeltaParams DeltaAnalyze(const int64_t* in, unsigned n) {
+  DeltaParams params;
+  params.first = in[0];
+  uint64_t max_zz = 0;
+  int64_t prev = in[0];
+  for (unsigned i = 0; i < n; ++i) {
+    const uint64_t zz = ZigZagEncode(in[i] - prev);
+    max_zz = zz > max_zz ? zz : max_zz;
+    prev = in[i];
+  }
+  params.width = BitWidth(max_zz);
+  return params;
+}
+
+void DeltaEncode(const int64_t* in, uint64_t* out, const DeltaParams& params) {
+  uint64_t zz[kBlockSize];
+  int64_t prev = params.first;
+  zz[0] = ZigZagEncode(in[0] - prev);
+  for (unsigned i = 1; i < kBlockSize; ++i) {
+    zz[i] = ZigZagEncode(in[i] - in[i - 1]);
+  }
+  Pack(zz, out, params.width);
+}
+
+void DeltaDecode(const uint64_t* in, int64_t* out, const DeltaParams& params) {
+  uint64_t zz[kBlockSize];
+  Unpack(in, zz, params.width);
+  int64_t prev = params.first;
+  for (unsigned i = 0; i < kBlockSize; ++i) {
+    prev += ZigZagDecode(zz[i]);
+    out[i] = prev;
+  }
+}
+
+}  // namespace alp::fastlanes

@@ -1,0 +1,41 @@
+#ifndef ALP_FASTLANES_DELTA_H_
+#define ALP_FASTLANES_DELTA_H_
+
+#include <cstdint>
+
+#include "fastlanes/bitpack.h"
+
+/// \file delta.h
+/// Delta encoding for 1024-value integer blocks, one of the cascading
+/// lightweight encodings the paper lists as applicable to ALP's integer
+/// output (Section 3.1). Deltas to the previous value are zig-zag mapped to
+/// unsigned and bit-packed at the width of the widest delta.
+
+namespace alp::fastlanes {
+
+/// Per-block delta parameters.
+struct DeltaParams {
+  int64_t first = 0;   ///< First value of the block (stored verbatim).
+  unsigned width = 0;  ///< Bits per packed zig-zag delta.
+};
+
+/// Maps a signed delta to unsigned so small magnitudes pack small.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Analyzes and encodes one full block of 1024 values. \p out must hold
+/// PackedWords<uint64_t>(returned width) words; call DeltaAnalyze first to
+/// size it, or pass a 1024-word buffer.
+DeltaParams DeltaAnalyze(const int64_t* in, unsigned n);
+void DeltaEncode(const int64_t* in, uint64_t* out, const DeltaParams& params);
+void DeltaDecode(const uint64_t* in, int64_t* out, const DeltaParams& params);
+
+}  // namespace alp::fastlanes
+
+#endif  // ALP_FASTLANES_DELTA_H_

@@ -1,0 +1,43 @@
+#include "fastlanes/dict.h"
+
+namespace alp::fastlanes {
+
+std::optional<DictColumn> DictEncode(const double* in, size_t n,
+                                     size_t max_dict_size) {
+  DictColumn result;
+  result.codes.reserve(n);
+  std::unordered_map<uint64_t, uint32_t> index;
+  index.reserve(max_dict_size * 2);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t key = BitsOf(in[i]);
+    auto [it, inserted] = index.try_emplace(
+        key, static_cast<uint32_t>(result.dictionary.size()));
+    if (inserted) {
+      if (result.dictionary.size() >= max_dict_size) return std::nullopt;
+      result.dictionary.push_back(in[i]);
+    }
+    result.codes.push_back(it->second);
+  }
+  return result;
+}
+
+void DictDecode(const DictColumn& dict, double* out) {
+  const double* d = dict.dictionary.data();
+  const uint32_t* codes = dict.codes.data();
+  const size_t n = dict.codes.size();
+  for (size_t i = 0; i < n; ++i) out[i] = d[codes[i]];
+}
+
+double DuplicateFraction(const double* in, size_t n) {
+  if (n == 0) return 0.0;
+  std::unordered_map<uint64_t, bool> seen;
+  seen.reserve(n * 2);
+  size_t duplicates = 0;
+  for (size_t i = 0; i < n; ++i) {
+    auto [it, inserted] = seen.try_emplace(BitsOf(in[i]), true);
+    duplicates += !inserted;
+  }
+  return static_cast<double>(duplicates) / static_cast<double>(n);
+}
+
+}  // namespace alp::fastlanes

@@ -1,0 +1,48 @@
+#ifndef ALP_FASTLANES_DICT_H_
+#define ALP_FASTLANES_DICT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bits.h"
+
+/// \file dict.h
+/// Dictionary encoding for double columns, used by the LWC+ALP cascade
+/// (Table 4): on heavily duplicated data the distinct values go into a
+/// dictionary that is itself ALP-compressed, while the per-row codes are
+/// bit-packed with FFOR. Keys are compared bitwise so NaN payloads and
+/// signed zeros round-trip exactly.
+
+namespace alp::fastlanes {
+
+/// A built dictionary plus the per-row codes.
+struct DictColumn {
+  std::vector<double> dictionary;  ///< Distinct values, in first-seen order.
+  std::vector<uint32_t> codes;     ///< One code per input row.
+
+  /// Bits needed per packed code.
+  unsigned code_width() const {
+    return dictionary.empty()
+               ? 0
+               : BitWidth(static_cast<uint32_t>(dictionary.size() - 1));
+  }
+};
+
+/// Builds a dictionary over \p n doubles. Returns std::nullopt if the number
+/// of distinct values exceeds \p max_dict_size (dictionary not worthwhile).
+std::optional<DictColumn> DictEncode(const double* in, size_t n,
+                                     size_t max_dict_size);
+
+/// Expands codes back into \p out (must hold codes.size() values).
+void DictDecode(const DictColumn& dict, double* out);
+
+/// Fraction of values in \p n that duplicate an earlier value; the cascade
+/// uses this to decide whether dictionary encoding is worthwhile.
+double DuplicateFraction(const double* in, size_t n);
+
+}  // namespace alp::fastlanes
+
+#endif  // ALP_FASTLANES_DICT_H_

@@ -1,0 +1,57 @@
+#include "fastlanes/ffor.h"
+
+namespace alp::fastlanes {
+namespace {
+
+template <typename S, typename U>
+FforParams AnalyzeImpl(const S* in, unsigned n) {
+  S min = in[0];
+  S max = in[0];
+  for (unsigned i = 1; i < n; ++i) {
+    min = in[i] < min ? in[i] : min;
+    max = in[i] > max ? in[i] : max;
+  }
+  const U range = static_cast<U>(max) - static_cast<U>(min);
+  FforParams params;
+  params.base = static_cast<uint64_t>(static_cast<U>(min));
+  params.width = BitWidth(range);
+  return params;
+}
+
+}  // namespace
+
+FforParams FforAnalyze(const int64_t* in, unsigned n) {
+  return AnalyzeImpl<int64_t, uint64_t>(in, n);
+}
+
+FforParams FforAnalyze(const int32_t* in, unsigned n) {
+  return AnalyzeImpl<int32_t, uint32_t>(in, n);
+}
+
+void FforEncode(const int64_t* in, uint64_t* out, const FforParams& params) {
+  FforPack(reinterpret_cast<const uint64_t*>(in), out, params.width, params.base);
+}
+
+void FforEncode(const int32_t* in, uint32_t* out, const FforParams& params) {
+  FforPack(reinterpret_cast<const uint32_t*>(in), out, params.width,
+           static_cast<uint32_t>(params.base));
+}
+
+void FforDecode(const uint64_t* in, int64_t* out, const FforParams& params) {
+  FforUnpack(in, reinterpret_cast<uint64_t*>(out), params.width, params.base);
+}
+
+void FforDecode(const uint32_t* in, int32_t* out, const FforParams& params) {
+  FforUnpack(in, reinterpret_cast<uint32_t*>(out), params.width,
+             static_cast<uint32_t>(params.base));
+}
+
+void FforDecodeUnfused(const uint64_t* in, int64_t* out, uint64_t* scratch,
+                       const FforParams& params) {
+  Unpack(in, scratch, params.width);
+  const uint64_t base = params.base;
+  uint64_t* o = reinterpret_cast<uint64_t*>(out);
+  for (unsigned i = 0; i < kBlockSize; ++i) o[i] = scratch[i] + base;
+}
+
+}  // namespace alp::fastlanes

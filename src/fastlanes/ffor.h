@@ -1,0 +1,48 @@
+#ifndef ALP_FASTLANES_FFOR_H_
+#define ALP_FASTLANES_FFOR_H_
+
+#include <cstdint>
+
+#include "fastlanes/bitpack.h"
+
+/// \file ffor.h
+/// FFOR: Frame-Of-Reference fused with bit-packing, the integer encoding the
+/// ALP paper applies to its encoded decimals (Section 3.1, "Fused
+/// Frame-Of-Reference"). The frame base is the signed minimum of the block;
+/// the deltas (value - base) are non-negative and packed at the width of the
+/// largest delta. Encode and decode exist in *fused* form (subtract/add
+/// inside the packing kernel, saving a SIMD store+load) and *unfused* form
+/// (two separate passes), so the Figure 5 kernel-fusion experiment can
+/// compare the two.
+
+namespace alp::fastlanes {
+
+/// Frame parameters for one 1024-value block.
+struct FforParams {
+  uint64_t base = 0;   ///< Signed minimum of the block, as raw bits.
+  unsigned width = 0;  ///< Bits per packed delta (0..64).
+};
+
+/// Computes the frame base and packed width for \p n values (n >= 1).
+/// Only the first \p n values participate; callers padding a partial block
+/// must pad with an in-range value (e.g. the first value).
+FforParams FforAnalyze(const int64_t* in, unsigned n);
+FforParams FforAnalyze(const int32_t* in, unsigned n);
+
+/// Encodes a full 1024-value block with the fused subtract+pack kernel.
+/// \p out must hold PackedWords<uint64_t>(params.width) words.
+void FforEncode(const int64_t* in, uint64_t* out, const FforParams& params);
+void FforEncode(const int32_t* in, uint32_t* out, const FforParams& params);
+
+/// Decodes a full 1024-value block with the fused unpack+add kernel.
+void FforDecode(const uint64_t* in, int64_t* out, const FforParams& params);
+void FforDecode(const uint32_t* in, int32_t* out, const FforParams& params);
+
+/// Unfused decode: bit-unpack into \p scratch (1024 words), then add the
+/// base in a second pass. Exists only to quantify the benefit of fusion.
+void FforDecodeUnfused(const uint64_t* in, int64_t* out, uint64_t* scratch,
+                       const FforParams& params);
+
+}  // namespace alp::fastlanes
+
+#endif  // ALP_FASTLANES_FFOR_H_

@@ -1,0 +1,57 @@
+#include "fastlanes/rle.h"
+
+#include "util/bits.h"
+
+namespace alp::fastlanes {
+namespace {
+
+/// Bitwise equality: keeps NaN runs compressible and -0.0 distinct from 0.0.
+inline bool BitEqual(double a, double b) { return BitsOf(a) == BitsOf(b); }
+inline bool BitEqual(int64_t a, int64_t b) { return a == b; }
+
+template <typename T>
+RleColumns<T> EncodeImpl(const T* in, size_t n) {
+  RleColumns<T> rle;
+  if (n == 0) return rle;
+  T current = in[0];
+  uint32_t length = 1;
+  for (size_t i = 1; i < n; ++i) {
+    if (BitEqual(in[i], current) && length < UINT32_MAX) {
+      ++length;
+    } else {
+      rle.values.push_back(current);
+      rle.lengths.push_back(length);
+      current = in[i];
+      length = 1;
+    }
+  }
+  rle.values.push_back(current);
+  rle.lengths.push_back(length);
+  return rle;
+}
+
+template <typename T>
+void DecodeImpl(const RleColumns<T>& rle, T* out) {
+  size_t o = 0;
+  for (size_t r = 0; r < rle.values.size(); ++r) {
+    const T v = rle.values[r];
+    for (uint32_t i = 0; i < rle.lengths[r]; ++i) out[o++] = v;
+  }
+}
+
+}  // namespace
+
+RleColumns<double> RleEncode(const double* in, size_t n) { return EncodeImpl(in, n); }
+RleColumns<int64_t> RleEncode(const int64_t* in, size_t n) { return EncodeImpl(in, n); }
+
+void RleDecode(const RleColumns<double>& rle, double* out) { DecodeImpl(rle, out); }
+void RleDecode(const RleColumns<int64_t>& rle, int64_t* out) { DecodeImpl(rle, out); }
+
+double AverageRunLength(const double* in, size_t n) {
+  if (n == 0) return 0.0;
+  size_t runs = 1;
+  for (size_t i = 1; i < n; ++i) runs += !BitEqual(in[i], in[i - 1]);
+  return static_cast<double>(n) / static_cast<double>(runs);
+}
+
+}  // namespace alp::fastlanes

@@ -1,0 +1,46 @@
+#ifndef ALP_FASTLANES_RLE_H_
+#define ALP_FASTLANES_RLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file rle.h
+/// Run-Length Encoding, used by the LWC+ALP cascade (Table 4) on datasets
+/// dominated by consecutive repeats (e.g. the Gov/xx surrogates). Run values
+/// and run lengths are returned as separate columns so each can be further
+/// compressed independently (run values with ALP, lengths with FFOR), exactly
+/// the cascading structure the paper describes.
+
+namespace alp::fastlanes {
+
+/// One RLE view of a sequence: runs[i] repeats lengths[i] times.
+template <typename T>
+struct RleColumns {
+  std::vector<T> values;
+  std::vector<uint32_t> lengths;
+
+  /// Total number of logical values represented.
+  size_t LogicalSize() const {
+    size_t n = 0;
+    for (uint32_t l : lengths) n += l;
+    return n;
+  }
+};
+
+/// Encodes \p n values into runs. Equality is bitwise for floating-point
+/// types (so -0.0 and 0.0 stay distinct and NaNs compress).
+RleColumns<double> RleEncode(const double* in, size_t n);
+RleColumns<int64_t> RleEncode(const int64_t* in, size_t n);
+
+/// Expands runs back into \p out (must hold LogicalSize() values).
+void RleDecode(const RleColumns<double>& rle, double* out);
+void RleDecode(const RleColumns<int64_t>& rle, int64_t* out);
+
+/// Average run length of the first \p n values; the cascade uses this to
+/// decide whether RLE is worthwhile.
+double AverageRunLength(const double* in, size_t n);
+
+}  // namespace alp::fastlanes
+
+#endif  // ALP_FASTLANES_RLE_H_

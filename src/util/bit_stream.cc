@@ -1,0 +1,70 @@
+#include "util/bit_stream.h"
+
+#include "util/bits.h"
+
+namespace alp {
+
+void BitWriter::WriteBits(uint64_t value, unsigned nbits) {
+  assert(nbits <= 64);
+  if (nbits == 0) return;
+  value &= LowMask64(nbits);
+  bit_count_ += nbits;
+
+  // Fast path: fits in the pending word.
+  if (pending_bits_ + nbits <= 64) {
+    pending_ |= value << (64 - pending_bits_ - nbits);
+    pending_bits_ += nbits;
+  } else {
+    const unsigned head = 64 - pending_bits_;
+    pending_ |= value >> (nbits - head);
+    pending_bits_ = 64;
+    // Flush below, then stash the tail.
+    const unsigned tail = nbits - head;
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      bytes_.push_back(static_cast<uint8_t>(pending_ >> shift));
+    }
+    pending_ = tail ? (value << (64 - tail)) : 0;
+    pending_bits_ = tail;
+    return;
+  }
+
+  while (pending_bits_ >= 8) {
+    bytes_.push_back(static_cast<uint8_t>(pending_ >> 56));
+    pending_ <<= 8;
+    pending_bits_ -= 8;
+  }
+}
+
+void BitWriter::AlignToByte() {
+  const unsigned rem = bit_count_ % 8;
+  if (rem != 0) WriteBits(0, 8 - rem);
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  AlignToByte();
+  assert(pending_bits_ == 0);
+  return std::move(bytes_);
+}
+
+uint64_t BitReader::ReadBits(unsigned nbits) {
+  assert(nbits <= 64);
+  if (nbits == 0) return 0;
+  assert(pos_ + nbits <= size_bits_);
+  uint64_t result = 0;
+  unsigned remaining = nbits;
+  while (remaining > 0) {
+    const size_t byte_index = pos_ >> 3;
+    const unsigned bit_offset = pos_ & 7;          // Bits already consumed in byte.
+    const unsigned avail = 8 - bit_offset;         // Bits left in this byte.
+    const unsigned take = remaining < avail ? remaining : avail;
+    const uint8_t byte = data_[byte_index];
+    const uint8_t chunk =
+        static_cast<uint8_t>((byte >> (avail - take)) & LowMask64(take));
+    result = (result << take) | chunk;
+    pos_ += take;
+    remaining -= take;
+  }
+  return result;
+}
+
+}  // namespace alp

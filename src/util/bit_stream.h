@@ -1,0 +1,82 @@
+#ifndef ALP_UTIL_BIT_STREAM_H_
+#define ALP_UTIL_BIT_STREAM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+/// \file bit_stream.h
+/// MSB-first bit stream reader/writer. This is the serialization substrate
+/// for the XOR-family codecs (Gorilla, Chimp, Chimp128, Elf) which emit
+/// variable-length codes, and for the compact headers of the other formats.
+///
+/// Conventions:
+///  - bits are appended most-significant-first within each byte, matching
+///    the descriptions in the Gorilla and Chimp papers;
+///  - WriteBits(v, n) appends the n low bits of v, most significant of those
+///    n bits first;
+///  - the reader is bounds-checked in debug builds only (hot path).
+
+namespace alp {
+
+/// Append-only MSB-first bit writer backed by a growable byte buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Append the low \p nbits bits of \p value (0 <= nbits <= 64).
+  void WriteBits(uint64_t value, unsigned nbits);
+
+  /// Append a single bit.
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void AlignToByte();
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  /// Finish the stream (pads to a byte boundary) and return the buffer.
+  std::vector<uint8_t> Finish();
+
+  /// Read-only view of the bytes written so far (excluding a partial byte).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t pending_ = 0;    // Bits not yet flushed, left-aligned in 64 bits.
+  unsigned pending_bits_ = 0;
+  size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader over a caller-owned byte buffer.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size_bytes)
+      : data_(data), size_bits_(size_bytes * 8) {}
+
+  /// Read \p nbits bits (0 <= nbits <= 64) as the low bits of the result.
+  uint64_t ReadBits(unsigned nbits);
+
+  /// Read a single bit.
+  bool ReadBit() { return ReadBits(1) != 0; }
+
+  /// Skip forward without decoding.
+  void SkipBits(size_t nbits) { pos_ += nbits; }
+
+  /// Bits consumed so far.
+  size_t position() const { return pos_; }
+
+  /// Whether at least \p nbits remain.
+  bool HasBits(size_t nbits) const { return pos_ + nbits <= size_bits_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_bits_;
+  size_t pos_ = 0;
+};
+
+}  // namespace alp
+
+#endif  // ALP_UTIL_BIT_STREAM_H_

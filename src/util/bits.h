@@ -1,0 +1,78 @@
+#ifndef ALP_UTIL_BITS_H_
+#define ALP_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+/// \file bits.h
+/// Small bit-manipulation helpers shared by every subsystem: IEEE-754
+/// bit-casts and zero-safe leading/trailing-zero counts. All functions are
+/// branch-light and constexpr-friendly so they inline into the hot kernels.
+
+namespace alp {
+
+/// Reinterpret a double as its IEEE-754 bit pattern.
+inline uint64_t BitsOf(double v) { return std::bit_cast<uint64_t>(v); }
+/// Reinterpret a float as its IEEE-754 bit pattern.
+inline uint32_t BitsOf(float v) { return std::bit_cast<uint32_t>(v); }
+/// Reinterpret an IEEE-754 bit pattern as a double.
+inline double DoubleFromBits(uint64_t b) { return std::bit_cast<double>(b); }
+/// Reinterpret an IEEE-754 bit pattern as a float.
+inline float FloatFromBits(uint32_t b) { return std::bit_cast<float>(b); }
+
+/// Number of leading zero bits; defined as the full width for 0.
+inline int LeadingZeros(uint64_t v) { return v == 0 ? 64 : std::countl_zero(v); }
+inline int LeadingZeros(uint32_t v) { return v == 0 ? 32 : std::countl_zero(v); }
+
+/// Number of trailing zero bits; defined as the full width for 0.
+inline int TrailingZeros(uint64_t v) { return v == 0 ? 64 : std::countr_zero(v); }
+inline int TrailingZeros(uint32_t v) { return v == 0 ? 32 : std::countr_zero(v); }
+
+/// Minimum number of bits needed to represent \p v (0 needs 0 bits).
+inline unsigned BitWidth(uint64_t v) { return static_cast<unsigned>(std::bit_width(v)); }
+inline unsigned BitWidth(uint32_t v) { return static_cast<unsigned>(std::bit_width(v)); }
+
+/// Mask with the low \p w bits set; \p w may be the full word width.
+inline constexpr uint64_t LowMask64(unsigned w) {
+  return w >= 64 ? ~uint64_t{0} : ((uint64_t{1} << w) - 1);
+}
+inline constexpr uint32_t LowMask32(unsigned w) {
+  return w >= 32 ? ~uint32_t{0} : ((uint32_t{1} << w) - 1);
+}
+
+/// IEEE-754 layout constants for the two supported value types.
+template <typename T>
+struct IeeeTraits;
+
+template <>
+struct IeeeTraits<double> {
+  using Bits = uint64_t;
+  using Signed = int64_t;
+  static constexpr int kTotalBits = 64;
+  static constexpr int kMantissaBits = 52;
+  static constexpr int kExponentBits = 11;
+  static constexpr int kExponentBias = 1023;
+};
+
+template <>
+struct IeeeTraits<float> {
+  using Bits = uint32_t;
+  using Signed = int32_t;
+  static constexpr int kTotalBits = 32;
+  static constexpr int kMantissaBits = 23;
+  static constexpr int kExponentBits = 8;
+  static constexpr int kExponentBias = 127;
+};
+
+/// The biased IEEE-754 exponent field of \p v (0..2047 for double).
+inline unsigned BiasedExponent(double v) {
+  return static_cast<unsigned>((BitsOf(v) >> 52) & 0x7FF);
+}
+inline unsigned BiasedExponent(float v) {
+  return static_cast<unsigned>((BitsOf(v) >> 23) & 0xFF);
+}
+
+}  // namespace alp
+
+#endif  // ALP_UTIL_BITS_H_

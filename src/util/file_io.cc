@@ -1,0 +1,99 @@
+#include "util/file_io.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+namespace alp {
+namespace {
+
+bool EndsWith(const std::string& s, const char* suffix) {
+  const size_t len = std::strlen(suffix);
+  return s.size() >= len && s.compare(s.size() - len, len, suffix) == 0;
+}
+
+}  // namespace
+
+bool IsTextPath(const std::string& path) {
+  return EndsWith(path, ".csv") || EndsWith(path, ".txt");
+}
+
+std::optional<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(end));
+  const size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (got != bytes.size()) return std::nullopt;
+  return bytes;
+}
+
+bool WriteFileBytes(const std::string& path, const uint8_t* data, size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const size_t written = size == 0 ? 0 : std::fwrite(data, 1, size, f);
+  const bool ok = std::fclose(f) == 0 && written == size;
+  return ok;
+}
+
+std::optional<std::vector<double>> ReadDoublesFile(const std::string& path) {
+  const auto bytes = ReadFileBytes(path);
+  if (!bytes.has_value()) return std::nullopt;
+
+  std::vector<double> values;
+  if (!IsTextPath(path)) {
+    if (bytes->size() % sizeof(double) != 0) return std::nullopt;
+    values.resize(bytes->size() / sizeof(double));
+    std::memcpy(values.data(), bytes->data(), bytes->size());
+    return values;
+  }
+
+  // Text: one value per line; '#' comments and blank lines allowed.
+  const char* p = reinterpret_cast<const char*>(bytes->data());
+  const char* end = p + bytes->size();
+  while (p < end) {
+    const char* line_end = static_cast<const char*>(std::memchr(p, '\n', end - p));
+    if (line_end == nullptr) line_end = end;
+    // Trim leading whitespace.
+    const char* q = p;
+    while (q < line_end && (*q == ' ' || *q == '\t' || *q == '\r')) ++q;
+    if (q < line_end && *q != '#') {
+      double v = 0.0;
+      const auto result = std::from_chars(q, line_end, v);
+      if (result.ec != std::errc{}) return std::nullopt;
+      values.push_back(v);
+    }
+    p = line_end + 1;
+  }
+  return values;
+}
+
+bool WriteDoublesFile(const std::string& path, const double* data, size_t n) {
+  if (!IsTextPath(path)) {
+    return WriteFileBytes(path, reinterpret_cast<const uint8_t*>(data),
+                          n * sizeof(double));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  char buf[64];
+  for (size_t i = 0; i < n; ++i) {
+    const auto result = std::to_chars(buf, buf + sizeof(buf) - 1, data[i]);
+    *result.ptr = '\n';
+    if (std::fwrite(buf, 1, result.ptr - buf + 1, f) !=
+        static_cast<size_t>(result.ptr - buf + 1)) {
+      std::fclose(f);
+      return false;
+    }
+  }
+  return std::fclose(f) == 0;
+}
+
+}  // namespace alp

@@ -1,0 +1,35 @@
+#ifndef ALP_UTIL_FILE_IO_H_
+#define ALP_UTIL_FILE_IO_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file file_io.h
+/// Small file helpers used by the CLI tool and the examples: raw
+/// little-endian double files (".bin"), one-number-per-line text files
+/// (".csv"/".txt"), and opaque byte buffers for compressed columns.
+
+namespace alp {
+
+/// Reads a whole file; std::nullopt on failure.
+std::optional<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+/// Writes a whole file; false on failure.
+bool WriteFileBytes(const std::string& path, const uint8_t* data, size_t size);
+
+/// Reads doubles from \p path. ".csv"/".txt" parse one value per line
+/// (blank lines and lines starting with '#' are skipped); anything else is
+/// treated as raw host-endian binary doubles.
+std::optional<std::vector<double>> ReadDoublesFile(const std::string& path);
+
+/// Writes doubles to \p path, with the same format convention.
+bool WriteDoublesFile(const std::string& path, const double* data, size_t n);
+
+/// True if \p path ends in one of the text extensions.
+bool IsTextPath(const std::string& path);
+
+}  // namespace alp
+
+#endif  // ALP_UTIL_FILE_IO_H_

@@ -1,0 +1,129 @@
+#ifndef ALP_UTIL_SERIALIZE_H_
+#define ALP_UTIL_SERIALIZE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+/// \file serialize.h
+/// Tiny POD serialization helpers for the ALP column container format.
+/// Values are stored in host byte order (the format is an in-memory /
+/// same-machine format, like the paper's storage experiments); multi-byte
+/// sections are kept 8-byte aligned so decoders can read packed words
+/// directly from the buffer.
+
+namespace alp {
+
+/// Growable byte buffer with aligned appends and patchable slots.
+class ByteBuffer {
+ public:
+  /// Appends one trivially-copyable value.
+  template <typename T>
+  void Append(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t at = bytes_.size();
+    bytes_.resize(at + sizeof(T));
+    std::memcpy(bytes_.data() + at, &value, sizeof(T));
+  }
+
+  /// Appends \p count values from \p data.
+  template <typename T>
+  void AppendArray(const T* data, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t at = bytes_.size();
+    bytes_.resize(at + count * sizeof(T));
+    std::memcpy(bytes_.data() + at, data, count * sizeof(T));
+  }
+
+  /// Pads with zero bytes so the next append starts at a multiple of
+  /// \p alignment.
+  void AlignTo(size_t alignment) {
+    const size_t rem = bytes_.size() % alignment;
+    if (rem != 0) bytes_.resize(bytes_.size() + (alignment - rem), 0);
+  }
+
+  /// Reserves space for \p count values of T to be patched later; returns
+  /// the byte offset of the slot.
+  template <typename T>
+  size_t ReserveSlot(size_t count = 1) {
+    const size_t at = bytes_.size();
+    bytes_.resize(at + count * sizeof(T), 0);
+    return at;
+  }
+
+  /// Overwrites a previously reserved slot.
+  template <typename T>
+  void PatchAt(size_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    assert(offset + sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void PatchArrayAt(size_t offset, const T* data, size_t count) {
+    assert(offset + count * sizeof(T) <= bytes_.size());
+    std::memcpy(bytes_.data() + offset, data, count * sizeof(T));
+  }
+
+  size_t size() const { return bytes_.size(); }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Positioned reader over a caller-owned byte buffer.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Read() {
+    T value;
+    assert(pos_ + sizeof(T) <= size_);
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  void ReadArray(T* out, size_t count) {
+    assert(pos_ + count * sizeof(T) <= size_);
+    std::memcpy(out, data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+  }
+
+  /// Pointer to the current position without consuming; caller must ensure
+  /// alignment when casting.
+  const uint8_t* Here() const { return data_ + pos_; }
+
+  void Skip(size_t n) {
+    assert(pos_ + n <= size_);
+    pos_ += n;
+  }
+
+  void AlignTo(size_t alignment) {
+    const size_t rem = pos_ % alignment;
+    if (rem != 0) Skip(alignment - rem);
+  }
+
+  void SeekTo(size_t pos) {
+    assert(pos <= size_);
+    pos_ = pos;
+  }
+
+  size_t position() const { return pos_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace alp
+
+#endif  // ALP_UTIL_SERIALIZE_H_

@@ -1,0 +1,340 @@
+// Tests for the ALP per-vector encoder/decoder (Algorithms 1 and 2): the
+// fast rounding trick, exception detection and patching, bit-exact
+// round-trips on adversarial values, and the size estimator the sampler
+// relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "alp/encoder.h"
+#include "util/bits.h"
+
+namespace alp {
+namespace {
+
+std::vector<double> DecimalVector(int digits_before, int precision, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values(kVectorSize);
+  const double f10 = AlpTraits<double>::kF10[precision];
+  int64_t scale = 1;
+  for (int i = 0; i < digits_before; ++i) scale *= 10;
+  for (auto& v : values) {
+    const int64_t d = static_cast<int64_t>(rng() % (scale * static_cast<int64_t>(f10)));
+    v = static_cast<double>(d) / f10;
+  }
+  return values;
+}
+
+/// Encode + FFOR-free decode + patch, returning the reconstruction.
+std::vector<double> RoundTrip(const std::vector<double>& in, Combination c,
+                              uint16_t* exc_count = nullptr) {
+  EncodedVector<double> enc;
+  EncodeVector(in.data(), static_cast<unsigned>(in.size()), c, &enc);
+  std::vector<double> out(kVectorSize);
+  DecodeVector<double>(enc.encoded, c, out.data());
+  PatchExceptions(out.data(), enc.exceptions, enc.exc_positions, enc.exc_count);
+  out.resize(in.size());
+  if (exc_count != nullptr) *exc_count = enc.exc_count;
+  return out;
+}
+
+bool BitEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (BitsOf(a[i]) != BitsOf(b[i])) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Constants.
+// ---------------------------------------------------------------------------
+
+TEST(Constants, PowersOfTenAreExact) {
+  // Every F10 entry must be the exact integer power of ten (10^e has an
+  // exact double representation for e <= 22; we use e <= 18).
+  int64_t expected = 1;
+  for (int e = 0; e <= AlpTraits<double>::kMaxExponent; ++e) {
+    EXPECT_EQ(AlpTraits<double>::kF10[e], static_cast<double>(expected)) << e;
+    EXPECT_EQ(static_cast<int64_t>(AlpTraits<double>::kF10[e]), expected) << e;
+    if (e < AlpTraits<double>::kMaxExponent) expected *= 10;
+  }
+  int64_t expected_f = 1;  // 10^10 exceeds int32.
+  for (int e = 0; e <= AlpTraits<float>::kMaxExponent; ++e) {
+    EXPECT_EQ(AlpTraits<float>::kF10[e], static_cast<float>(expected_f)) << e;
+    if (e < AlpTraits<float>::kMaxExponent) expected_f = expected_f * 10;
+  }
+}
+
+TEST(Constants, InversePowersAreNearestDoubles) {
+  // iF10[e] must be the correctly-rounded double closest to 10^-e (what
+  // the literal produces); spot-check against division by the exact power.
+  for (int e = 0; e <= AlpTraits<double>::kMaxExponent; ++e) {
+    EXPECT_EQ(BitsOf(AlpTraits<double>::kIF10[e]),
+              BitsOf(1.0 / AlpTraits<double>::kF10[e]))
+        << e;
+  }
+}
+
+TEST(Constants, MagicNumbers) {
+  EXPECT_EQ(AlpTraits<double>::kMagic, 6755399441055744.0);  // 2^52 + 2^51.
+  EXPECT_EQ(AlpTraits<float>::kMagic, 12582912.0f);          // 2^23 + 2^22.
+  EXPECT_EQ(AlpTraits<double>::kMagicBias, int64_t{1} << 51);
+  EXPECT_EQ(AlpTraits<float>::kMagicBias, int32_t{1} << 22);
+}
+
+// ---------------------------------------------------------------------------
+// FastRound.
+// ---------------------------------------------------------------------------
+
+TEST(FastRound, MatchesRoundHalfToEvenInRange) {
+  EXPECT_EQ(FastRound(0.0), 0);
+  EXPECT_EQ(FastRound(1.4), 1);
+  EXPECT_EQ(FastRound(1.6), 2);
+  EXPECT_EQ(FastRound(-1.4), -1);
+  EXPECT_EQ(FastRound(-1.6), -2);
+  // Ties round to even (the addition's rounding mode).
+  EXPECT_EQ(FastRound(0.5), 0);
+  EXPECT_EQ(FastRound(1.5), 2);
+  EXPECT_EQ(FastRound(2.5), 2);
+  EXPECT_EQ(FastRound(-0.5), 0);
+  EXPECT_EQ(FastRound(-1.5), -2);
+}
+
+TEST(FastRound, LargeMagnitudesInsideRange) {
+  const int64_t big = (int64_t{1} << 50) + 12345;
+  EXPECT_EQ(FastRound(static_cast<double>(big)), big);
+  EXPECT_EQ(FastRound(static_cast<double>(-big)), -big);
+}
+
+TEST(FastRound, RandomIntegersPlusFractions) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t base =
+        static_cast<int64_t>(rng() % (uint64_t{1} << 48)) - (int64_t{1} << 47);
+    const double frac = 0.25 * static_cast<double>(rng() % 3);  // 0, .25, .5
+    const double v = static_cast<double>(base) + frac;
+    const int64_t expected = std::llrint(v);  // Round-half-even, like the trick.
+    ASSERT_EQ(FastRound(v), expected) << v;
+  }
+}
+
+TEST(FastRound, Float32Variant) {
+  EXPECT_EQ(FastRound(0.0f), 0);
+  EXPECT_EQ(FastRound(2.5f), 2);
+  EXPECT_EQ(FastRound(3.5f), 4);
+  EXPECT_EQ(FastRound(-1234.49f), -1234);
+}
+
+TEST(FastRound, OutOfRangeIsDeterministicNotUb) {
+  // Values beyond 2^51 produce a wrong but defined result; the encoder's
+  // verification turns these into exceptions.
+  const double huge = 1e300;
+  const int64_t r1 = FastRound(huge);
+  const int64_t r2 = FastRound(huge);
+  EXPECT_EQ(r1, r2);
+}
+
+// ---------------------------------------------------------------------------
+// EncodeVector / DecodeVector.
+// ---------------------------------------------------------------------------
+
+TEST(Encoder, PaperExampleRoundTrips) {
+  // The running example of Section 2.5/2.6: 8.0605 with e=14, f=10.
+  std::vector<double> in(kVectorSize, 8.0605);
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{14, 10}, &exc);
+  EXPECT_EQ(exc, 0);
+  EXPECT_TRUE(BitEqual(in, out));
+
+  // And the encoded integer is the paper's d = 80605.
+  EncodedVector<double> enc;
+  EncodeVector(in.data(), kVectorSize, Combination{14, 10}, &enc);
+  EXPECT_EQ(enc.encoded[0], 80605);
+}
+
+TEST(Encoder, PaperExampleFailsWithNaiveExponent) {
+  // Section 2.5 shows e=4 (the visible precision) cannot recover 8.0605.
+  std::vector<double> in(kVectorSize, 8.0605);
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{4, 0}, &exc);
+  EXPECT_EQ(exc, kVectorSize);  // All become exceptions...
+  EXPECT_TRUE(BitEqual(in, out));  // ...but patching still restores them.
+}
+
+TEST(Encoder, TwoDecimalPrices) {
+  auto in = DecimalVector(3, 2, 42);
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{14, 12}, &exc);
+  EXPECT_TRUE(BitEqual(in, out));
+  EXPECT_EQ(exc, 0);
+}
+
+TEST(Encoder, PartialVector) {
+  auto in = DecimalVector(2, 3, 7);
+  in.resize(100);
+  const auto out = RoundTrip(in, Combination{14, 11});
+  EXPECT_TRUE(BitEqual(in, out));
+}
+
+TEST(Encoder, SingleValueVector) {
+  std::vector<double> in = {12.75};
+  const auto out = RoundTrip(in, Combination{14, 12});
+  EXPECT_TRUE(BitEqual(in, out));
+}
+
+TEST(Encoder, SpecialValuesBecomeExceptionsAndRoundTrip) {
+  std::vector<double> in = DecimalVector(2, 2, 9);
+  in[0] = std::numeric_limits<double>::quiet_NaN();
+  in[1] = std::numeric_limits<double>::infinity();
+  in[2] = -std::numeric_limits<double>::infinity();
+  in[3] = -0.0;
+  in[4] = std::numeric_limits<double>::denorm_min();
+  in[5] = 1e300;
+  in[6] = DoubleFromBits(0x7FF800000000BEEFULL);  // NaN payload.
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{14, 12}, &exc);
+  EXPECT_GE(exc, 6);
+  EXPECT_TRUE(BitEqual(in, out));
+}
+
+TEST(Encoder, AllExceptionsVector) {
+  // Full-precision values: nothing encodes, everything patches.
+  std::mt19937_64 rng(13);
+  std::vector<double> in(kVectorSize);
+  for (auto& v : in) v = DoubleFromBits((rng() % (uint64_t{1} << 62)) | 0x3FF0000000000000ULL);
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{14, 0}, &exc);
+  EXPECT_TRUE(BitEqual(in, out));
+  EXPECT_GT(exc, kVectorSize / 2);
+}
+
+TEST(Encoder, ExceptionSlotsUseFirstEncodedValue) {
+  std::vector<double> in(kVectorSize, 1.25);
+  in[0] = std::numeric_limits<double>::quiet_NaN();  // Exception at front.
+  EncodedVector<double> enc;
+  EncodeVector(in.data(), kVectorSize, Combination{14, 12}, &enc);
+  ASSERT_EQ(enc.exc_count, 1);
+  EXPECT_EQ(enc.exc_positions[0], 0);
+  // The patched slot holds the first successfully encoded value (slot 1).
+  EXPECT_EQ(enc.encoded[0], enc.encoded[1]);
+}
+
+TEST(Encoder, NegativeValues) {
+  std::vector<double> in(kVectorSize);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    in[i] = -static_cast<double>(i) - 0.5;
+  }
+  const auto out = RoundTrip(in, Combination{14, 13});
+  EXPECT_TRUE(BitEqual(in, out));
+}
+
+TEST(Encoder, IntegersEncodeWithExponentZero) {
+  std::vector<double> in(kVectorSize);
+  for (unsigned i = 0; i < kVectorSize; ++i) in[i] = static_cast<double>(i * 3);
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{0, 0}, &exc);
+  EXPECT_EQ(exc, 0);
+  EXPECT_TRUE(BitEqual(in, out));
+}
+
+class EncoderCombinationTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(EncoderCombinationTest, RoundTripsOnMatchingPrecisionData) {
+  const int e = std::get<0>(GetParam());
+  const int f = std::get<1>(GetParam());
+  if (f > e) GTEST_SKIP();
+  const int precision = e - f;
+  if (precision > 15) GTEST_SKIP();
+  std::mt19937_64 rng(e * 100 + f);
+  std::vector<double> in(kVectorSize);
+  const double grid = AlpTraits<double>::kF10[precision];
+  for (auto& v : in) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % 1000000)) / grid;
+  }
+  uint16_t exc = 0;
+  const auto out = RoundTrip(in, Combination{static_cast<uint8_t>(e),
+                                             static_cast<uint8_t>(f)},
+                             &exc);
+  EXPECT_TRUE(BitEqual(in, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EncoderCombinationTest,
+                         ::testing::Combine(::testing::Values(0, 4, 8, 12, 14, 16, 18),
+                                            ::testing::Values(0, 2, 6, 10, 14, 18)));
+
+// ---------------------------------------------------------------------------
+// Fused decode path.
+// ---------------------------------------------------------------------------
+
+TEST(FusedDecode, MatchesUnfusedPath) {
+  auto in = DecimalVector(4, 2, 21);
+  EncodedVector<double> enc;
+  const Combination c{14, 12};
+  EncodeVector(in.data(), kVectorSize, c, &enc);
+  const auto ffor = fastlanes::FforAnalyze(enc.encoded, kVectorSize);
+  std::vector<uint64_t> packed(kVectorSize);
+  fastlanes::FforEncode(enc.encoded, packed.data(), ffor);
+
+  std::vector<double> fused(kVectorSize);
+  DecodeVectorFused<double>(packed.data(), ffor, c, fused.data());
+
+  std::vector<double> unfused(kVectorSize);
+  std::vector<int64_t> scratch(kVectorSize);
+  DecodeVectorUnfused(packed.data(), ffor, c, scratch.data(), unfused.data());
+
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    EXPECT_EQ(BitsOf(fused[i]), BitsOf(unfused[i]));
+  }
+}
+
+TEST(FusedDecode, FullPipelineBitExact) {
+  auto in = DecimalVector(5, 3, 33);
+  EncodedVector<double> enc;
+  const Combination c{14, 11};
+  EncodeVector(in.data(), kVectorSize, c, &enc);
+  const auto ffor = fastlanes::FforAnalyze(enc.encoded, kVectorSize);
+  std::vector<uint64_t> packed(kVectorSize);
+  fastlanes::FforEncode(enc.encoded, packed.data(), ffor);
+
+  std::vector<double> out(kVectorSize);
+  DecodeVectorFused<double>(packed.data(), ffor, c, out.data());
+  PatchExceptions(out.data(), enc.exceptions, enc.exc_positions, enc.exc_count);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(in[i])) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EstimateCompressedBits.
+// ---------------------------------------------------------------------------
+
+TEST(Estimate, PrefersCorrectCombination) {
+  auto in = DecimalVector(2, 2, 55);  // xx.yy prices.
+  // (14,12) encodes exactly (precision 2); (14,14) would round away digits.
+  const uint64_t good = EstimateCompressedBits(in.data(), 64, Combination{14, 12});
+  const uint64_t bad = EstimateCompressedBits(in.data(), 64, Combination{14, 14});
+  EXPECT_LT(good, bad);
+}
+
+TEST(Estimate, CountsExceptions) {
+  std::vector<double> in(64, std::numeric_limits<double>::quiet_NaN());
+  unsigned exc = 0;
+  const uint64_t bits = EstimateCompressedBits(in.data(), 64, Combination{14, 12}, &exc);
+  EXPECT_EQ(exc, 64u);
+  EXPECT_EQ(bits, 64u * AlpTraits<double>::kExceptionBits);
+}
+
+TEST(Estimate, ConstantVectorIsTiny) {
+  std::vector<double> in(64, 9.5);
+  const uint64_t bits = EstimateCompressedBits(in.data(), 64, Combination{14, 13});
+  EXPECT_EQ(bits, 0u);  // Width 0, no exceptions.
+}
+
+}  // namespace
+}  // namespace alp

@@ -1,0 +1,179 @@
+// Tests for ALP_rd (Section 3.4 / Algorithm 3): cut-position search, skewed
+// dictionary construction, exception handling and bit-exact glue decoding
+// on "real doubles".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "alp/rd.h"
+#include "util/bits.h"
+
+namespace alp {
+namespace {
+
+/// Full-mantissa-entropy doubles in a narrow range (POI-like).
+std::vector<double> RealDoubles(size_t n, uint64_t seed, double lo = 0.0,
+                                double hi = 1.2) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values(n);
+  for (auto& v : values) {
+    v = lo + (hi - lo) * (static_cast<double>(rng() >> 11) * 0x1.0p-53);
+  }
+  return values;
+}
+
+template <typename T>
+std::vector<T> RoundTripRd(const std::vector<T>& in, const RdParams<T>& params) {
+  RdEncodedVector<T> enc;
+  RdEncodeVector(in.data(), static_cast<unsigned>(in.size()), params, &enc);
+  std::vector<T> out(kVectorSize);
+  RdDecodeVector(enc, params, out.data());
+  out.resize(in.size());
+  return out;
+}
+
+TEST(RdAnalyze, PicksLeftBitsWithinLimit) {
+  const auto data = RealDoubles(kRowgroupSize, 1);
+  const RdParams<double> params = RdAnalyzeRowgroup(data.data(), data.size());
+  EXPECT_GE(params.right_bits, 64u - kRdMaxLeftBits);
+  EXPECT_LT(params.right_bits, 64u);
+  EXPECT_GE(params.dict_size, 1u);
+  EXPECT_LE(params.dict_size, kRdMaxDictSize);
+  EXPECT_LE(params.dict_width, kRdMaxDictWidth);
+}
+
+TEST(RdAnalyze, NarrowRangeNeedsTinyDictionary) {
+  // All values in [1.0, 1.0000001): sign+exponent+top mantissa bits are
+  // constant, so a 1-entry dictionary (0 code bits) should cover the left
+  // parts.
+  const auto data = RealDoubles(kRowgroupSize, 2, 1.0, 1.0000001);
+  const RdParams<double> params = RdAnalyzeRowgroup(data.data(), data.size());
+  EXPECT_LE(params.dict_width, 1u);
+  const double bits = RdEstimateBitsPerValue(data.data(), 1024, params);
+  EXPECT_LT(bits, 58.0);  // Beats raw 64 bits.
+}
+
+TEST(RdAnalyze, EstimateAccountsForExceptions) {
+  const auto data = RealDoubles(kRowgroupSize, 3);
+  RdParams<double> params = RdAnalyzeRowgroup(data.data(), data.size());
+  // Break the dictionary on purpose: estimate must rise.
+  RdParams<double> broken = params;
+  for (unsigned i = 0; i < broken.dict_size; ++i) broken.dict[i] = 0xFFFF;
+  EXPECT_GT(RdEstimateBitsPerValue(data.data(), 1024, broken),
+            RdEstimateBitsPerValue(data.data(), 1024, params));
+}
+
+TEST(RdEncode, BitExactRoundTrip) {
+  const auto all = RealDoubles(kRowgroupSize, 4);
+  const RdParams<double> params = RdAnalyzeRowgroup(all.data(), all.size());
+  const std::vector<double> in(all.begin(), all.begin() + kVectorSize);
+  const auto out = RoundTripRd(in, params);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(in[i])) << i;
+  }
+}
+
+TEST(RdEncode, ExceptionsAreRareOnCoherentData) {
+  const auto all = RealDoubles(kRowgroupSize, 5);
+  const RdParams<double> params = RdAnalyzeRowgroup(all.data(), all.size());
+  RdEncodedVector<double> enc;
+  RdEncodeVector(all.data(), kVectorSize, params, &enc);
+  // The dictionary was chosen for <= 10% exceptions on the sample.
+  EXPECT_LE(enc.exc_count, kVectorSize / 4);
+}
+
+TEST(RdEncode, ValuesOutsideDictionaryBecomeExceptions) {
+  const auto all = RealDoubles(kRowgroupSize, 6, 1.0, 1.001);
+  const RdParams<double> params = RdAnalyzeRowgroup(all.data(), all.size());
+  std::vector<double> in(all.begin(), all.begin() + kVectorSize);
+  in[17] = 1e300;   // Wildly different front bits.
+  in[901] = -2.5;
+  RdEncodedVector<double> enc;
+  RdEncodeVector(in.data(), kVectorSize, params, &enc);
+  EXPECT_GE(enc.exc_count, 2);
+  const auto out = RoundTripRd(in, params);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(in[i])) << i;
+  }
+}
+
+TEST(RdEncode, SpecialValuesRoundTrip) {
+  auto in = RealDoubles(kVectorSize, 7);
+  in[0] = std::numeric_limits<double>::quiet_NaN();
+  in[1] = std::numeric_limits<double>::infinity();
+  in[2] = -std::numeric_limits<double>::infinity();
+  in[3] = 0.0;
+  in[4] = -0.0;
+  in[5] = std::numeric_limits<double>::denorm_min();
+  const RdParams<double> params = RdAnalyzeRowgroup(in.data(), in.size());
+  const auto out = RoundTripRd(in, params);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(in[i])) << i;
+  }
+}
+
+TEST(RdEncode, PartialVector) {
+  const auto all = RealDoubles(kRowgroupSize, 8);
+  const RdParams<double> params = RdAnalyzeRowgroup(all.data(), all.size());
+  const std::vector<double> in(all.begin(), all.begin() + 100);
+  const auto out = RoundTripRd(in, params);
+  for (unsigned i = 0; i < 100; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(in[i]));
+  }
+}
+
+TEST(RdEncode, DictionaryProbeTakesFirstMatch) {
+  RdParams<double> params;
+  params.right_bits = 48;
+  params.dict_size = 4;
+  params.dict_width = 2;
+  params.dict[0] = 0x3FF0;
+  params.dict[1] = 0x3FF0;  // Duplicate entry: code 0 must win.
+  params.dict[2] = 0x4000;
+  params.dict[3] = 0x4010;
+  std::vector<double> in(1, DoubleFromBits(uint64_t{0x3FF0} << 48 | 0x1234));
+  RdEncodedVector<double> enc;
+  RdEncodeVector(in.data(), 1, params, &enc);
+  EXPECT_EQ(enc.left_codes[0], 0);
+  EXPECT_EQ(enc.exc_count, 0);
+}
+
+TEST(RdFloat, BitExactRoundTrip) {
+  std::mt19937_64 rng(9);
+  std::vector<float> in(kVectorSize);
+  for (auto& v : in) {
+    v = 0.01f * static_cast<float>(static_cast<double>(rng() >> 11) * 0x1.0p-53 - 0.5);
+  }
+  const RdParams<float> params = RdAnalyzeRowgroup(in.data(), in.size());
+  EXPECT_GE(params.right_bits, 32u - kRdMaxLeftBits);
+  RdEncodedVector<float> enc;
+  RdEncodeVector(in.data(), kVectorSize, params, &enc);
+  std::vector<float> out(kVectorSize);
+  RdDecodeVector(enc, params, out.data());
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(in[i])) << i;
+  }
+}
+
+TEST(RdFloat, MlWeightLikeDataCompresses) {
+  // Gaussian-ish floats: ALP_rd should land under 32 bits/value estimate
+  // (Table 7 reports ~28 bits).
+  std::mt19937_64 rng(10);
+  std::vector<float> in(kRowgroupSize);
+  for (auto& v : in) {
+    double u1 = std::max(static_cast<double>(rng() >> 11) * 0x1.0p-53, 1e-12);
+    double u2 = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+    v = static_cast<float>(0.02 * std::sqrt(-2 * std::log(u1)) *
+                           std::cos(6.283185307179586 * u2));
+  }
+  const RdParams<float> params = RdAnalyzeRowgroup(in.data(), in.size());
+  const double bits = RdEstimateBitsPerValue(in.data(), 4096, params);
+  EXPECT_LT(bits, 32.0);
+}
+
+}  // namespace
+}  // namespace alp

@@ -1,0 +1,178 @@
+// Tests for the two-level adaptive sampler (Section 3.2): full-search
+// reference, level-1 rowgroup analysis (combination ranking, scheme
+// decision) and level-2 per-vector selection with early exit.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "alp/encoder.h"
+#include "alp/sampler.h"
+#include "util/bits.h"
+
+namespace alp {
+namespace {
+
+std::vector<double> DecimalData(size_t n, int precision, int64_t max_d, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<double> values(n);
+  const double f10 = AlpTraits<double>::kF10[precision];
+  for (auto& v : values) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % max_d)) / f10;
+  }
+  return values;
+}
+
+TEST(FindBestCombination, RecoversPrecisionOfDecimalData) {
+  const auto data = DecimalData(kVectorSize, 2, 100000, 1);
+  const Combination best = FindBestCombination(data.data(), kVectorSize);
+  // Best combination must encode the 2-decimal grid: e - f == 2.
+  EXPECT_EQ(static_cast<int>(best.e) - static_cast<int>(best.f), 2);
+}
+
+TEST(FindBestCombination, IntegersPreferEqualExponentAndFactor) {
+  const auto data = DecimalData(kVectorSize, 0, 100000, 2);
+  const Combination best = FindBestCombination(data.data(), kVectorSize);
+  EXPECT_EQ(best.e, best.f);  // No decimals to shift.
+}
+
+TEST(FindBestCombination, ReportsEstimatedBits) {
+  const auto data = DecimalData(kVectorSize, 3, 1000000, 3);
+  uint64_t bits = UINT64_MAX;
+  FindBestCombination(data.data(), kVectorSize, &bits);
+  EXPECT_LT(bits, kVectorSize * 64u);  // Compresses below raw.
+  EXPECT_GT(bits, 0u);
+}
+
+TEST(AnalyzeRowgroup, SingleCombinationDataset) {
+  // Uniform 2-decimal data: every sampled vector agrees on the winner.
+  const auto data = DecimalData(kRowgroupSize, 2, 100000, 4);
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(data.data(), data.size());
+  EXPECT_EQ(analysis.scheme, Scheme::kAlp);
+  ASSERT_GE(analysis.combinations.size(), 1u);
+  EXPECT_LE(analysis.combinations.size(), 5u);
+}
+
+TEST(AnalyzeRowgroup, MixedPrecisionYieldsMultipleCombinations) {
+  std::vector<double> data;
+  data.reserve(kRowgroupSize);
+  // Mix vectors of 1-decimal and 5-decimal values. The period is coprime
+  // with the sampler's equidistant vector stride (100 / 8 = 12), so the
+  // level-1 sample sees both precisions.
+  for (unsigned v = 0; v < kRowgroupVectors; ++v) {
+    const int p = (v % 5 == 0) ? 1 : 5;
+    const auto vec = DecimalData(kVectorSize, p, 100000, 100 + v);
+    data.insert(data.end(), vec.begin(), vec.end());
+  }
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(data.data(), data.size());
+  EXPECT_EQ(analysis.scheme, Scheme::kAlp);
+  EXPECT_GE(analysis.combinations.size(), 2u);
+}
+
+TEST(AnalyzeRowgroup, RespectsMaxCombinations) {
+  std::vector<double> data;
+  for (unsigned v = 0; v < kRowgroupVectors; ++v) {
+    const int p = static_cast<int>(v % 8);
+    const auto vec = DecimalData(kVectorSize, p, 1000000, 200 + v);
+    data.insert(data.end(), vec.begin(), vec.end());
+  }
+  SamplerConfig config;
+  config.max_combinations = 3;
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(data.data(), data.size(), config);
+  EXPECT_LE(analysis.combinations.size(), 3u);
+}
+
+TEST(AnalyzeRowgroup, FullEntropyDataSwitchesToRd) {
+  std::mt19937_64 rng(5);
+  std::vector<double> data(kRowgroupSize);
+  for (auto& v : data) v = 0.5 + static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(data.data(), data.size());
+  EXPECT_EQ(analysis.scheme, Scheme::kAlpRd);
+}
+
+TEST(AnalyzeRowgroup, ThresholdZeroForcesRd) {
+  const auto data = DecimalData(kRowgroupSize, 2, 100000, 6);
+  SamplerConfig config;
+  config.rd_threshold_bits_per_value = 0;
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(data.data(), data.size(), config);
+  EXPECT_EQ(analysis.scheme, Scheme::kAlpRd);
+}
+
+TEST(AnalyzeRowgroup, EmptyAndTinyInputs) {
+  const RowgroupAnalysis empty = AnalyzeRowgroup<double>(nullptr, 0);
+  EXPECT_EQ(empty.scheme, Scheme::kAlp);
+  ASSERT_EQ(empty.combinations.size(), 1u);
+
+  const auto tiny = DecimalData(5, 2, 1000, 7);
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(tiny.data(), tiny.size());
+  EXPECT_EQ(analysis.scheme, Scheme::kAlp);
+  EXPECT_GE(analysis.combinations.size(), 1u);
+}
+
+TEST(ChooseForVector, SingleCandidateSkipsLevelTwo) {
+  const auto data = DecimalData(kVectorSize, 2, 100000, 8);
+  const std::vector<Combination> candidates = {{14, 12}};
+  SamplerStats stats;
+  const Combination chosen =
+      ChooseForVector(data.data(), kVectorSize, candidates, {}, &stats);
+  EXPECT_EQ(chosen, (Combination{14, 12}));
+  EXPECT_EQ(stats.vectors, 0u);
+  EXPECT_EQ(stats.vectors_skipped, 1u);
+  EXPECT_EQ(stats.combinations_tried, 0u);
+}
+
+TEST(ChooseForVector, PicksBetterOfTwoCandidates) {
+  const auto data = DecimalData(kVectorSize, 4, 1000000, 9);
+  // (14,10) preserves 4 decimals; (14,14) destroys them.
+  const std::vector<Combination> candidates = {{14, 14}, {14, 10}};
+  SamplerStats stats;
+  const Combination chosen =
+      ChooseForVector(data.data(), kVectorSize, candidates, {}, &stats);
+  EXPECT_EQ(chosen, (Combination{14, 10}));
+  EXPECT_EQ(stats.vectors, 1u);
+  EXPECT_EQ(stats.combinations_tried, 2u);
+}
+
+TEST(ChooseForVector, EarlyExitAfterTwoWorse) {
+  const auto data = DecimalData(kVectorSize, 1, 10000, 10);
+  // First candidate is perfect; the rest are all worse. The early-exit rule
+  // stops after two consecutive non-improvements.
+  const std::vector<Combination> candidates = {{14, 13}, {14, 14}, {4, 4}, {2, 2}, {0, 0}};
+  SamplerStats stats;
+  const Combination chosen =
+      ChooseForVector(data.data(), kVectorSize, candidates, {}, &stats);
+  EXPECT_EQ(chosen, (Combination{14, 13}));
+  EXPECT_LE(stats.combinations_tried, 3u);
+}
+
+TEST(ChooseForVector, HistogramBucketsMatchTried) {
+  const auto data = DecimalData(kVectorSize, 2, 100000, 11);
+  const std::vector<Combination> candidates = {{14, 12}, {14, 11}};
+  SamplerStats stats;
+  ChooseForVector(data.data(), kVectorSize, candidates, {}, &stats);
+  uint64_t total = 0;
+  for (uint64_t h : stats.tried_histogram) total += h;
+  EXPECT_EQ(total, stats.vectors);
+}
+
+TEST(ChooseForVector, ChosenCombinationEncodesLosslessly) {
+  const auto data = DecimalData(kVectorSize, 3, 1000000, 12);
+  const RowgroupAnalysis analysis = AnalyzeRowgroup(data.data(), data.size());
+  ASSERT_EQ(analysis.scheme, Scheme::kAlp);
+  const Combination c =
+      ChooseForVector(data.data(), kVectorSize, analysis.combinations);
+  EncodedVector<double> enc;
+  EncodeVector(data.data(), kVectorSize, c, &enc);
+  std::vector<double> out(kVectorSize);
+  DecodeVector<double>(enc.encoded, c, out.data());
+  PatchExceptions(out.data(), enc.exceptions, enc.exc_positions, enc.exc_count);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(out[i]), BitsOf(data[i]));
+  }
+  // And most values should encode without exceptions on decimal data.
+  EXPECT_LT(enc.exc_count, kVectorSize / 10);
+}
+
+}  // namespace
+}  // namespace alp

@@ -1,0 +1,154 @@
+// Tests for the Table 2 metric computation and the Figure 3 best-(e,f)
+// combination analysis.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "analysis/combinations.h"
+#include "analysis/metrics.h"
+#include "data/datasets.h"
+
+namespace alp::analysis {
+namespace {
+
+TEST(VisiblePrecision, KnownValues) {
+  EXPECT_EQ(VisiblePrecision(0.0), 0);
+  EXPECT_EQ(VisiblePrecision(42.0), 0);
+  EXPECT_EQ(VisiblePrecision(0.5), 1);
+  EXPECT_EQ(VisiblePrecision(8.0605), 4);
+  EXPECT_EQ(VisiblePrecision(-0.001), 3);
+  EXPECT_EQ(VisiblePrecision(123000.0), 0);
+  EXPECT_EQ(VisiblePrecision(1.25e-5), 7);   // 0.0000125
+  EXPECT_EQ(VisiblePrecision(1.5e8), 0);
+  EXPECT_EQ(VisiblePrecision(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(VisiblePrecision(std::numeric_limits<double>::infinity()), 0);
+}
+
+TEST(VisiblePrecision, FullPrecisionReals) {
+  // 1/3 has no short decimal representation: precision maxes out.
+  EXPECT_GE(VisiblePrecision(1.0 / 3.0), 15);
+}
+
+TEST(Metrics, EmptyInput) {
+  const DatasetMetrics m = ComputeMetrics(nullptr, 0);
+  EXPECT_EQ(m.precision_max, 0);
+}
+
+TEST(Metrics, TwoDecimalPrices) {
+  std::mt19937_64 rng(1);
+  std::vector<double> data(50000);
+  for (auto& v : data) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % 100000)) / 100.0;
+  }
+  const DatasetMetrics m = ComputeMetrics(data.data(), data.size());
+  EXPECT_LE(m.precision_max, 2);
+  EXPECT_GE(m.precision_avg, 1.0);
+  // The paper's key finding: a high exponent succeeds on ~100% of decimals.
+  EXPECT_GT(m.success_dataset, 0.99);
+  EXPECT_GE(m.best_dataset_exponent, 10);
+  // Per-vector never beats... is at least the dataset-level rate.
+  EXPECT_GE(m.success_per_vector, m.success_dataset - 1e-9);
+  // Visible-precision-based encoding is notably weaker (Table 2: C11 < C12).
+  EXPECT_LE(m.success_per_value, m.success_dataset + 1e-9);
+}
+
+TEST(Metrics, FullEntropyRealsFailDecimalEncoding) {
+  std::mt19937_64 rng(2);
+  std::vector<double> data(20000);
+  for (auto& v : data) v = static_cast<double>(rng() >> 11) * 0x1.0p-53;
+  const DatasetMetrics m = ComputeMetrics(data.data(), data.size());
+  EXPECT_LT(m.success_dataset, 0.9);
+  EXPECT_GE(m.precision_max, 15);
+}
+
+TEST(Metrics, DuplicatesRaiseNonUniqueFraction) {
+  std::vector<double> data(10240, 7.5);
+  const DatasetMetrics m = ComputeMetrics(data.data(), data.size());
+  EXPECT_NEAR(m.non_unique_fraction, 1.0 - 1.0 / 1024.0, 1e-9);
+  EXPECT_NEAR(m.value_avg, 7.5, 1e-9);
+  EXPECT_NEAR(m.value_std, 0.0, 1e-9);
+}
+
+TEST(Metrics, ExponentStatistics) {
+  std::vector<double> data(2048, 1.0);  // Biased exponent 1023.
+  const DatasetMetrics m = ComputeMetrics(data.data(), data.size());
+  EXPECT_NEAR(m.exponent_avg, 1023.0, 1e-9);
+  EXPECT_NEAR(m.exponent_std, 0.0, 1e-9);
+}
+
+TEST(Metrics, XorZeroBitsOnConstantData) {
+  std::vector<double> data(4096, 3.25);
+  const DatasetMetrics m = ComputeMetrics(data.data(), data.size());
+  EXPECT_NEAR(m.xor_leading_avg, 64.0, 1e-9);
+  EXPECT_NEAR(m.xor_trailing_avg, 64.0, 1e-9);
+}
+
+TEST(Metrics, XorZeroBitsOnAlternatingSign) {
+  std::vector<double> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  const DatasetMetrics m = ComputeMetrics(data.data(), data.size());
+  EXPECT_LT(m.xor_leading_avg, 1.0);  // Sign bit flips every step.
+}
+
+TEST(Metrics, SurrogateDatasetsReproduceTable2Shape) {
+  // The headline Table 2 claims, checked on the surrogates:
+  //  - City-Temp: precision 1, high per-vector success.
+  //  - POI-lat: very low decimal success.
+  const auto city = data::Generate(*data::FindDataset("City-Temp"), 100000);
+  const auto city_m = ComputeMetrics(city.data(), city.size());
+  EXPECT_GT(city_m.success_per_vector, 0.9);
+
+  const auto poi = data::Generate(*data::FindDataset("POI-lat"), 50000);
+  const auto poi_m = ComputeMetrics(poi.data(), poi.size());
+  EXPECT_LT(poi_m.success_per_vector, 0.9);
+  EXPECT_GT(city_m.success_per_vector, poi_m.success_per_vector);
+}
+
+TEST(Combinations, SinglePrecisionDataHasOneWinner) {
+  std::mt19937_64 rng(3);
+  std::vector<double> data(alp::kVectorSize * 20);
+  for (auto& v : data) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % 100000)) / 10.0;
+  }
+  const CombinationAnalysis a = AnalyzeBestCombinations(data.data(), data.size());
+  EXPECT_EQ(a.vectors, 20u);
+  ASSERT_GE(a.histogram.size(), 1u);
+  EXPECT_GT(a.CoverageOfTop(1), 0.9);
+  // The winner preserves one decimal: e - f == 1.
+  const auto& best = a.histogram.front().first;
+  EXPECT_EQ(static_cast<int>(best.e) - static_cast<int>(best.f), 1);
+}
+
+TEST(Combinations, MixedPrecisionNeedsMoreCombinations) {
+  std::mt19937_64 rng(4);
+  std::vector<double> data;
+  for (int block = 0; block < 20; ++block) {
+    const int p = block % 4;
+    const double f10 = std::pow(10.0, p);
+    for (unsigned i = 0; i < alp::kVectorSize; ++i) {
+      data.push_back(static_cast<double>(static_cast<int64_t>(rng() % 1000000)) / f10);
+    }
+  }
+  const CombinationAnalysis a = AnalyzeBestCombinations(data.data(), data.size());
+  EXPECT_GE(a.histogram.size(), 3u);
+  EXPECT_GT(a.CoverageOfTop(5), 0.99);  // Figure 3: top 5 suffice.
+}
+
+TEST(Combinations, CoverageIsMonotone) {
+  const auto data = data::Generate(*data::FindDataset("CMS/1"), alp::kVectorSize * 30);
+  const CombinationAnalysis a = AnalyzeBestCombinations(data.data(), data.size());
+  double prev = 0.0;
+  for (size_t k = 1; k <= 6; ++k) {
+    const double c = a.CoverageOfTop(k);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(a.CoverageOfTop(a.histogram.size()), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace alp::analysis

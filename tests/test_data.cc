@@ -1,0 +1,189 @@
+// Tests that the synthetic dataset surrogates actually exhibit the Table 2
+// properties they were parameterized with: determinism, decimal precision,
+// duplicate ratios, zero-heaviness, full-precision entropy, and that the ML
+// weight generator produces ALP_rd-shaped floats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "analysis/metrics.h"
+#include "data/datasets.h"
+#include "data/generator.h"
+#include "data/ml_weights.h"
+#include "util/bits.h"
+
+namespace alp::data {
+namespace {
+
+TEST(Datasets, ThirtyDatasetsInPaperOrder) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 30u);
+  EXPECT_EQ(all.front().name, "Air-Pressure");
+  EXPECT_EQ(all.back().name, "SD-bench");
+  size_t time_series = 0;
+  for (const auto& spec : all) time_series += spec.time_series;
+  EXPECT_EQ(time_series, 13u);  // Table 1: 13 time series datasets.
+}
+
+TEST(Datasets, FindByName) {
+  ASSERT_NE(FindDataset("City-Temp"), nullptr);
+  EXPECT_EQ(FindDataset("City-Temp")->precision, 1);
+  EXPECT_EQ(FindDataset("no-such-dataset"), nullptr);
+}
+
+TEST(Datasets, GenerationIsDeterministic) {
+  const auto* spec = FindDataset("Stocks-USA");
+  ASSERT_NE(spec, nullptr);
+  const auto a = Generate(*spec, 10000, 42);
+  const auto b = Generate(*spec, 10000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(BitsOf(a[i]), BitsOf(b[i]));
+  const auto c = Generate(*spec, 10000, 43);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= BitsOf(a[i]) != BitsOf(c[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Datasets, RequestedCountIsExact) {
+  const auto* spec = FindDataset("Gov/26");
+  for (size_t count : {size_t{0}, size_t{1}, size_t{1023}, size_t{100000}}) {
+    EXPECT_EQ(Generate(*spec, count).size(), count);
+  }
+}
+
+TEST(Datasets, DecimalPrecisionMatchesSpec) {
+  for (const char* name : {"City-Temp", "Dew-Temp", "Stocks-USA", "Btc-Price"}) {
+    const auto* spec = FindDataset(name);
+    ASSERT_NE(spec, nullptr);
+    const auto data = Generate(*spec, 50000);
+    const auto metrics = analysis::ComputeMetrics(data.data(), data.size());
+    EXPECT_LE(metrics.precision_max, spec->precision) << name;
+    EXPECT_GE(metrics.precision_avg, spec->precision - 1.0) << name;
+  }
+}
+
+TEST(Datasets, DuplicateFractionIsInTheRightBand) {
+  for (const char* name : {"PM10-dust", "Stocks-USA", "Wind-dir", "Arade/4"}) {
+    const auto* spec = FindDataset(name);
+    const auto data = Generate(*spec, 200000);
+    const auto metrics = analysis::ComputeMetrics(data.data(), data.size());
+    EXPECT_NEAR(metrics.non_unique_fraction, spec->duplicate_fraction, 0.15) << name;
+  }
+}
+
+TEST(Datasets, GovDatasetsAreZeroHeavy) {
+  for (const char* name : {"Gov/26", "Gov/40"}) {
+    const auto data = Generate(*FindDataset(name), 100000);
+    size_t zeros = 0;
+    for (double v : data) zeros += v == 0.0;
+    EXPECT_GT(static_cast<double>(zeros) / data.size(), 0.9) << name;
+  }
+}
+
+TEST(Datasets, PoiDataHasFullPrecisionMantissas) {
+  const auto data = Generate(*FindDataset("POI-lat"), 50000);
+  // Virtually no value should round-trip as a short decimal.
+  size_t decimalish = 0;
+  for (size_t i = 0; i < 1000; ++i) {
+    decimalish += analysis::VisiblePrecision(data[i]) <= 10;
+  }
+  EXPECT_LT(decimalish, 20u);
+  // And values stay in the latitude range.
+  for (double v : data) {
+    ASSERT_GE(v, -0.1);
+    ASSERT_LE(v, 1.3);
+  }
+}
+
+TEST(Datasets, NycLongitudeShape) {
+  const auto data = Generate(*FindDataset("NYC/29"), 50000);
+  for (size_t i = 0; i < data.size(); i += 500) {
+    ASSERT_LT(data[i], -73.8);
+    ASSERT_GT(data[i], -74.1);
+  }
+  const auto metrics = analysis::ComputeMetrics(data.data(), data.size());
+  EXPECT_GE(metrics.precision_max, 12);
+}
+
+TEST(Datasets, IntegerDatasetsHaveZeroPrecision) {
+  const auto data = Generate(*FindDataset("CMS/9"), 50000);
+  for (size_t i = 0; i < data.size(); i += 100) {
+    ASSERT_EQ(data[i], std::floor(data[i]));
+  }
+}
+
+TEST(Datasets, TimeSeriesAreLocallySmooth) {
+  const auto data = Generate(*FindDataset("Air-Pressure"), 50000);
+  const auto metrics = analysis::ComputeMetrics(data.data(), data.size());
+  // Table 2: Air-Pressure has tiny per-vector stddev (0.1) vs mean 93.4.
+  EXPECT_LT(metrics.value_std, 5.0);
+  EXPECT_NEAR(metrics.value_avg, 93.4, 10.0);
+}
+
+TEST(Datasets, GenerateAllCoversEverything) {
+  const auto all = GenerateAll(2048);
+  ASSERT_EQ(all.size(), 30u);
+  for (const auto& [spec, data] : all) {
+    EXPECT_EQ(data.size(), 2048u) << spec.name;
+  }
+}
+
+TEST(Rng, SplitMixIsStable) {
+  Rng rng(1);
+  const uint64_t first = rng.Next();
+  Rng rng2(1);
+  EXPECT_EQ(rng2.Next(), first);
+  // Uniform double in [0, 1).
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(MlWeights, FourModels) {
+  const auto& models = AllModels();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name, "Dino-Vitb16");
+  EXPECT_EQ(models[3].paper_param_count, 3000u);
+}
+
+TEST(MlWeights, WeightsLookTrained) {
+  const auto weights = GenerateWeights(AllModels()[1], 100000);
+  ASSERT_EQ(weights.size(), 100000u);
+  // Mostly small magnitudes, no NaN/inf, high mantissa entropy.
+  std::unordered_set<uint32_t> distinct;
+  size_t small = 0;
+  for (float w : weights) {
+    ASSERT_TRUE(std::isfinite(w));
+    small += std::fabs(w) < 1.5f;
+    distinct.insert(BitsOf(w));
+  }
+  EXPECT_GT(small, weights.size() * 95 / 100);
+  EXPECT_GT(distinct.size(), weights.size() / 2);  // Near-unique mantissas.
+}
+
+TEST(MlWeights, Deterministic) {
+  const auto a = GenerateWeights(AllModels()[0], 5000, 1);
+  const auto b = GenerateWeights(AllModels()[0], 5000, 1);
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(BitsOf(a[i]), BitsOf(b[i]));
+}
+
+}  // namespace
+}  // namespace alp::data

@@ -1,0 +1,394 @@
+// Tests for the FastLanes-style integer compression substrate: bit-packing
+// at every width (property sweep via parameterized tests), FFOR (fused and
+// unfused), Delta, RLE and Dictionary encodings.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "fastlanes/bitpack.h"
+#include "fastlanes/delta.h"
+#include "fastlanes/dict.h"
+#include "fastlanes/ffor.h"
+#include "fastlanes/rle.h"
+
+namespace alp::fastlanes {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bit-packing: parameterized sweep over all widths for both lane types.
+// ---------------------------------------------------------------------------
+
+class Pack64Test : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Pack64Test, RoundTripsRandomValues) {
+  const unsigned width = GetParam();
+  std::mt19937_64 rng(width * 7919 + 1);
+  std::vector<uint64_t> in(kBlockSize);
+  for (auto& v : in) v = rng() & LowMask64(width);
+
+  std::vector<uint64_t> packed(kBlockSize, 0xDEADDEADDEADDEADULL);
+  std::vector<uint64_t> out(kBlockSize, 1);
+  Pack(in.data(), packed.data(), width);
+  Unpack(packed.data(), out.data(), width);
+  EXPECT_EQ(in, out) << "width=" << width;
+}
+
+TEST_P(Pack64Test, RoundTripsExtremes) {
+  const unsigned width = GetParam();
+  std::vector<uint64_t> in(kBlockSize);
+  for (unsigned i = 0; i < kBlockSize; ++i) {
+    in[i] = (i % 2 == 0) ? 0 : LowMask64(width);
+  }
+  std::vector<uint64_t> packed(kBlockSize);
+  std::vector<uint64_t> out(kBlockSize);
+  Pack(in.data(), packed.data(), width);
+  Unpack(packed.data(), out.data(), width);
+  EXPECT_EQ(in, out);
+}
+
+TEST_P(Pack64Test, PackedSizeMatchesFormula) {
+  const unsigned width = GetParam();
+  EXPECT_EQ(PackedWords<uint64_t>(width), width * 16);
+  EXPECT_EQ(PackedBytes<uint64_t>(width), width * 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, Pack64Test, ::testing::Range(0u, 65u));
+
+class Pack32Test : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Pack32Test, RoundTripsRandomValues) {
+  const unsigned width = GetParam();
+  std::mt19937_64 rng(width * 104729 + 3);
+  std::vector<uint32_t> in(kBlockSize);
+  for (auto& v : in) v = static_cast<uint32_t>(rng()) & LowMask32(width);
+
+  std::vector<uint32_t> packed(kBlockSize, 0xAAAAAAAAu);
+  std::vector<uint32_t> out(kBlockSize, 1);
+  Pack(in.data(), packed.data(), width);
+  Unpack(packed.data(), out.data(), width);
+  EXPECT_EQ(in, out) << "width=" << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, Pack32Test, ::testing::Range(0u, 33u));
+
+TEST(Pack, InputAboveWidthIsMasked) {
+  std::vector<uint64_t> in(kBlockSize, 0xFFFFFFFFFFFFFFFFULL);
+  std::vector<uint64_t> packed(kBlockSize);
+  std::vector<uint64_t> out(kBlockSize);
+  Pack(in.data(), packed.data(), 3);
+  Unpack(packed.data(), out.data(), 3);
+  for (uint64_t v : out) EXPECT_EQ(v, 7u);
+}
+
+TEST(Pack, WidthZeroUnpacksZeros) {
+  std::vector<uint64_t> out(kBlockSize, 123);
+  Unpack(nullptr, out.data(), 0);
+  for (uint64_t v : out) EXPECT_EQ(v, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FFOR.
+// ---------------------------------------------------------------------------
+
+class FforWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FforWidthTest, RoundTripsAtTargetWidth) {
+  const unsigned width = GetParam();
+  std::mt19937_64 rng(width + 17);
+  const int64_t base = -123456789;
+  std::vector<int64_t> in(kBlockSize);
+  for (auto& v : in) {
+    v = base + static_cast<int64_t>(rng() & LowMask64(width));
+  }
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  EXPECT_LE(params.width, width);
+
+  std::vector<uint64_t> packed(kBlockSize);
+  FforEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  FforDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FforWidthTest, ::testing::Range(0u, 65u));
+
+class Ffor32WidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Ffor32WidthTest, RoundTripsAtTargetWidth) {
+  const unsigned width = GetParam();
+  std::mt19937_64 rng(width + 71);
+  const int32_t base = -98765;
+  std::vector<int32_t> in(kBlockSize);
+  for (auto& v : in) {
+    v = base + static_cast<int32_t>(rng() & LowMask32(width));
+  }
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  EXPECT_LE(params.width, width);
+  std::vector<uint32_t> packed(kBlockSize);
+  FforEncode(in.data(), packed.data(), params);
+  std::vector<int32_t> out(kBlockSize);
+  FforDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, Ffor32WidthTest, ::testing::Range(0u, 33u));
+
+class DeltaWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DeltaWidthTest, RoundTripsBoundedDeltas) {
+  const unsigned width = GetParam();
+  std::mt19937_64 rng(width + 31);
+  std::vector<int64_t> in(kBlockSize);
+  int64_t cur = -1234567;
+  // Deltas whose zig-zag encoding needs exactly <= `width` bits.
+  const uint64_t zz_bound = width == 0 ? 1 : (uint64_t{1} << width);
+  for (auto& v : in) {
+    cur += ZigZagDecode(rng() % zz_bound);
+    v = cur;
+  }
+  const DeltaParams params = DeltaAnalyze(in.data(), kBlockSize);
+  EXPECT_LE(params.width, width);
+  std::vector<uint64_t> packed(kBlockSize);
+  DeltaEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  DeltaDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, DeltaWidthTest, ::testing::Range(0u, 57u, 4u));
+
+TEST(Ffor, ConstantBlockPacksToZeroBits) {
+  std::vector<int64_t> in(kBlockSize, 42);
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  EXPECT_EQ(params.width, 0u);
+  EXPECT_EQ(static_cast<int64_t>(params.base), 42);
+  std::vector<uint64_t> packed(1);
+  FforEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  FforDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Ffor, NegativeRangeCrossingZero) {
+  std::vector<int64_t> in(kBlockSize);
+  for (unsigned i = 0; i < kBlockSize; ++i) in[i] = static_cast<int64_t>(i) - 512;
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  EXPECT_EQ(params.width, 10u);  // Range 1023.
+  std::vector<uint64_t> packed(kBlockSize);
+  FforEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  FforDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Ffor, FullInt64RangeNeeds64Bits) {
+  std::vector<int64_t> in(kBlockSize, 0);
+  in[0] = std::numeric_limits<int64_t>::min();
+  in[1] = std::numeric_limits<int64_t>::max();
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  EXPECT_EQ(params.width, 64u);
+  std::vector<uint64_t> packed(kBlockSize);
+  FforEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  FforDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Ffor, UnfusedDecodeMatchesFused) {
+  std::mt19937_64 rng(99);
+  std::vector<int64_t> in(kBlockSize);
+  for (auto& v : in) v = 1000000 + static_cast<int64_t>(rng() % 100000);
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  std::vector<uint64_t> packed(kBlockSize);
+  FforEncode(in.data(), packed.data(), params);
+
+  std::vector<int64_t> fused(kBlockSize);
+  FforDecode(packed.data(), fused.data(), params);
+  std::vector<int64_t> unfused(kBlockSize);
+  std::vector<uint64_t> scratch(kBlockSize);
+  FforDecodeUnfused(packed.data(), unfused.data(), scratch.data(), params);
+  EXPECT_EQ(fused, unfused);
+}
+
+TEST(Ffor, Int32RoundTrip) {
+  std::mt19937_64 rng(5);
+  std::vector<int32_t> in(kBlockSize);
+  for (auto& v : in) v = -5000 + static_cast<int32_t>(rng() % 10000);
+  const FforParams params = FforAnalyze(in.data(), kBlockSize);
+  std::vector<uint32_t> packed(kBlockSize);
+  FforEncode(in.data(), packed.data(), params);
+  std::vector<int32_t> out(kBlockSize);
+  FforDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Ffor, AnalyzeUsesOnlyFirstNValues) {
+  std::vector<int64_t> in(kBlockSize, 7);
+  in[100] = 1 << 20;  // Beyond the analyzed prefix.
+  const FforParams params = FforAnalyze(in.data(), 50);
+  EXPECT_EQ(params.width, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Delta.
+// ---------------------------------------------------------------------------
+
+TEST(ZigZag, RoundTripsAndOrdersByMagnitude) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  const int64_t values[] = {0, 1, -1, 123456, -123456,
+                            std::numeric_limits<int64_t>::max(),
+                            std::numeric_limits<int64_t>::min()};
+  for (int64_t v : values) EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+}
+
+TEST(Delta, MonotoneSequencePacksNarrow) {
+  std::vector<int64_t> in(kBlockSize);
+  for (unsigned i = 0; i < kBlockSize; ++i) in[i] = 1000 + 3 * static_cast<int64_t>(i);
+  const DeltaParams params = DeltaAnalyze(in.data(), kBlockSize);
+  EXPECT_LE(params.width, 4u);  // ZigZag(3) == 6 -> 3 bits.
+
+  std::vector<uint64_t> packed(kBlockSize);
+  DeltaEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  DeltaDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Delta, RandomWalkRoundTrips) {
+  std::mt19937_64 rng(11);
+  std::vector<int64_t> in(kBlockSize);
+  int64_t cur = -999;
+  for (auto& v : in) {
+    cur += static_cast<int64_t>(rng() % 2001) - 1000;
+    v = cur;
+  }
+  const DeltaParams params = DeltaAnalyze(in.data(), kBlockSize);
+  std::vector<uint64_t> packed(kBlockSize);
+  DeltaEncode(in.data(), packed.data(), params);
+  std::vector<int64_t> out(kBlockSize);
+  DeltaDecode(packed.data(), out.data(), params);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Delta, ConstantSequenceIsZeroBits) {
+  std::vector<int64_t> in(kBlockSize, -5);
+  const DeltaParams params = DeltaAnalyze(in.data(), kBlockSize);
+  EXPECT_EQ(params.width, 0u);
+  EXPECT_EQ(params.first, -5);
+}
+
+// ---------------------------------------------------------------------------
+// RLE.
+// ---------------------------------------------------------------------------
+
+TEST(Rle, BasicRuns) {
+  const double in[] = {1.5, 1.5, 1.5, 2.0, 2.0, 3.0};
+  const auto rle = RleEncode(in, 6);
+  ASSERT_EQ(rle.values.size(), 3u);
+  EXPECT_EQ(rle.values[0], 1.5);
+  EXPECT_EQ(rle.lengths[0], 3u);
+  EXPECT_EQ(rle.lengths[2], 1u);
+  EXPECT_EQ(rle.LogicalSize(), 6u);
+
+  double out[6];
+  RleDecode(rle, out);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(Rle, DistinguishesSignedZeros) {
+  const double in[] = {0.0, -0.0, 0.0};
+  const auto rle = RleEncode(in, 3);
+  EXPECT_EQ(rle.values.size(), 3u);
+  double out[3];
+  RleDecode(rle, out);
+  EXPECT_EQ(BitsOf(out[1]), BitsOf(-0.0));
+}
+
+TEST(Rle, NanRunsCompress) {
+  const double nan = DoubleFromBits(0x7FF8000000000001ULL);
+  const double in[] = {nan, nan, nan, nan};
+  const auto rle = RleEncode(in, 4);
+  EXPECT_EQ(rle.values.size(), 1u);
+  double out[4];
+  RleDecode(rle, out);
+  for (double v : out) EXPECT_EQ(BitsOf(v), BitsOf(nan));
+}
+
+TEST(Rle, EmptyInput) {
+  const auto rle = RleEncode(static_cast<const double*>(nullptr), 0);
+  EXPECT_TRUE(rle.values.empty());
+  EXPECT_EQ(rle.LogicalSize(), 0u);
+}
+
+TEST(Rle, AverageRunLength) {
+  const double in[] = {1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(AverageRunLength(in, 8), 4.0);
+  const double all_distinct[] = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(AverageRunLength(all_distinct, 3), 1.0);
+}
+
+TEST(Rle, Int64RoundTrip) {
+  std::vector<int64_t> in;
+  for (int r = 0; r < 50; ++r) {
+    for (int i = 0; i < r + 1; ++i) in.push_back(r * 100);
+  }
+  const auto rle = RleEncode(in.data(), in.size());
+  EXPECT_EQ(rle.values.size(), 50u);
+  std::vector<int64_t> out(in.size());
+  RleDecode(rle, out.data());
+  EXPECT_EQ(in, out);
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary.
+// ---------------------------------------------------------------------------
+
+TEST(Dict, BasicEncodeDecode) {
+  const double in[] = {1.5, 2.5, 1.5, 1.5, 3.5, 2.5};
+  const auto dict = DictEncode(in, 6, 16);
+  ASSERT_TRUE(dict.has_value());
+  EXPECT_EQ(dict->dictionary.size(), 3u);
+  EXPECT_EQ(dict->code_width(), 2u);
+  double out[6];
+  DictDecode(*dict, out);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], in[i]);
+}
+
+TEST(Dict, RejectsTooManyDistinct) {
+  std::vector<double> in(100);
+  for (int i = 0; i < 100; ++i) in[i] = i * 0.5;
+  EXPECT_FALSE(DictEncode(in.data(), in.size(), 50).has_value());
+}
+
+TEST(Dict, SingleValueCodeWidthZero) {
+  std::vector<double> in(10, 7.25);
+  const auto dict = DictEncode(in.data(), in.size(), 4);
+  ASSERT_TRUE(dict.has_value());
+  EXPECT_EQ(dict->code_width(), 0u);
+}
+
+TEST(Dict, SignedZerosAreDistinctKeys) {
+  const double in[] = {0.0, -0.0};
+  const auto dict = DictEncode(in, 2, 8);
+  ASSERT_TRUE(dict.has_value());
+  EXPECT_EQ(dict->dictionary.size(), 2u);
+  double out[2];
+  DictDecode(*dict, out);
+  EXPECT_EQ(BitsOf(out[0]), BitsOf(0.0));
+  EXPECT_EQ(BitsOf(out[1]), BitsOf(-0.0));
+}
+
+TEST(Dict, DuplicateFraction) {
+  const double in[] = {1.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(DuplicateFraction(in, 4), 0.5);
+  EXPECT_DOUBLE_EQ(DuplicateFraction(in, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace alp::fastlanes

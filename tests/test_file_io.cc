@@ -1,0 +1,134 @@
+// Tests for the file helpers used by the CLI: binary and text double
+// files, byte buffers, and failure paths.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/file_io.h"
+
+namespace alp {
+namespace {
+
+std::string TempPath(const char* suffix) {
+  static int counter = 0;
+  return testing::TempDir() + "/alp_file_io_" + std::to_string(counter++) + suffix;
+}
+
+TEST(FileIo, IsTextPath) {
+  EXPECT_TRUE(IsTextPath("data.csv"));
+  EXPECT_TRUE(IsTextPath("data.txt"));
+  EXPECT_FALSE(IsTextPath("data.bin"));
+  EXPECT_FALSE(IsTextPath("data.alp"));
+  EXPECT_FALSE(IsTextPath("csv"));
+}
+
+TEST(FileIo, BytesRoundTrip) {
+  const std::string path = TempPath(".alp");
+  std::vector<uint8_t> bytes(1000);
+  for (size_t i = 0; i < bytes.size(); ++i) bytes[i] = static_cast<uint8_t>(i * 7);
+  ASSERT_TRUE(WriteFileBytes(path, bytes.data(), bytes.size()));
+  const auto read = ReadFileBytes(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, EmptyBytes) {
+  const std::string path = TempPath(".alp");
+  ASSERT_TRUE(WriteFileBytes(path, nullptr, 0));
+  const auto read = ReadFileBytes(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, MissingFileFails) {
+  EXPECT_FALSE(ReadFileBytes("/nonexistent/path/file").has_value());
+  EXPECT_FALSE(ReadDoublesFile("/nonexistent/path/file").has_value());
+}
+
+TEST(FileIo, BinaryDoublesRoundTrip) {
+  const std::string path = TempPath(".bin");
+  std::mt19937_64 rng(1);
+  std::vector<double> values(5000);
+  for (auto& v : values) v = DoubleFromBits(rng());
+  ASSERT_TRUE(WriteDoublesFile(path, values.data(), values.size()));
+  const auto read = ReadDoublesFile(path);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(BitsOf((*read)[i]), BitsOf(values[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, BinaryWrongSizeRejected) {
+  const std::string path = TempPath(".bin");
+  const uint8_t bytes[13] = {};
+  ASSERT_TRUE(WriteFileBytes(path, bytes, sizeof(bytes)));
+  EXPECT_FALSE(ReadDoublesFile(path).has_value());  // Not a multiple of 8.
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, TextDoublesRoundTripExactly) {
+  // to_chars shortest form re-parses to the identical double.
+  const std::string path = TempPath(".csv");
+  std::mt19937_64 rng(2);
+  std::vector<double> values(2000);
+  for (auto& v : values) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % 1000000)) / 1000.0;
+  }
+  values[0] = 1.0 / 3.0;  // Full precision.
+  values[1] = -0.0;
+  values[2] = 1e-300;
+  ASSERT_TRUE(WriteDoublesFile(path, values.data(), values.size()));
+  const auto read = ReadDoublesFile(path);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(BitsOf((*read)[i]), BitsOf(values[i])) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, TextCommentsAndBlanksSkipped) {
+  const std::string path = TempPath(".csv");
+  const std::string content = "# header\n1.5\n\n  2.5\n# trailing\n3.5\n";
+  ASSERT_TRUE(WriteFileBytes(path, reinterpret_cast<const uint8_t*>(content.data()),
+                             content.size()));
+  const auto read = ReadDoublesFile(path);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), 3u);
+  EXPECT_EQ((*read)[0], 1.5);
+  EXPECT_EQ((*read)[2], 3.5);
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, TextGarbageRejected) {
+  const std::string path = TempPath(".csv");
+  const std::string content = "1.5\nnot-a-number\n2.5\n";
+  ASSERT_TRUE(WriteFileBytes(path, reinterpret_cast<const uint8_t*>(content.data()),
+                             content.size()));
+  EXPECT_FALSE(ReadDoublesFile(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, TextFileWithoutTrailingNewline) {
+  const std::string path = TempPath(".txt");
+  const std::string content = "7.25\n8.5";
+  ASSERT_TRUE(WriteFileBytes(path, reinterpret_cast<const uint8_t*>(content.data()),
+                             content.size()));
+  const auto read = ReadDoublesFile(path);
+  ASSERT_TRUE(read.has_value());
+  ASSERT_EQ(read->size(), 2u);
+  EXPECT_EQ((*read)[1], 8.5);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace alp

@@ -1,0 +1,112 @@
+// Tests that the three Figure 4 decode-kernel flavours (auto-vectorized,
+// forced-scalar, explicit SIMD) produce bit-identical output.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "alp/decode_kernels.h"
+#include "alp/encoder.h"
+#include "util/bits.h"
+
+namespace alp {
+namespace {
+
+class KernelEquivalenceTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelEquivalenceTest, AllFlavoursAgree) {
+  const unsigned precision = GetParam() % 8;
+  std::mt19937_64 rng(GetParam() * 31 + 1);
+  std::vector<double> in(kVectorSize);
+  const double f10 = AlpTraits<double>::kF10[precision];
+  for (auto& v : in) {
+    v = static_cast<double>(static_cast<int64_t>(rng() % (1ull << (GetParam() + 8)))) / f10;
+  }
+
+  const Combination c{static_cast<uint8_t>(14),
+                      static_cast<uint8_t>(14 - precision)};
+  EncodedVector<double> enc;
+  EncodeVector(in.data(), kVectorSize, c, &enc);
+  const auto ffor = fastlanes::FforAnalyze(enc.encoded, kVectorSize);
+  std::vector<uint64_t> packed(kVectorSize);
+  fastlanes::FforEncode(enc.encoded, packed.data(), ffor);
+
+  std::vector<double> autovec(kVectorSize);
+  DecodeVectorFused<double>(packed.data(), ffor, c, autovec.data());
+  std::vector<double> scalar_out(kVectorSize);
+  scalar::DecodeAlpFused(packed.data(), ffor, c, scalar_out.data());
+  std::vector<double> simd_out(kVectorSize);
+  simd::DecodeAlpFused(packed.data(), ffor, c, simd_out.data());
+
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(autovec[i]), BitsOf(scalar_out[i])) << i;
+    ASSERT_EQ(BitsOf(autovec[i]), BitsOf(simd_out[i])) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WidthSweep, KernelEquivalenceTest, ::testing::Range(0u, 40u, 3u));
+
+class KernelWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KernelWidthTest, AllFlavoursAgreeAtExactWidth) {
+  // Drive the dispatch table at one exact FFOR width per case.
+  const unsigned width = GetParam();
+  std::mt19937_64 rng(width + 5);
+  int64_t encoded[kVectorSize];
+  for (auto& v : encoded) {
+    v = width == 0 ? 0 : static_cast<int64_t>(rng() & LowMask64(width));
+  }
+  if (width > 0) {
+    encoded[0] = 0;
+    encoded[1] = static_cast<int64_t>(LowMask64(width));  // Pin the width.
+  }
+  const auto ffor = fastlanes::FforAnalyze(encoded, kVectorSize);
+  ASSERT_EQ(ffor.width, width);
+  std::vector<uint64_t> packed(kVectorSize);
+  fastlanes::FforEncode(encoded, packed.data(), ffor);
+
+  const Combination c{14, 12};
+  std::vector<double> a(kVectorSize), b(kVectorSize), s(kVectorSize);
+  DecodeVectorFused<double>(packed.data(), ffor, c, a.data());
+  scalar::DecodeAlpFused(packed.data(), ffor, c, b.data());
+  simd::DecodeAlpFused(packed.data(), ffor, c, s.data());
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(a[i]), BitsOf(b[i])) << width << ":" << i;
+    ASSERT_EQ(BitsOf(a[i]), BitsOf(s[i])) << width << ":" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ExactWidths, KernelWidthTest, ::testing::Range(0u, 53u));
+
+TEST(Kernels, SimdAvailabilityIsReported) {
+  // Just exercise the query; either answer is valid depending on the host.
+  (void)simd::Available();
+  SUCCEED();
+}
+
+TEST(Kernels, NegativeBaseHandled) {
+  std::vector<double> in(kVectorSize);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    in[i] = -500.0 + static_cast<double>(i) * 0.25;
+  }
+  const Combination c{14, 12};
+  EncodedVector<double> enc;
+  EncodeVector(in.data(), kVectorSize, c, &enc);
+  const auto ffor = fastlanes::FforAnalyze(enc.encoded, kVectorSize);
+  std::vector<uint64_t> packed(kVectorSize);
+  fastlanes::FforEncode(enc.encoded, packed.data(), ffor);
+
+  std::vector<double> a(kVectorSize), b(kVectorSize), s(kVectorSize);
+  DecodeVectorFused<double>(packed.data(), ffor, c, a.data());
+  scalar::DecodeAlpFused(packed.data(), ffor, c, b.data());
+  simd::DecodeAlpFused(packed.data(), ffor, c, s.data());
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    ASSERT_EQ(BitsOf(a[i]), BitsOf(in[i]));
+    ASSERT_EQ(BitsOf(b[i]), BitsOf(in[i]));
+    ASSERT_EQ(BitsOf(s[i]), BitsOf(in[i]));
+  }
+}
+
+}  // namespace
+}  // namespace alp

@@ -1,0 +1,226 @@
+// alp — command-line front end for the ALP column format.
+//
+//   alp compress   <in.bin|in.csv> <out.alp>     compress doubles
+//   alp decompress <in.alp> <out.bin|out.csv>    restore doubles
+//   alp inspect    <in.alp>                      header, schemes, ratios
+//   alp verify     <in.alp> <original>           bit-exactness check
+//   alp bench      <in.bin|in.csv>               compare all schemes on a file
+//   alp gen        <dataset> <count> <out>       emit a surrogate dataset
+//   alp datasets                                 list surrogate names
+//
+// Binary files are raw host-endian float64; ".csv"/".txt" files hold one
+// value per line.
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "alp/alp.h"
+#include "codecs/codec.h"
+#include "data/datasets.h"
+#include "util/cycle_clock.h"
+#include "util/file_io.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  alp compress   <in.bin|in.csv> <out.alp>\n"
+               "  alp decompress <in.alp> <out.bin|out.csv>\n"
+               "  alp inspect    <in.alp>\n"
+               "  alp verify     <in.alp> <original.bin|original.csv>\n"
+               "  alp bench      <in.bin|in.csv>\n"
+               "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
+               "  alp datasets\n");
+  return 2;
+}
+
+int Fail(const char* message, const std::string& detail = "") {
+  std::fprintf(stderr, "error: %s%s%s\n", message, detail.empty() ? "" : ": ",
+               detail.c_str());
+  return 1;
+}
+
+int CmdCompress(const std::string& in_path, const std::string& out_path) {
+  const auto values = alp::ReadDoublesFile(in_path);
+  if (!values.has_value()) return Fail("cannot read input", in_path);
+
+  alp::CompressionInfo info;
+  const uint64_t t0 = alp::CycleNow();
+  const auto buffer = alp::CompressColumn(values->data(), values->size(), {}, &info);
+  const uint64_t cycles = alp::CycleNow() - t0;
+
+  if (!alp::WriteFileBytes(out_path, buffer.data(), buffer.size())) {
+    return Fail("cannot write output", out_path);
+  }
+  std::printf("%zu values -> %zu bytes (%.2f bits/value, %.2fx)\n", values->size(),
+              buffer.size(), alp::BitsPerValue<double>(buffer, values->size()),
+              values->size() * 8.0 / buffer.size());
+  std::printf("rowgroups: %zu (%zu ALP_rd) | exceptions/vector: %.2f | "
+              "%.3f tuples/cycle\n",
+              info.rowgroups, info.rowgroups_rd, info.ExceptionsPerVector(),
+              cycles == 0 ? 0.0 : static_cast<double>(values->size()) / cycles);
+  return 0;
+}
+
+int CmdDecompress(const std::string& in_path, const std::string& out_path) {
+  const auto buffer = alp::ReadFileBytes(in_path);
+  if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  std::string reason;
+  if (!alp::ValidateColumn<double>(buffer->data(), buffer->size(), &reason)) {
+    return Fail("not a valid ALP column", reason);
+  }
+  alp::ColumnReader<double> reader(buffer->data(), buffer->size());
+  std::vector<double> values(reader.value_count());
+  const uint64_t t0 = alp::CycleNow();
+  reader.DecodeAll(values.data());
+  const uint64_t cycles = alp::CycleNow() - t0;
+  if (!alp::WriteDoublesFile(out_path, values.data(), values.size())) {
+    return Fail("cannot write output", out_path);
+  }
+  std::printf("%zu values restored (%.3f tuples/cycle)\n", values.size(),
+              cycles == 0 ? 0.0 : static_cast<double>(values.size()) / cycles);
+  return 0;
+}
+
+int CmdInspect(const std::string& in_path) {
+  const auto buffer = alp::ReadFileBytes(in_path);
+  if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  std::string reason;
+  if (!alp::ValidateColumn<double>(buffer->data(), buffer->size(), &reason)) {
+    return Fail("not a valid ALP column", reason);
+  }
+  alp::ColumnReader<double> reader(buffer->data(), buffer->size());
+
+  std::printf("file:        %s (%zu bytes)\n", in_path.c_str(), buffer->size());
+  std::printf("values:      %zu\n", reader.value_count());
+  std::printf("vectors:     %zu\n", reader.vector_count());
+  std::printf("bits/value:  %.2f\n",
+              alp::BitsPerValue<double>(*buffer, reader.value_count()));
+
+  size_t rd_vectors = 0;
+  double global_min = std::numeric_limits<double>::infinity();
+  double global_max = -global_min;
+  for (size_t v = 0; v < reader.vector_count(); ++v) {
+    rd_vectors += reader.VectorScheme(v) == alp::Scheme::kAlpRd;
+    global_min = std::min(global_min, reader.Stats(v).min);
+    global_max = std::max(global_max, reader.Stats(v).max);
+  }
+  std::printf("schemes:     %zu ALP vectors, %zu ALP_rd vectors\n",
+              reader.vector_count() - rd_vectors, rd_vectors);
+  if (reader.vector_count() > 0) {
+    std::printf("value range: [%g, %g]\n", global_min, global_max);
+  }
+  return 0;
+}
+
+int CmdVerify(const std::string& alp_path, const std::string& original_path) {
+  const auto buffer = alp::ReadFileBytes(alp_path);
+  if (!buffer.has_value()) return Fail("cannot read input", alp_path);
+  const auto original = alp::ReadDoublesFile(original_path);
+  if (!original.has_value()) return Fail("cannot read original", original_path);
+  std::string reason;
+  if (!alp::ValidateColumn<double>(buffer->data(), buffer->size(), &reason)) {
+    return Fail("not a valid ALP column", reason);
+  }
+  alp::ColumnReader<double> reader(buffer->data(), buffer->size());
+  if (reader.value_count() != original->size()) {
+    return Fail("value counts differ");
+  }
+  std::vector<double> restored(reader.value_count());
+  reader.DecodeAll(restored.data());
+  for (size_t i = 0; i < restored.size(); ++i) {
+    if (alp::BitsOf(restored[i]) != alp::BitsOf((*original)[i])) {
+      std::fprintf(stderr, "MISMATCH at row %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("OK: %zu values bit-identical\n", restored.size());
+  return 0;
+}
+
+int CmdBench(const std::string& in_path) {
+  const auto values = alp::ReadDoublesFile(in_path);
+  if (!values.has_value()) return Fail("cannot read input", in_path);
+  if (values->empty()) return Fail("no values in input");
+  const size_t n = values->size();
+
+  std::printf("%zu values from %s\n\n", n, in_path.c_str());
+  std::printf("%-10s %12s %14s %14s\n", "scheme", "bits/value", "comp t/c",
+              "dec t/c");
+  std::printf("----------------------------------------------------\n");
+
+  const auto report = [&](const char* name, size_t compressed_bytes,
+                          uint64_t comp_cycles, uint64_t dec_cycles) {
+    std::printf("%-10s %12.2f %14.3f %14.3f\n", name,
+                compressed_bytes * 8.0 / n,
+                comp_cycles == 0 ? 0.0 : static_cast<double>(n) / comp_cycles,
+                dec_cycles == 0 ? 0.0 : static_cast<double>(n) / dec_cycles);
+  };
+
+  // ALP via the column format.
+  {
+    const uint64_t t0 = alp::CycleNow();
+    const auto buffer = alp::CompressColumn(values->data(), n);
+    const uint64_t t1 = alp::CycleNow();
+    std::vector<double> out(n);
+    alp::DecompressColumn(buffer, out.data());
+    const uint64_t t2 = alp::CycleNow();
+    report("ALP", buffer.size(), t1 - t0, t2 - t1);
+  }
+
+  for (const auto& codec : alp::codecs::AllDoubleCodecs()) {
+    if (codec->name() == "ALP") continue;
+    const uint64_t t0 = alp::CycleNow();
+    const auto buffer = codec->Compress(values->data(), n);
+    const uint64_t t1 = alp::CycleNow();
+    std::vector<double> out(n);
+    codec->Decompress(buffer.data(), buffer.size(), n, out.data());
+    const uint64_t t2 = alp::CycleNow();
+    report(std::string(codec->name()).c_str(), buffer.size(), t1 - t0, t2 - t1);
+  }
+  return 0;
+}
+
+int CmdGen(const std::string& name, const std::string& count_str,
+           const std::string& out_path) {
+  const auto* spec = alp::data::FindDataset(name);
+  if (spec == nullptr) return Fail("unknown dataset (try `alp datasets`)", name);
+  const long long count = std::atoll(count_str.c_str());
+  if (count <= 0) return Fail("bad count", count_str);
+  const auto values = alp::data::Generate(*spec, static_cast<size_t>(count));
+  if (!alp::WriteDoublesFile(out_path, values.data(), values.size())) {
+    return Fail("cannot write output", out_path);
+  }
+  std::printf("%lld values of %s written to %s\n", count, name.c_str(),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdDatasets() {
+  for (const auto& spec : alp::data::AllDatasets()) {
+    std::printf("%-14s %s, ~%" PRIu64 " values in the paper\n",
+                std::string(spec.name).c_str(),
+                spec.time_series ? "time series" : "non-time series",
+                spec.paper_value_count);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "compress" && argc == 4) return CmdCompress(argv[2], argv[3]);
+  if (command == "decompress" && argc == 4) return CmdDecompress(argv[2], argv[3]);
+  if (command == "inspect" && argc == 3) return CmdInspect(argv[2]);
+  if (command == "verify" && argc == 4) return CmdVerify(argv[2], argv[3]);
+  if (command == "bench" && argc == 3) return CmdBench(argv[2]);
+  if (command == "gen" && argc == 5) return CmdGen(argv[2], argv[3], argv[4]);
+  if (command == "datasets" && argc == 2) return CmdDatasets();
+  return Usage();
+}
