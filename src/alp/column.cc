@@ -1,6 +1,7 @@
 #include "alp/column.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstring>
 
@@ -8,13 +9,17 @@
 #include "fastlanes/bitpack.h"
 #include "fastlanes/delta.h"
 #include "fastlanes/ffor.h"
+#include "util/checksum.h"
 #include "util/serialize.h"
 
 namespace alp {
 namespace {
 
 constexpr uint32_t kMagic = 0x43504C41;  // "ALPC"
-constexpr uint8_t kVersion = 2;  // v2 added the per-vector zone map section.
+// v2 added the per-vector zone map section; v3 added XXH64 checksums over
+// the header/index region and each rowgroup payload.
+constexpr uint8_t kVersion = kColumnFormatVersion;
+constexpr uint8_t kMinVersion = kColumnFormatMinVersion;
 
 template <typename T>
 constexpr uint8_t TypeTag() {
@@ -62,6 +67,31 @@ struct AlpVectorHeader {
 constexpr uint8_t kIntFfor = 0;
 constexpr uint8_t kIntDelta = 1;
 static_assert(sizeof(AlpVectorHeader) == 16);
+
+/// Byte offsets of the index sections that sit between the column header
+/// and the first rowgroup. Every section is a multiple of 8 bytes, so the
+/// payload start needs no extra alignment. v2 buffers have no checksum
+/// sections (checksums_at == stats_at, header_checksum_at == payload_begin).
+struct IndexLayout {
+  size_t offsets_at = 0;          ///< Rowgroup offset index (u64 each).
+  size_t checksums_at = 0;        ///< v3: rowgroup payload checksums.
+  size_t stats_at = 0;            ///< Zone map entries.
+  size_t header_checksum_at = 0;  ///< v3: XXH64 of bytes [0, here).
+  size_t payload_begin = 0;       ///< First rowgroup byte.
+};
+
+IndexLayout ComputeIndexLayout(uint8_t version, uint32_t rowgroup_count,
+                               size_t total_vectors) {
+  const bool v3 = version >= 3;
+  const size_t offsets_bytes = size_t{rowgroup_count} * sizeof(uint64_t);
+  IndexLayout layout;
+  layout.offsets_at = sizeof(ColumnHeader);
+  layout.checksums_at = layout.offsets_at + offsets_bytes;
+  layout.stats_at = layout.checksums_at + (v3 ? offsets_bytes : 0);
+  layout.header_checksum_at = layout.stats_at + total_vectors * sizeof(VectorStats);
+  layout.payload_begin = layout.header_checksum_at + (v3 ? sizeof(uint64_t) : 0);
+  return layout;
+}
 
 struct RdVectorHeader {
   uint16_t exc_count;
@@ -229,7 +259,9 @@ std::vector<uint8_t> AssembleColumn(uint64_t value_count,
   header.rowgroup_count = static_cast<uint32_t>(std::max<size_t>(segments.size(), 1));
   out.Append(header);
   const size_t rg_offsets_slot = out.ReserveSlot<uint64_t>(header.rowgroup_count);
+  const size_t rg_checksums_slot = out.ReserveSlot<uint64_t>(header.rowgroup_count);
   const size_t stats_slot = out.ReserveSlot<VectorStats>(stats.size());
+  const size_t header_checksum_slot = out.ReserveSlot<uint64_t>();
   out.AlignTo(8);
 
   std::vector<uint64_t> rg_offsets(header.rowgroup_count, out.size());
@@ -240,6 +272,21 @@ std::vector<uint8_t> AssembleColumn(uint64_t value_count,
   }
   out.PatchArrayAt(rg_offsets_slot, rg_offsets.data(), rg_offsets.size());
   if (!stats.empty()) out.PatchArrayAt(stats_slot, stats.data(), stats.size());
+
+  // Rowgroup checksum i covers [offset_i, offset_{i+1}) — or to the end of
+  // the buffer for the last rowgroup — i.e. the payload plus its alignment
+  // padding, so the whole file is covered by header+rowgroup checksums.
+  std::vector<uint64_t> rg_checksums(header.rowgroup_count, 0);
+  for (size_t rg = 0; rg < rg_offsets.size(); ++rg) {
+    const size_t begin = rg_offsets[rg];
+    const size_t end = rg + 1 < rg_offsets.size() ? rg_offsets[rg + 1] : out.size();
+    rg_checksums[rg] = Checksum64(out.data() + begin, end - begin);
+  }
+  out.PatchArrayAt(rg_checksums_slot, rg_checksums.data(), rg_checksums.size());
+
+  // The header checksum covers every byte before its own slot: column
+  // header, rowgroup offsets, rowgroup checksums and the zone map.
+  out.PatchAt(header_checksum_slot, Checksum64(out.data(), header_checksum_slot));
   return out.Take();
 }
 
@@ -312,16 +359,33 @@ ColumnReader<T>::ColumnReader(const uint8_t* data, size_t size)
     : data_(data), size_(size) {
   ByteReader reader(data, size);
   const auto header = reader.Read<ColumnHeader>();
-  if (header.magic != kMagic || header.type != TypeTag<T>()) {
-    value_count_ = 0;
-    return;
+  if (reader.failed() || header.magic != kMagic || header.type != TypeTag<T>() ||
+      header.version < kMinVersion || header.version > kVersion) {
+    return;  // ok_ stays false; the reader is empty.
   }
+  // Reject value counts whose vector math would wrap; also caps the
+  // vector_count_-sized allocations below on garbage headers.
+  if (header.value_count > (uint64_t{1} << 62)) return;
+  version_ = header.version;
   value_count_ = header.value_count;
   vector_count_ = (value_count_ + kVectorSize - 1) / kVectorSize;
 
+  // Check that all index sections fit before sizing any allocation by the
+  // (still untrusted) counts — a forged rowgroup_count must not turn into
+  // a multi-gigabyte resize.
+  const IndexLayout layout =
+      ComputeIndexLayout(version_, header.rowgroup_count, vector_count_);
+  if (layout.payload_begin > size) {
+    value_count_ = 0;
+    vector_count_ = 0;
+    return;
+  }
+
   std::vector<uint64_t> rg_offsets(header.rowgroup_count);
+  reader.SeekTo(layout.offsets_at);
   reader.ReadArray(rg_offsets.data(), rg_offsets.size());
   stats_.resize(vector_count_);
+  reader.SeekTo(layout.stats_at);
   reader.ReadArray(stats_.data(), stats_.size());
 
   size_t first_vector = 0;
@@ -331,6 +395,13 @@ ColumnReader<T>::ColumnReader(const uint8_t* data, size_t size)
     info.byte_offset = rg_offset;
     reader.SeekTo(rg_offset);
     const auto rg_header = reader.Read<RowgroupHeader>();
+    if (reader.failed() || rg_header.vector_count > kRowgroupVectors) {
+      value_count_ = 0;
+      vector_count_ = 0;
+      rowgroups_.clear();
+      stats_.clear();
+      return;
+    }
     info.scheme = static_cast<Scheme>(rg_header.scheme);
     info.vector_count = rg_header.vector_count;
     info.first_vector = first_vector;
@@ -346,6 +417,26 @@ ColumnReader<T>::ColumnReader(const uint8_t* data, size_t size)
     reader.ReadArray(info.vector_offsets.data(), info.vector_offsets.size());
     rowgroups_.push_back(std::move(info));
   }
+  ok_ = reader.ok();
+  if (!ok_) {
+    value_count_ = 0;
+    vector_count_ = 0;
+    rowgroups_.clear();
+    stats_.clear();
+  }
+}
+
+template <typename T>
+StatusOr<ColumnReader<T>> ColumnReader<T>::Open(const uint8_t* data, size_t size) {
+  Status s = ValidateColumnEx<T>(data, size);
+  if (!s.ok()) return s;
+  ColumnReader<T> reader(data, size);
+  if (!reader.ok()) {
+    // Validation passed but parsing did not — should be unreachable; treat
+    // it as corruption rather than returning a half-built reader.
+    return Status::Corrupt("column index parse failed after validation");
+  }
+  return reader;
 }
 
 template <typename T>
@@ -463,99 +554,403 @@ void ColumnReader<T>::DecodeAll(T* out) const {
 }
 
 template <typename T>
-bool ValidateColumn(const uint8_t* data, size_t size, std::string* reason) {
-  const auto fail = [&](const char* r) {
-    if (reason != nullptr) *reason = r;
-    return false;
-  };
+Status ColumnReader<T>::TryDecodeAlpVector(const RowgroupInfo& rg, size_t local_v,
+                                           unsigned expect_n, T* out) const {
+  using Uint = typename AlpTraits<T>::Uint;
+  constexpr unsigned kLanes = fastlanes::kLanes<Uint>;
+  const size_t vec_at = rg.byte_offset + rg.vector_offsets[local_v];
+  if (vec_at > size_ || vec_at < rg.byte_offset) {
+    return Status::Corrupt("vector offset out of bounds", rg.byte_offset);
+  }
 
+  ByteReader reader(data_, size_);
+  reader.SeekTo(vec_at);
+  const auto header = reader.Read<AlpVectorHeader>();
+  if (reader.failed()) return Status::Truncated("ALP vector header", vec_at);
+  if (header.e > AlpTraits<T>::kMaxExponent || header.f > header.e) {
+    return Status::Corrupt("ALP exponent/factor out of range", vec_at);
+  }
+  if (header.width > AlpTraits<T>::kValueBits) {
+    return Status::Corrupt("ALP packed width out of range", vec_at);
+  }
+  if (header.int_encoding > kIntDelta ||
+      (header.int_encoding == kIntDelta && sizeof(T) != 8)) {
+    return Status::Corrupt("unknown ALP integer encoding", vec_at);
+  }
+  if (header.n != expect_n || header.exc_count > header.n) {
+    return Status::Corrupt("ALP vector counts out of range", vec_at);
+  }
+
+  const size_t packed_bytes = size_t{header.width} * kLanes * sizeof(Uint);
+  const size_t exc_bytes =
+      size_t{header.exc_count} * (sizeof(Uint) + sizeof(uint16_t));
+  if (!reader.CanRead(packed_bytes + exc_bytes)) {
+    return Status::Truncated("ALP vector payload", vec_at);
+  }
+  const Uint* packed = reinterpret_cast<const Uint*>(reader.Here());
+  reader.Skip(packed_bytes);
+
+  const Combination c{header.e, header.f};
+  T full[kVectorSize];
+  if (header.int_encoding == kIntDelta) {
+    if constexpr (sizeof(T) == 8) {
+      fastlanes::DeltaParams delta;
+      delta.first = static_cast<int64_t>(header.base);
+      delta.width = header.width;
+      int64_t ints[kVectorSize];
+      fastlanes::DeltaDecode(packed, ints, delta);
+      alp::DecodeVector<T>(ints, c, full);
+    }
+  } else {
+    fastlanes::FforParams ffor;
+    ffor.base = header.base;
+    ffor.width = header.width;
+    DecodeVectorFused<T>(packed, ffor, c, full);
+  }
+
+  Uint exc_bits[kVectorSize];
+  uint16_t exc_pos[kVectorSize];
+  reader.ReadArray(exc_bits, header.exc_count);
+  reader.ReadArray(exc_pos, header.exc_count);
+  for (unsigned i = 0; i < header.exc_count; ++i) {
+    if (exc_pos[i] >= header.n) {
+      return Status::Corrupt("ALP exception position out of range", vec_at);
+    }
+    full[exc_pos[i]] = std::bit_cast<T>(exc_bits[i]);
+  }
+  std::memcpy(out, full, expect_n * sizeof(T));
+  return Status::Ok();
+}
+
+template <typename T>
+Status ColumnReader<T>::TryDecodeRdVector(const RowgroupInfo& rg, size_t local_v,
+                                          unsigned expect_n, T* out) const {
+  using Uint = typename AlpTraits<T>::Uint;
+  constexpr unsigned kLanes = fastlanes::kLanes<Uint>;
+  const size_t vec_at = rg.byte_offset + rg.vector_offsets[local_v];
+  if (vec_at > size_ || vec_at < rg.byte_offset) {
+    return Status::Corrupt("vector offset out of bounds", rg.byte_offset);
+  }
+
+  // Re-check the rowgroup parameters the decode arithmetic depends on:
+  // left << right_bits and dict[code] are only safe inside these ranges.
+  if (rg.rd.right_bits < AlpTraits<T>::kValueBits - kRdMaxLeftBits ||
+      rg.rd.right_bits >= AlpTraits<T>::kValueBits) {
+    return Status::Corrupt("ALP_rd cut position out of range", rg.byte_offset);
+  }
+  if (rg.rd.dict_width > kRdMaxDictWidth || rg.rd.dict_size > kRdMaxDictSize) {
+    return Status::Corrupt("ALP_rd dictionary too big", rg.byte_offset);
+  }
+
+  ByteReader reader(data_, size_);
+  reader.SeekTo(vec_at);
+  const auto header = reader.Read<RdVectorHeader>();
+  if (reader.failed()) return Status::Truncated("ALP_rd vector header", vec_at);
+  if (header.n != expect_n || header.exc_count > header.n) {
+    return Status::Corrupt("ALP_rd vector counts out of range", vec_at);
+  }
+
+  const size_t packed_bytes =
+      (size_t{rg.rd.right_bits} + rg.rd.dict_width) * kLanes * sizeof(Uint);
+  const size_t exc_bytes = size_t{header.exc_count} * 2 * sizeof(uint16_t);
+  if (!reader.CanRead(packed_bytes + exc_bytes)) {
+    return Status::Truncated("ALP_rd vector payload", vec_at);
+  }
+
+  RdEncodedVector<T> enc;
+  const Uint* packed_right = reinterpret_cast<const Uint*>(reader.Here());
+  fastlanes::Unpack(packed_right, enc.right_parts, rg.rd.right_bits);
+  reader.Skip(size_t{rg.rd.right_bits} * kLanes * sizeof(Uint));
+
+  const Uint* packed_codes = reinterpret_cast<const Uint*>(reader.Here());
+  Uint codes[kVectorSize];
+  fastlanes::Unpack(packed_codes, codes, rg.rd.dict_width);
+  reader.Skip(size_t{rg.rd.dict_width} * kLanes * sizeof(Uint));
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    enc.left_codes[i] = static_cast<uint16_t>(codes[i]);
+  }
+
+  enc.exc_count = header.exc_count;
+  reader.ReadArray(enc.exceptions, header.exc_count);
+  reader.ReadArray(enc.exc_positions, header.exc_count);
+  for (unsigned i = 0; i < header.exc_count; ++i) {
+    if (enc.exc_positions[i] >= header.n) {
+      return Status::Corrupt("ALP_rd exception position out of range", vec_at);
+    }
+  }
+
+  T full[kVectorSize];
+  RdDecodeVector(enc, rg.rd, full);
+  std::memcpy(out, full, expect_n * sizeof(T));
+  return Status::Ok();
+}
+
+template <typename T>
+Status ColumnReader<T>::TryDecodeVector(size_t v, T* out) const {
+  if (!ok_) return Status::Corrupt("column reader not initialized");
+  if (v >= vector_count_) {
+    return Status::Corrupt("vector index out of range");
+  }
+  const size_t rg_index = v / kRowgroupVectors;
+  if (rg_index >= rowgroups_.size()) {
+    return Status::Corrupt("rowgroup index out of range");
+  }
+  const RowgroupInfo& rg = rowgroups_[rg_index];
+  const size_t local_v = v - rg.first_vector;
+  if (local_v >= rg.vector_offsets.size()) {
+    return Status::Corrupt("vector missing from rowgroup index", rg.byte_offset);
+  }
+  const unsigned expect_n = VectorLength(v);
+  if (rg.scheme == Scheme::kAlp) {
+    return TryDecodeAlpVector(rg, local_v, expect_n, out);
+  }
+  if (rg.scheme == Scheme::kAlpRd) {
+    return TryDecodeRdVector(rg, local_v, expect_n, out);
+  }
+  return Status::Corrupt("unknown rowgroup scheme", rg.byte_offset);
+}
+
+template <typename T>
+Status ColumnReader<T>::TryDecodeAll(T* out) const {
+  if (!ok_) return Status::Corrupt("column reader not initialized");
+  for (size_t v = 0; v < vector_count_; ++v) {
+    T vec[kVectorSize];
+    Status s = TryDecodeVector(v, vec);
+    if (!s.ok()) return s;
+    std::memcpy(out + v * kVectorSize, vec, VectorLength(v) * sizeof(T));
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+Status ValidateColumnEx(const uint8_t* data, size_t size) {
   if (data == nullptr || size < sizeof(ColumnHeader)) {
-    return fail("buffer smaller than the column header");
+    return Status::Truncated("buffer smaller than the column header");
   }
   ColumnHeader header;
   std::memcpy(&header, data, sizeof(header));
-  if (header.magic != kMagic) return fail("bad magic");
-  if (header.version != kVersion) return fail("unsupported format version");
-  if (header.type != TypeTag<T>()) return fail("value type tag mismatch");
+  if (header.magic != kMagic) return Status::Corrupt("bad magic", 0);
+  if (header.version < kMinVersion || header.version > kVersion) {
+    return Status::UnsupportedVersion("unsupported format version",
+                                      offsetof(ColumnHeader, version));
+  }
+  if (header.type != TypeTag<T>()) {
+    return Status::Corrupt("value type tag mismatch", offsetof(ColumnHeader, type));
+  }
+  if (header.value_count > (uint64_t{1} << 62)) {
+    return Status::Corrupt("value count implausibly large",
+                           offsetof(ColumnHeader, value_count));
+  }
+  const bool v3 = header.version >= 3;
 
   const size_t total_vectors = (header.value_count + kVectorSize - 1) / kVectorSize;
   const size_t expected_rowgroups =
       std::max<size_t>((total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
   if (header.rowgroup_count != expected_rowgroups) {
-    return fail("rowgroup count inconsistent with value count");
+    return Status::Corrupt("rowgroup count inconsistent with value count",
+                           offsetof(ColumnHeader, rowgroup_count));
   }
 
-  size_t pos = sizeof(ColumnHeader);
-  const size_t offsets_bytes = header.rowgroup_count * sizeof(uint64_t);
-  const size_t stats_bytes = total_vectors * sizeof(VectorStats);
-  if (pos + offsets_bytes + stats_bytes > size) {
-    return fail("truncated index sections");
+  const IndexLayout layout =
+      ComputeIndexLayout(header.version, header.rowgroup_count, total_vectors);
+  if (layout.payload_begin > size) {
+    return Status::Truncated("truncated index sections", sizeof(ColumnHeader));
   }
+
+  // v3: the header checksum covers everything before its own slot, so any
+  // flipped bit in the column header, the offset index, the rowgroup
+  // checksums or the zone map is caught here before those bytes are used.
+  if (v3) {
+    uint64_t stored;
+    std::memcpy(&stored, data + layout.header_checksum_at, sizeof(stored));
+    if (Checksum64(data, layout.header_checksum_at) != stored) {
+      return Status::ChecksumMismatch("column header checksum mismatch",
+                                      layout.header_checksum_at);
+    }
+  }
+
   std::vector<uint64_t> rg_offsets(header.rowgroup_count);
-  std::memcpy(rg_offsets.data(), data + pos, offsets_bytes);
+  std::memcpy(rg_offsets.data(), data + layout.offsets_at,
+              rg_offsets.size() * sizeof(uint64_t));
+
+  // Rowgroup offsets: in the payload area, 8-aligned, strictly increasing.
+  for (size_t rg = 0; rg < rg_offsets.size(); ++rg) {
+    const uint64_t off = rg_offsets[rg];
+    if (off % 8 != 0) {
+      return Status::Corrupt("misaligned rowgroup offset",
+                             layout.offsets_at + rg * sizeof(uint64_t));
+    }
+    if (off < layout.payload_begin || off >= size ||
+        size - off < sizeof(RowgroupHeader)) {
+      return Status::Corrupt("rowgroup offset out of bounds",
+                             layout.offsets_at + rg * sizeof(uint64_t));
+    }
+    if (rg > 0 && off <= rg_offsets[rg - 1]) {
+      return Status::Corrupt("rowgroup offsets not increasing",
+                             layout.offsets_at + rg * sizeof(uint64_t));
+    }
+  }
+
+  // v3: verify each rowgroup payload checksum (payload plus its alignment
+  // padding, i.e. [offset, next offset or end of buffer)).
+  if (v3) {
+    for (size_t rg = 0; rg < rg_offsets.size(); ++rg) {
+      const size_t begin = static_cast<size_t>(rg_offsets[rg]);
+      const size_t end = rg + 1 < rg_offsets.size()
+                             ? static_cast<size_t>(rg_offsets[rg + 1])
+                             : size;
+      uint64_t stored;
+      std::memcpy(&stored, data + layout.checksums_at + rg * sizeof(uint64_t),
+                  sizeof(stored));
+      if (Checksum64(data + begin, end - begin) != stored) {
+        return Status::ChecksumMismatch("rowgroup payload checksum mismatch", begin);
+      }
+    }
+  }
+
+  // Zone-map sanity: NaN bounds can never satisfy MayContain correctly, and
+  // min > max is only legal in the empty-vector sentinel form.
+  for (size_t v = 0; v < total_vectors; ++v) {
+    const size_t at = layout.stats_at + v * sizeof(VectorStats);
+    VectorStats vs;
+    std::memcpy(&vs, data + at, sizeof(vs));
+    if (std::isnan(vs.min) || std::isnan(vs.max)) {
+      return Status::Corrupt("zone map entry contains NaN", at);
+    }
+    const bool empty_sentinel =
+        vs.min == std::numeric_limits<double>::infinity() &&
+        vs.max == -std::numeric_limits<double>::infinity();
+    if (vs.min > vs.max && !empty_sentinel) {
+      return Status::Corrupt("zone map entry has min > max", at);
+    }
+  }
 
   size_t vectors_seen = 0;
   for (size_t rg = 0; rg < header.rowgroup_count; ++rg) {
-    const uint64_t off = rg_offsets[rg];
-    if (off % 8 != 0) return fail("misaligned rowgroup offset");
-    if (off + sizeof(RowgroupHeader) > size) return fail("rowgroup offset out of bounds");
+    const size_t off = static_cast<size_t>(rg_offsets[rg]);
     RowgroupHeader rg_header;
     std::memcpy(&rg_header, data + off, sizeof(rg_header));
-    if (rg_header.scheme > 1) return fail("unknown rowgroup scheme");
-    if (rg_header.vector_count > kRowgroupVectors) {
-      return fail("rowgroup vector count exceeds the rowgroup size");
+    if (rg_header.scheme > 1) return Status::Corrupt("unknown rowgroup scheme", off);
+
+    // Each rowgroup must hold exactly its share of the column's vectors.
+    const size_t expected_vectors =
+        std::min<size_t>(kRowgroupVectors, total_vectors - vectors_seen);
+    if (rg_header.vector_count != expected_vectors) {
+      return Status::Corrupt("rowgroup vector count inconsistent with value count",
+                             off);
     }
+
     size_t index_at = off + sizeof(RowgroupHeader);
+    RdHeader rd{};
     if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlpRd)) {
-      if (index_at + sizeof(RdHeader) > size) return fail("truncated ALP_rd header");
-      RdHeader rd;
-      std::memcpy(&rd, data + index_at, sizeof(rd));
-      if (rd.right_bits == 0 || rd.right_bits > sizeof(T) * 8) {
-        return fail("ALP_rd cut position out of range");
+      if (size - index_at < sizeof(RdHeader)) {
+        return Status::Truncated("truncated ALP_rd header", index_at);
       }
-      if (rd.dict_size > 8 || rd.dict_width > 3) return fail("ALP_rd dictionary too big");
+      std::memcpy(&rd, data + index_at, sizeof(rd));
+      // The encoder cuts at most kRdMaxLeftBits from the top, so
+      // right_bits lies in [48, 64) for doubles and [16, 32) for floats;
+      // anything else makes the glue shift in RdDecodeVector undefined.
+      if (rd.right_bits < AlpTraits<T>::kValueBits - kRdMaxLeftBits ||
+          rd.right_bits >= AlpTraits<T>::kValueBits) {
+        return Status::Corrupt("ALP_rd cut position out of range", index_at);
+      }
+      if (rd.dict_size > kRdMaxDictSize || rd.dict_width > kRdMaxDictWidth) {
+        return Status::Corrupt("ALP_rd dictionary too big", index_at);
+      }
       index_at += sizeof(RdHeader);
     }
-    if (index_at + rg_header.vector_count * sizeof(uint32_t) > size) {
-      return fail("truncated vector offset index");
+    if (size - index_at < size_t{rg_header.vector_count} * sizeof(uint32_t)) {
+      return Status::Truncated("truncated vector offset index", index_at);
     }
+
+    uint32_t prev_vec_off = 0;
     for (uint32_t v = 0; v < rg_header.vector_count; ++v) {
       uint32_t vec_off;
       std::memcpy(&vec_off, data + index_at + v * sizeof(uint32_t), sizeof(vec_off));
+      if (vec_off % 8 != 0) {
+        return Status::Corrupt("misaligned vector offset",
+                               index_at + v * sizeof(uint32_t));
+      }
+      if (v > 0 && vec_off <= prev_vec_off) {
+        return Status::Corrupt("vector offsets not increasing",
+                               index_at + v * sizeof(uint32_t));
+      }
+      prev_vec_off = vec_off;
       const size_t vec_at = off + vec_off;
-      if (vec_at + 16 > size) return fail("vector offset out of bounds");
-      // Verify the full payload extent of the vector. Each packed width
-      // unit occupies 128 bytes for both lane types.
+      if (vec_at >= size || size - vec_at < 16) {
+        return Status::Corrupt("vector offset out of bounds",
+                               index_at + v * sizeof(uint32_t));
+      }
+
+      const size_t global_v = vectors_seen + v;
+      const size_t expected_n = std::min<size_t>(
+          kVectorSize, header.value_count - global_v * kVectorSize);
+
+      // Verify the full payload extent of the vector (each packed width
+      // unit occupies 128 bytes for both lane types), then the exception
+      // positions, which index the decode output array.
       size_t end;
+      uint16_t exc_count;
+      size_t exc_pos_at;
       if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlp)) {
         AlpVectorHeader vh;
         std::memcpy(&vh, data + vec_at, sizeof(vh));
-        if (vh.width > sizeof(T) * 8) return fail("packed width out of range");
-        if (vh.int_encoding > kIntDelta) return fail("unknown integer encoding");
-        if (vh.n > kVectorSize || vh.exc_count > vh.n) {
-          return fail("vector counts out of range");
+        if (vh.e > AlpTraits<T>::kMaxExponent || vh.f > vh.e) {
+          return Status::Corrupt("ALP exponent/factor out of range", vec_at);
         }
-        end = vec_at + sizeof(AlpVectorHeader) + size_t{vh.width} * 128 +
-              size_t{vh.exc_count} * (sizeof(T) + sizeof(uint16_t));
+        if (vh.width > AlpTraits<T>::kValueBits) {
+          return Status::Corrupt("packed width out of range", vec_at);
+        }
+        if (vh.int_encoding > kIntDelta ||
+            (vh.int_encoding == kIntDelta && sizeof(T) != 8)) {
+          return Status::Corrupt("unknown integer encoding", vec_at);
+        }
+        if (vh.n != expected_n || vh.exc_count > vh.n) {
+          return Status::Corrupt("vector counts out of range", vec_at);
+        }
+        exc_count = vh.exc_count;
+        exc_pos_at = vec_at + sizeof(AlpVectorHeader) + size_t{vh.width} * 128 +
+                     size_t{vh.exc_count} * sizeof(T);
+        end = exc_pos_at + size_t{vh.exc_count} * sizeof(uint16_t);
       } else {
         RdVectorHeader vh;
         std::memcpy(&vh, data + vec_at, sizeof(vh));
-        RdHeader rd;
-        std::memcpy(&rd, data + off + sizeof(RowgroupHeader), sizeof(rd));
-        if (vh.n > kVectorSize || vh.exc_count > vh.n) {
-          return fail("vector counts out of range");
+        if (vh.n != expected_n || vh.exc_count > vh.n) {
+          return Status::Corrupt("vector counts out of range", vec_at);
         }
-        end = vec_at + sizeof(RdVectorHeader) +
-              (size_t{rd.right_bits} + rd.dict_width) * 128 +
-              size_t{vh.exc_count} * 2 * sizeof(uint16_t);
+        exc_count = vh.exc_count;
+        exc_pos_at = vec_at + sizeof(RdVectorHeader) +
+                     (size_t{rd.right_bits} + rd.dict_width) * 128 +
+                     size_t{vh.exc_count} * sizeof(uint16_t);
+        end = exc_pos_at + size_t{vh.exc_count} * sizeof(uint16_t);
       }
-      if (end > size) return fail("vector payload truncated");
+      if (end > size) return Status::Truncated("vector payload truncated", vec_at);
+      for (uint16_t i = 0; i < exc_count; ++i) {
+        uint16_t pos;
+        std::memcpy(&pos, data + exc_pos_at + i * sizeof(uint16_t), sizeof(pos));
+        if (pos >= expected_n) {
+          return Status::Corrupt("exception position out of range",
+                                 exc_pos_at + i * sizeof(uint16_t));
+        }
+      }
     }
     vectors_seen += rg_header.vector_count;
   }
-  if (vectors_seen != total_vectors) return fail("vector count mismatch");
-  if (reason != nullptr) reason->clear();
-  return true;
+  if (vectors_seen != total_vectors) {
+    return Status::Corrupt("vector count mismatch");
+  }
+  return Status::Ok();
+}
+
+template <typename T>
+bool ValidateColumn(const uint8_t* data, size_t size, std::string* reason) {
+  const Status s = ValidateColumnEx<T>(data, size);
+  if (s.ok()) {
+    if (reason != nullptr) reason->clear();
+    return true;
+  }
+  if (reason != nullptr) *reason = s.message();
+  return false;
 }
 
 template <typename T>
@@ -572,6 +967,8 @@ template std::vector<uint8_t> CompressColumn<float>(const float*, size_t,
                                                     CompressionInfo*);
 template class ColumnReader<double>;
 template class ColumnReader<float>;
+template Status ValidateColumnEx<double>(const uint8_t*, size_t);
+template Status ValidateColumnEx<float>(const uint8_t*, size_t);
 template bool ValidateColumn<double>(const uint8_t*, size_t, std::string*);
 template bool ValidateColumn<float>(const uint8_t*, size_t, std::string*);
 template void DecompressColumn<double>(const std::vector<uint8_t>&, double*);

@@ -10,6 +10,7 @@
 #include "alp/constants.h"
 #include "alp/rd.h"
 #include "alp/sampler.h"
+#include "util/status.h"
 
 /// \file column.h
 /// The self-describing ALP column container: the public entry point most
@@ -18,14 +19,24 @@
 /// and every vector is individually addressable so scans can skip straight
 /// to a vector (the capability the paper contrasts with block-based Zstd).
 ///
-/// Layout (all sections 8-byte aligned, host endianness):
+/// Layout (all sections 8-byte aligned, host endianness; see docs/FORMAT.md):
 ///
-///   ColumnHeader | rowgroup offset index | rowgroups...
+///   ColumnHeader | rowgroup offsets | rowgroup checksums (v3) | zone map
+///              | header checksum (v3) | rowgroups...
 ///   Rowgroup: header (+ ALP_rd params) | vector offset index | vectors...
 ///   ALP vector: {e, f, width, exc_count, n, FOR base} | packed words
 ///               | exception values | exception positions
 ///   RD vector:  {exc_count, n} | packed right parts | packed left codes
 ///               | exception lefts | exception positions
+///
+/// Untrusted input: buffers come from disk and the network, so the
+/// container offers two tiers of reading. The fallible tier —
+/// ColumnReader<T>::Open + TryDecodeVector/TryDecodeAll — validates
+/// structure and (v3) XXH64 checksums up front, never reads out of bounds
+/// even on adversarial bytes, and reports failures as a typed alp::Status.
+/// The trusted tier (constructor + DecodeVector/DecodeAll) skips per-vector
+/// re-validation for speed and is only for buffers this process produced or
+/// that already passed validation.
 
 namespace alp {
 
@@ -62,12 +73,31 @@ std::vector<uint8_t> CompressColumn(const T* data, size_t n,
                                     const SamplerConfig& config = {},
                                     CompressionInfo* info = nullptr);
 
+/// Current (newest) and oldest-readable versions of the column container.
+inline constexpr uint8_t kColumnFormatVersion = 3;     ///< v3: checksums.
+inline constexpr uint8_t kColumnFormatMinVersion = 2;  ///< v2: zone maps.
+
 /// Random-access reader over a compressed column buffer.
 template <typename T>
 class ColumnReader {
  public:
-  /// Parses the header and indexes; the buffer must outlive the reader.
+  /// Fallible entry point for untrusted buffers: structural validation
+  /// (ValidateColumnEx) plus, for v3 buffers, header and rowgroup checksum
+  /// verification, then index parsing. v2 buffers are accepted with
+  /// checksum verification skipped. The buffer must outlive the reader.
+  static StatusOr<ColumnReader<T>> Open(const uint8_t* data, size_t size);
+
+  /// Parses the header and indexes without validation; only for trusted
+  /// buffers (ones this process produced or that already passed
+  /// ValidateColumnEx). On a recognizably foreign buffer the reader comes
+  /// up empty (ok() == false) instead of crashing.
   ColumnReader(const uint8_t* data, size_t size);
+
+  /// Whether header/index parsing succeeded.
+  bool ok() const { return ok_; }
+
+  /// Format version of the parsed buffer (2 or 3).
+  uint8_t format_version() const { return version_; }
 
   /// Total logical values in the column.
   size_t value_count() const { return value_count_; }
@@ -91,10 +121,21 @@ class ColumnReader {
   }
 
   /// Decodes vector \p v into \p out (room for VectorLength(v) values).
+  /// Trusted path: no per-vector re-validation.
   void DecodeVector(size_t v, T* out) const;
 
   /// Decodes the whole column into \p out (room for value_count() values).
+  /// Trusted path: no per-vector re-validation.
   void DecodeAll(T* out) const;
+
+  /// Bounds-checked decode of vector \p v: every length and offset is
+  /// verified against the buffer extent before it is dereferenced, so a
+  /// truncated or garbled vector yields a non-OK Status instead of an
+  /// out-of-bounds access — even on buffers that never passed validation.
+  Status TryDecodeVector(size_t v, T* out) const;
+
+  /// Bounds-checked decode of the whole column (room for value_count()).
+  Status TryDecodeAll(T* out) const;
 
  private:
   struct RowgroupInfo {
@@ -108,18 +149,31 @@ class ColumnReader {
 
   void DecodeAlpVector(const RowgroupInfo& rg, size_t local_v, T* out) const;
   void DecodeRdVector(const RowgroupInfo& rg, size_t local_v, T* out) const;
+  Status TryDecodeAlpVector(const RowgroupInfo& rg, size_t local_v,
+                            unsigned expect_n, T* out) const;
+  Status TryDecodeRdVector(const RowgroupInfo& rg, size_t local_v,
+                           unsigned expect_n, T* out) const;
 
   const uint8_t* data_;
   size_t size_;
   size_t value_count_ = 0;
   size_t vector_count_ = 0;
+  uint8_t version_ = 0;
+  bool ok_ = false;
   std::vector<RowgroupInfo> rowgroups_;
   std::vector<VectorStats> stats_;
 };
 
-/// Structural validation of a compressed column buffer: magic, version,
-/// type tag, index bounds and section sizes. Returns false (and, if given,
-/// a reason) instead of crashing on truncated or foreign buffers.
+/// Full structural validation of a compressed column buffer: magic,
+/// version, type tag, index bounds, zone-map sanity, per-vector header
+/// invariants and exception positions — plus XXH64 checksum verification
+/// for v3 buffers (kChecksumMismatch on a flipped bit; skipped for v2).
+/// Never reads past \p size, never crashes on adversarial input.
+template <typename T>
+Status ValidateColumnEx(const uint8_t* data, size_t size);
+
+/// Boolean convenience wrapper around ValidateColumnEx (the pre-Status
+/// API); \p reason receives the Status message on failure.
 template <typename T>
 bool ValidateColumn(const uint8_t* data, size_t size, std::string* reason = nullptr);
 

@@ -111,6 +111,54 @@ class ChimpCodec final : public Codec<T> {
       out[i] = std::bit_cast<T>(prev);
     }
   }
+
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, T* out) override {
+    if (n == 0) return Status::Ok();
+    BitReader reader(in, size);
+    if (!reader.HasBits(kWidth)) {
+      return Status::Truncated("Chimp stream shorter than the first value");
+    }
+    Bits prev = static_cast<Bits>(reader.ReadBits(kWidth));
+    out[0] = std::bit_cast<T>(prev);
+    unsigned stored_lead = 0;
+
+    for (size_t i = 1; i < n; ++i) {
+      const unsigned flag = static_cast<unsigned>(reader.ReadBits(2));
+      Bits x = 0;
+      switch (flag) {
+        case 0b00:
+          break;
+        case 0b01: {
+          const unsigned lead = kLeadingValue[reader.ReadBits(3)];
+          const unsigned significant = static_cast<unsigned>(reader.ReadBits(6));
+          // Garbled counts would underflow the trailing width.
+          if (lead + significant > kWidth) {
+            return Status::Corrupt("Chimp center wider than the value",
+                                   reader.position() / 8);
+          }
+          const unsigned trail = kWidth - lead - significant;
+          if (significant != 0) {  // significant == 0 would shift by kWidth.
+            x = static_cast<Bits>(reader.ReadBits(significant)) << trail;
+          }
+          break;
+        }
+        case 0b10:
+          x = static_cast<Bits>(reader.ReadBits(kWidth - stored_lead));
+          break;
+        default: {
+          stored_lead = kLeadingValue[reader.ReadBits(3)];
+          x = static_cast<Bits>(reader.ReadBits(kWidth - stored_lead));
+          break;
+        }
+      }
+      prev ^= x;
+      out[i] = std::bit_cast<T>(prev);
+    }
+    if (reader.overflowed()) {
+      return Status::Truncated("Chimp stream ends mid-value", size);
+    }
+    return Status::Ok();
+  }
 };
 
 }  // namespace

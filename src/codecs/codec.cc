@@ -35,6 +35,15 @@ class AlpAdapter final : public Codec<T> {
     reader.DecodeAll(out);
   }
 
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, T* out) override {
+    StatusOr<ColumnReader<T>> reader = ColumnReader<T>::Open(in, size);
+    if (!reader.ok()) return reader.status();
+    if (reader->value_count() != n) {
+      return Status::Corrupt("column value count does not match the request");
+    }
+    return reader->TryDecodeAll(out);
+  }
+
  private:
   bool force_rd_;
   SamplerConfig config_;

@@ -237,6 +237,78 @@ class ElfCodec final : public Codec<double> {
       out[i] = erased ? Recover(value, alpha) : value;
     }
   }
+
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, double* out) override {
+    if (n == 0) return Status::Ok();
+    BitReader reader(in, size);
+    RingBuffer<uint64_t> ring;
+    uint64_t prev = 0;
+    unsigned stored_lead = 0;
+
+    int prev_alpha = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bool erased = true;
+      unsigned alpha = 0;
+      if (!reader.ReadBit()) {
+        alpha = static_cast<unsigned>(prev_alpha);
+      } else if (!reader.ReadBit()) {
+        alpha = static_cast<unsigned>(reader.ReadBits(kAlphaBits));
+        // The 5-bit field can hold up to 31, but Recover indexes the
+        // power-of-ten tables, which stop at kMaxAlpha.
+        if (alpha > kMaxAlpha) {
+          return Status::Corrupt("Elf alpha out of range", reader.position() / 8);
+        }
+        prev_alpha = static_cast<int>(alpha);
+      } else {
+        erased = false;
+      }
+
+      uint64_t truncated;
+      if (i == 0) {
+        truncated = reader.ReadBits(64);
+      } else {
+        const unsigned flag = static_cast<unsigned>(reader.ReadBits(2));
+        switch (flag) {
+          case 0b00: {
+            const unsigned idx = static_cast<unsigned>(reader.ReadBits(7));
+            truncated = ring.At(idx);
+            break;
+          }
+          case 0b01: {
+            const unsigned idx = static_cast<unsigned>(reader.ReadBits(7));
+            const unsigned lead = kLeadingValue[reader.ReadBits(3)];
+            const unsigned significant = static_cast<unsigned>(reader.ReadBits(6));
+            if (lead + significant > 64) {
+              return Status::Corrupt("Elf center wider than the value",
+                                     reader.position() / 8);
+            }
+            const unsigned trail = 64 - lead - significant;
+            uint64_t x = 0;
+            if (significant != 0) {  // significant == 0 would shift by 64.
+              x = reader.ReadBits(significant) << trail;
+            }
+            truncated = ring.At(idx) ^ x;
+            break;
+          }
+          case 0b10:
+            truncated = prev ^ reader.ReadBits(64 - stored_lead);
+            break;
+          default:
+            stored_lead = kLeadingValue[reader.ReadBits(3)];
+            truncated = prev ^ reader.ReadBits(64 - stored_lead);
+            break;
+        }
+      }
+      ring.Push(truncated);
+      prev = truncated;
+      const double value = DoubleFromBits(truncated);
+      out[i] = erased ? Recover(value, alpha) : value;
+    }
+    if (reader.overflowed()) {
+      return Status::Truncated("Elf stream ends mid-value", size);
+    }
+    return Status::Ok();
+  }
 };
 
 }  // namespace

@@ -135,6 +135,45 @@ class FpcCodec final : public Codec<double> {
       out[i] = DoubleFromBits(bits);
     }
   }
+
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, double* out) override {
+    ByteReader reader(in, size);
+    const uint64_t count = reader.Read<uint64_t>();
+    const uint64_t header_bytes = reader.Read<uint64_t>();
+    if (reader.failed()) return Status::Truncated("FPC stream header", 0);
+    if (count != n) {
+      return Status::Corrupt("FPC value count does not match the request", 0);
+    }
+    if (header_bytes < (n + 1) / 2 || header_bytes > reader.Remaining()) {
+      return Status::Truncated("FPC header array", sizeof(uint64_t));
+    }
+    const uint8_t* headers = reader.Here();
+    reader.Skip(header_bytes);
+    const uint8_t* residuals = reader.Here();
+    const size_t residual_bytes = reader.Remaining();
+
+    Predictors predictors;
+    size_t r = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t header = headers[i / 2];
+      const uint8_t nibble = (i % 2 == 0) ? (header & 0xF) : (header >> 4);
+      const bool use_dfcm = (nibble & 0x8) != 0;
+      const unsigned stored_bytes = 8 - BytesOf(nibble & 0x7);
+      if (stored_bytes > residual_bytes - r) {
+        return Status::Truncated("FPC residual bytes", size);
+      }
+      uint64_t x = 0;
+      for (unsigned b = 0; b < stored_bytes; ++b) {
+        x = (x << 8) | residuals[r++];
+      }
+      const uint64_t prediction =
+          use_dfcm ? predictors.PredictDfcm() : predictors.PredictFcm();
+      const uint64_t bits = x ^ prediction;
+      predictors.Update(bits);
+      out[i] = DoubleFromBits(bits);
+    }
+    return Status::Ok();
+  }
 };
 
 }  // namespace

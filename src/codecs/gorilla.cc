@@ -96,6 +96,48 @@ class GorillaCodec final : public Codec<T> {
       out[i] = std::bit_cast<T>(prev);
     }
   }
+
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, T* out) override {
+    if (n == 0) return Status::Ok();
+    BitReader reader(in, size);
+    if (!reader.HasBits(kWidth)) {
+      return Status::Truncated("Gorilla stream shorter than the first value");
+    }
+    Bits prev = static_cast<Bits>(reader.ReadBits(kWidth));
+    out[0] = std::bit_cast<T>(prev);
+    unsigned win_lead = 0;
+    unsigned win_trail = 0;
+
+    for (size_t i = 1; i < n; ++i) {
+      if (!reader.ReadBit()) {
+        out[i] = std::bit_cast<T>(prev);
+        continue;
+      }
+      if (reader.ReadBit()) {
+        win_lead = static_cast<unsigned>(reader.ReadBits(5));
+        const unsigned len = static_cast<unsigned>(reader.ReadBits(kLenBits)) + 1;
+        // A corrupted header can claim lead + len > width, which would
+        // underflow win_trail and shift out of range below.
+        if (win_lead + len > kWidth) {
+          return Status::Corrupt("Gorilla window wider than the value",
+                                 reader.position() / 8);
+        }
+        win_trail = kWidth - win_lead - len;
+        prev ^= static_cast<Bits>(reader.ReadBits(len)) << win_trail;
+      } else {
+        const unsigned len = kWidth - win_lead - win_trail;
+        prev ^= static_cast<Bits>(reader.ReadBits(len)) << win_trail;
+      }
+      out[i] = std::bit_cast<T>(prev);
+    }
+    // A single latched check suffices: past-the-end reads returned zero
+    // bits (producing garbage values, which we now discard) but never
+    // touched out-of-bounds memory.
+    if (reader.overflowed()) {
+      return Status::Truncated("Gorilla stream ends mid-value", size);
+    }
+    return Status::Ok();
+  }
 };
 
 }  // namespace

@@ -118,6 +118,49 @@ void DecompressBytes(const uint8_t* in, size_t size, uint8_t* out, size_t out_si
   }
 }
 
+bool TryDecompressBytes(const uint8_t* in, size_t size, uint8_t* out, size_t out_size) {
+  size_t ip = 0;
+  size_t op = 0;
+  while (ip < size && op < out_size) {
+    const uint8_t token = in[ip++];
+    size_t literal_len = token >> 4;
+    if (literal_len == 15) {
+      uint8_t b;
+      do {
+        if (ip >= size) return false;
+        b = in[ip++];
+        literal_len += b;
+      } while (b == 255);
+    }
+    if (literal_len > size - ip || literal_len > out_size - op) return false;
+    std::memcpy(out + op, in + ip, literal_len);
+    ip += literal_len;
+    op += literal_len;
+    if (ip >= size) break;  // Final literal-only sequence.
+
+    if (size - ip < 2) return false;
+    const uint16_t offset =
+        static_cast<uint16_t>(in[ip] | (static_cast<uint16_t>(in[ip + 1]) << 8));
+    ip += 2;
+    // A match can only reference bytes already produced.
+    if (offset == 0 || offset > op) return false;
+    size_t match_len = (token & 0xF) + kMinMatch;
+    if ((token & 0xF) == 15) {
+      uint8_t b;
+      do {
+        if (ip >= size) return false;
+        b = in[ip++];
+        match_len += b;
+      } while (b == 255);
+    }
+    if (match_len > out_size - op) return false;
+    const uint8_t* src = out + op - offset;
+    for (size_t i = 0; i < match_len; ++i) out[op + i] = src[i];
+    op += match_len;
+  }
+  return op == out_size;
+}
+
 }  // namespace lz
 
 namespace {
@@ -132,6 +175,14 @@ class LzCodec final : public Codec<double> {
 
   void Decompress(const uint8_t* in, size_t size, size_t n, double* out) override {
     lz::DecompressBytes(in, size, reinterpret_cast<uint8_t*>(out), n * sizeof(double));
+  }
+
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, double* out) override {
+    if (!lz::TryDecompressBytes(in, size, reinterpret_cast<uint8_t*>(out),
+                                n * sizeof(double))) {
+      return Status::Corrupt("malformed LZ stream");
+    }
+    return Status::Ok();
   }
 };
 

@@ -179,6 +179,71 @@ class PdeCodec final : public Codec<double> {
       reader.AlignTo(8);
     }
   }
+
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, double* out) override {
+    ByteReader reader(in, size);
+    const uint64_t count = reader.Read<uint64_t>();
+    if (reader.failed()) return Status::Truncated("PDE stream header", 0);
+    if (count != n) {
+      return Status::Corrupt("PDE value count does not match the request", 0);
+    }
+    const size_t blocks = (n + kBlock - 1) / kBlock;
+
+    for (size_t b = 0; b < blocks; ++b) {
+      const size_t off = b * kBlock;
+      const unsigned len = static_cast<unsigned>(std::min<size_t>(kBlock, n - off));
+      const size_t header_at = reader.position();
+      const auto header = reader.Read<BlockHeader>();
+      if (reader.failed()) return Status::Truncated("PDE block header", header_at);
+      if (header.sig_width > 64 || header.exp_width > kExponentBits) {
+        return Status::Corrupt("PDE packed width out of range", header_at);
+      }
+      if (header.n != len || header.exc_count > len) {
+        return Status::Corrupt("PDE block counts out of range", header_at);
+      }
+      const size_t packed_bytes =
+          (size_t{header.sig_width} + header.exp_width) * 16 * sizeof(uint64_t);
+      const size_t exc_bytes =
+          size_t{header.exc_count} * (sizeof(uint64_t) + sizeof(uint16_t));
+      if (!reader.CanRead(packed_bytes + exc_bytes)) {
+        return Status::Truncated("PDE block payload", header_at);
+      }
+
+      uint64_t sig_zz[kBlock];
+      uint64_t exps[kBlock];
+      fastlanes::Unpack(reinterpret_cast<const uint64_t*>(reader.Here()), sig_zz,
+                        header.sig_width);
+      reader.Skip(static_cast<size_t>(header.sig_width) * 16 * sizeof(uint64_t));
+      fastlanes::Unpack(reinterpret_cast<const uint64_t*>(reader.Here()), exps,
+                        header.exp_width);
+      reader.Skip(static_cast<size_t>(header.exp_width) * 16 * sizeof(uint64_t));
+
+      double block[kBlock];
+      const uint64_t sig_base = header.sig_base;
+      for (unsigned i = 0; i < kBlock; ++i) {
+        // exp_width <= 5 admits exponents up to 31; the table stops at 18.
+        if (exps[i] > kMaxExponent) {
+          return Status::Corrupt("PDE exponent out of range", header_at);
+        }
+        const int64_t d = fastlanes::ZigZagDecode(sig_zz[i] + sig_base);
+        block[i] = static_cast<double>(d) / alp::AlpTraits<double>::kF10[exps[i]];
+      }
+
+      uint64_t exc_bits[kBlock];
+      uint16_t exc_pos[kBlock];
+      reader.ReadArray(exc_bits, header.exc_count);
+      reader.ReadArray(exc_pos, header.exc_count);
+      for (unsigned i = 0; i < header.exc_count; ++i) {
+        if (exc_pos[i] >= len) {
+          return Status::Corrupt("PDE exception position out of range", header_at);
+        }
+        block[exc_pos[i]] = DoubleFromBits(exc_bits[i]);
+      }
+      std::memcpy(out + off, block, len * sizeof(double));
+      reader.AlignTo(8);
+    }
+    return Status::Ok();
+  }
 };
 
 }  // namespace

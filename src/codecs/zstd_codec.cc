@@ -69,6 +69,39 @@ class ZstdCodec final : public Codec<T> {
     }
   }
 
+  Status TryDecompress(const uint8_t* in, size_t size, size_t n, T* out) override {
+    uint8_t* dst = reinterpret_cast<uint8_t*>(out);
+    const size_t total = n * sizeof(T);
+    ByteReader reader(in, size);
+    const uint64_t blocks = reader.Read<uint64_t>();
+    if (reader.failed()) return Status::Truncated("Zstd stream header", 0);
+    const size_t expected_blocks = (total + kBlockBytes - 1) / kBlockBytes;
+    if (blocks != expected_blocks) {
+      // Also rejects forged counts near 2^64 before the loop spins on them.
+      return Status::Corrupt("Zstd block count does not match the request", 0);
+    }
+    size_t off = 0;
+    for (uint64_t b = 0; b < blocks; ++b) {
+      const size_t block_at = reader.position();
+      const uint64_t compressed_size = reader.Read<uint64_t>();
+      const uint64_t raw_size = reader.Read<uint64_t>();
+      if (reader.failed()) return Status::Truncated("Zstd block header", block_at);
+      if (raw_size != std::min(kBlockBytes, total - off)) {
+        return Status::Corrupt("Zstd block raw size out of range", block_at);
+      }
+      if (compressed_size > reader.Remaining()) {
+        return Status::Truncated("Zstd block payload", block_at);
+      }
+      if (!TryDecompressBlock(reader.Here(), compressed_size, dst + off, raw_size)) {
+        return Status::Corrupt("malformed Zstd block", block_at);
+      }
+      reader.Skip(compressed_size);
+      off += raw_size;
+    }
+    if (off != total) return Status::Truncated("Zstd stream ends early", size);
+    return Status::Ok();
+  }
+
  private:
   static std::vector<uint8_t> CompressBlock(const uint8_t* src, size_t len) {
 #ifdef ALP_HAVE_ZSTD
@@ -89,6 +122,18 @@ class ZstdCodec final : public Codec<T> {
     if (ZSTD_isError(got) == 0 && got == raw_size) return;
 #endif
     lz::DecompressBytes(src, len, dst, raw_size);
+  }
+
+  /// Checked block decode: real zstd first (its decoder is hardened and
+  /// bounded by dstCapacity), then the checked LZ fallback — which also
+  /// covers buffers produced on a build without libzstd.
+  static bool TryDecompressBlock(const uint8_t* src, size_t len, uint8_t* dst,
+                                 size_t raw_size) {
+#ifdef ALP_HAVE_ZSTD
+    const size_t got = ZSTD_decompress(dst, raw_size, src, len);
+    if (ZSTD_isError(got) == 0 && got == raw_size) return true;
+#endif
+    return lz::TryDecompressBytes(src, len, dst, raw_size);
   }
 };
 

@@ -47,9 +47,14 @@ std::vector<uint8_t> BitWriter::Finish() {
 }
 
 uint64_t BitReader::ReadBits(unsigned nbits) {
-  assert(nbits <= 64);
   if (nbits == 0) return 0;
-  assert(pos_ + nbits <= size_bits_);
+  if (nbits > 64 || nbits > size_bits_ - pos_) {
+    // Truncated or garbled stream (a corrupted length field can ask for
+    // arbitrary widths): never read past the end, report via the latch.
+    overflowed_ = true;
+    pos_ = size_bits_;
+    return 0;
+  }
   uint64_t result = 0;
   unsigned remaining = nbits;
   while (remaining > 0) {

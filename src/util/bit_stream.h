@@ -16,7 +16,11 @@
 ///    the descriptions in the Gorilla and Chimp papers;
 ///  - WriteBits(v, n) appends the n low bits of v, most significant of those
 ///    n bits first;
-///  - the reader is bounds-checked in debug builds only (hot path).
+///  - the reader is bounds-checked in every build mode: compressed streams
+///    are untrusted input, so reading past the end returns zero bits and
+///    latches overflowed() instead of touching out-of-bounds memory. The
+///    fallible codec paths (Codec::TryDecompress) test the latch to turn a
+///    truncated stream into a typed error.
 
 namespace alp {
 
@@ -50,31 +54,46 @@ class BitWriter {
   size_t bit_count_ = 0;
 };
 
-/// MSB-first bit reader over a caller-owned byte buffer.
+/// MSB-first bit reader over a caller-owned byte buffer. Bounds-checked:
+/// reading or skipping past the end yields zero bits, pins the position at
+/// the end, and latches overflowed().
 class BitReader {
  public:
   BitReader(const uint8_t* data, size_t size_bytes)
       : data_(data), size_bits_(size_bytes * 8) {}
 
   /// Read \p nbits bits (0 <= nbits <= 64) as the low bits of the result.
+  /// Out-of-range reads (past the end, or nbits > 64 from a corrupted
+  /// length field) return 0 and latch overflowed().
   uint64_t ReadBits(unsigned nbits);
 
   /// Read a single bit.
   bool ReadBit() { return ReadBits(1) != 0; }
 
-  /// Skip forward without decoding.
-  void SkipBits(size_t nbits) { pos_ += nbits; }
+  /// Skip forward without decoding (clamped to the end of the stream).
+  void SkipBits(size_t nbits) {
+    if (nbits > size_bits_ - pos_) {
+      pos_ = size_bits_;
+      overflowed_ = true;
+      return;
+    }
+    pos_ += nbits;
+  }
 
   /// Bits consumed so far.
   size_t position() const { return pos_; }
 
   /// Whether at least \p nbits remain.
-  bool HasBits(size_t nbits) const { return pos_ + nbits <= size_bits_; }
+  bool HasBits(size_t nbits) const { return nbits <= size_bits_ - pos_; }
+
+  /// True once any access ran past the end of the stream.
+  bool overflowed() const { return overflowed_; }
 
  private:
   const uint8_t* data_;
   size_t size_bits_;
   size_t pos_ = 0;
+  bool overflowed_ = false;
 };
 
 }  // namespace alp

@@ -1,0 +1,156 @@
+#include "util/checksum.h"
+
+#include <cstring>
+
+namespace alp {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t Rotl64(uint64_t v, unsigned r) {
+  return (v << r) | (v >> (64 - r));
+}
+
+inline uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = Rotl64(acc, 31);
+  return acc * kPrime1;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t lane) {
+  acc ^= Round(0, lane);
+  return acc * kPrime1 + kPrime4;
+}
+
+/// Tail of XXH64: \p h already includes the merged accumulators (or the
+/// seeded start for short inputs) plus the total length; \p p points at the
+/// final tail_len < 32 bytes.
+uint64_t Finalize(uint64_t h, const uint8_t* p, size_t tail_len) {
+  while (tail_len >= 8) {
+    h ^= Round(0, Read64(p));
+    h = Rotl64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+    tail_len -= 8;
+  }
+  if (tail_len >= 4) {
+    h ^= static_cast<uint64_t>(Read32(p)) * kPrime1;
+    h = Rotl64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    tail_len -= 4;
+  }
+  while (tail_len > 0) {
+    h ^= (*p) * kPrime5;
+    h = Rotl64(h, 11) * kPrime1;
+    ++p;
+    --tail_len;
+  }
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+}  // namespace
+
+uint64_t Checksum64(const void* data, size_t size, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint64_t total = size;
+  uint64_t h;
+
+  if (size >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    do {
+      v1 = Round(v1, Read64(p));
+      v2 = Round(v2, Read64(p + 8));
+      v3 = Round(v3, Read64(p + 16));
+      v4 = Round(v4, Read64(p + 24));
+      p += 32;
+      size -= 32;
+    } while (size >= 32);
+    h = Rotl64(v1, 1) + Rotl64(v2, 7) + Rotl64(v3, 12) + Rotl64(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+  return Finalize(h + total, p, size);
+}
+
+Checksum64Stream::Checksum64Stream(uint64_t seed) : seed_(seed) {
+  acc_[0] = seed + kPrime1 + kPrime2;
+  acc_[1] = seed + kPrime2;
+  acc_[2] = seed;
+  acc_[3] = seed - kPrime1;
+}
+
+void Checksum64Stream::Update(const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_ += size;
+
+  if (buffered_ > 0) {
+    const size_t need = 32 - buffered_;
+    const size_t take = size < need ? size : need;
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    size -= take;
+    if (buffered_ < 32) return;
+    acc_[0] = Round(acc_[0], Read64(buffer_));
+    acc_[1] = Round(acc_[1], Read64(buffer_ + 8));
+    acc_[2] = Round(acc_[2], Read64(buffer_ + 16));
+    acc_[3] = Round(acc_[3], Read64(buffer_ + 24));
+    buffered_ = 0;
+  }
+  while (size >= 32) {
+    acc_[0] = Round(acc_[0], Read64(p));
+    acc_[1] = Round(acc_[1], Read64(p + 8));
+    acc_[2] = Round(acc_[2], Read64(p + 16));
+    acc_[3] = Round(acc_[3], Read64(p + 24));
+    p += 32;
+    size -= 32;
+  }
+  if (size > 0) {
+    std::memcpy(buffer_, p, size);
+    buffered_ = size;
+  }
+}
+
+uint64_t Checksum64Stream::Finish() const {
+  uint64_t h;
+  if (total_ >= 32) {
+    h = Rotl64(acc_[0], 1) + Rotl64(acc_[1], 7) + Rotl64(acc_[2], 12) +
+        Rotl64(acc_[3], 18);
+    h = MergeRound(h, acc_[0]);
+    h = MergeRound(h, acc_[1]);
+    h = MergeRound(h, acc_[2]);
+    h = MergeRound(h, acc_[3]);
+  } else {
+    h = seed_ + kPrime5;
+  }
+  return Finalize(h + total_, buffer_, buffered_);
+}
+
+}  // namespace alp

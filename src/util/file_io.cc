@@ -1,5 +1,6 @@
 #include "util/file_io.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <charconv>
 #include <cstdio>
@@ -44,13 +45,20 @@ bool WriteFileBytes(const std::string& path, const uint8_t* data, size_t size) {
   return ok;
 }
 
-std::optional<std::vector<double>> ReadDoublesFile(const std::string& path) {
+StatusOr<std::vector<double>> ReadDoublesFileEx(const std::string& path) {
   const auto bytes = ReadFileBytes(path);
-  if (!bytes.has_value()) return std::nullopt;
+  if (!bytes.has_value()) {
+    return Status::Io("cannot read file '" + path + "'");
+  }
 
   std::vector<double> values;
   if (!IsTextPath(path)) {
-    if (bytes->size() % sizeof(double) != 0) return std::nullopt;
+    if (bytes->size() % sizeof(double) != 0) {
+      return Status::Corrupt("binary double file '" + path + "' size " +
+                                 std::to_string(bytes->size()) +
+                                 " is not a multiple of 8",
+                             bytes->size());
+    }
     values.resize(bytes->size() / sizeof(double));
     std::memcpy(values.data(), bytes->data(), bytes->size());
     return values;
@@ -59,7 +67,9 @@ std::optional<std::vector<double>> ReadDoublesFile(const std::string& path) {
   // Text: one value per line; '#' comments and blank lines allowed.
   const char* p = reinterpret_cast<const char*>(bytes->data());
   const char* end = p + bytes->size();
+  uint64_t line_number = 0;
   while (p < end) {
+    ++line_number;
     const char* line_end = static_cast<const char*>(std::memchr(p, '\n', end - p));
     if (line_end == nullptr) line_end = end;
     // Trim leading whitespace.
@@ -68,12 +78,30 @@ std::optional<std::vector<double>> ReadDoublesFile(const std::string& path) {
     if (q < line_end && *q != '#') {
       double v = 0.0;
       const auto result = std::from_chars(q, line_end, v);
-      if (result.ec != std::errc{}) return std::nullopt;
+      if (result.ec != std::errc{}) {
+        // Report the offending line verbatim (clipped so a binary blob fed
+        // in as ".csv" cannot blow up the message).
+        const char* text_end = line_end;
+        if (text_end > q && text_end[-1] == '\r') --text_end;
+        constexpr size_t kMaxShown = 64;
+        std::string shown(q, std::min<size_t>(text_end - q, kMaxShown));
+        if (static_cast<size_t>(text_end - q) > kMaxShown) shown += "...";
+        return Status::Corrupt("'" + path + "' line " +
+                                   std::to_string(line_number) +
+                                   ": cannot parse \"" + shown + "\" as a double",
+                               line_number);
+      }
       values.push_back(v);
     }
     p = line_end + 1;
   }
   return values;
+}
+
+std::optional<std::vector<double>> ReadDoublesFile(const std::string& path) {
+  StatusOr<std::vector<double>> values = ReadDoublesFileEx(path);
+  if (!values.ok()) return std::nullopt;
+  return std::move(values.value());
 }
 
 bool WriteDoublesFile(const std::string& path, const double* data, size_t n) {

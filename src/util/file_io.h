@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 /// \file file_io.h
 /// Small file helpers used by the CLI tool and the examples: raw
 /// little-endian double files (".bin"), one-number-per-line text files
@@ -21,7 +23,13 @@ bool WriteFileBytes(const std::string& path, const uint8_t* data, size_t size);
 
 /// Reads doubles from \p path. ".csv"/".txt" parse one value per line
 /// (blank lines and lines starting with '#' are skipped); anything else is
-/// treated as raw host-endian binary doubles.
+/// treated as raw host-endian binary doubles. On a parse failure, the
+/// Status message names the offending line number and its content; the
+/// offset field carries the 1-based line number for text files.
+StatusOr<std::vector<double>> ReadDoublesFileEx(const std::string& path);
+
+/// Optional-returning convenience wrapper around ReadDoublesFileEx (the
+/// pre-Status API); the failure detail is discarded.
 std::optional<std::vector<double>> ReadDoublesFile(const std::string& path);
 
 /// Writes doubles to \p path, with the same format convention.

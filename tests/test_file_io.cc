@@ -118,6 +118,38 @@ TEST(FileIo, TextGarbageRejected) {
   std::remove(path.c_str());
 }
 
+TEST(FileIo, ParseFailureNamesLineAndContent) {
+  const std::string path = TempPath(".csv");
+  const std::string content = "# header\n1.5\nbogus-value\n2.5\n";
+  ASSERT_TRUE(WriteFileBytes(path, reinterpret_cast<const uint8_t*>(content.data()),
+                             content.size()));
+  const auto read = ReadDoublesFileEx(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorrupt);
+  EXPECT_EQ(read.status().offset(), 3u);  // 1-based line number.
+  EXPECT_NE(read.status().message().find("line 3"), std::string::npos)
+      << read.status().message();
+  EXPECT_NE(read.status().message().find("bogus-value"), std::string::npos)
+      << read.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(FileIo, MissingFileIsIoStatus) {
+  const auto read = ReadDoublesFileEx("/nonexistent/path/file.csv");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIo);
+}
+
+TEST(FileIo, OddSizedBinaryIsCorruptStatus) {
+  const std::string path = TempPath(".bin");
+  const uint8_t bytes[11] = {};
+  ASSERT_TRUE(WriteFileBytes(path, bytes, sizeof(bytes)));
+  const auto read = ReadDoublesFileEx(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kCorrupt);
+  std::remove(path.c_str());
+}
+
 TEST(FileIo, TextFileWithoutTrailingNewline) {
   const std::string path = TempPath(".txt");
   const std::string content = "7.25\n8.5";

@@ -45,8 +45,8 @@ int Fail(const char* message, const std::string& detail = "") {
 }
 
 int CmdCompress(const std::string& in_path, const std::string& out_path) {
-  const auto values = alp::ReadDoublesFile(in_path);
-  if (!values.has_value()) return Fail("cannot read input", in_path);
+  const auto values = alp::ReadDoublesFileEx(in_path);
+  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
 
   alp::CompressionInfo info;
   const uint64_t t0 = alp::CycleNow();
@@ -69,15 +69,15 @@ int CmdCompress(const std::string& in_path, const std::string& out_path) {
 int CmdDecompress(const std::string& in_path, const std::string& out_path) {
   const auto buffer = alp::ReadFileBytes(in_path);
   if (!buffer.has_value()) return Fail("cannot read input", in_path);
-  std::string reason;
-  if (!alp::ValidateColumn<double>(buffer->data(), buffer->size(), &reason)) {
-    return Fail("not a valid ALP column", reason);
+  auto reader = alp::ColumnReader<double>::Open(buffer->data(), buffer->size());
+  if (!reader.ok()) {
+    return Fail("not a valid ALP column", reader.status().ToString());
   }
-  alp::ColumnReader<double> reader(buffer->data(), buffer->size());
-  std::vector<double> values(reader.value_count());
+  std::vector<double> values(reader->value_count());
   const uint64_t t0 = alp::CycleNow();
-  reader.DecodeAll(values.data());
+  const alp::Status decode = reader->TryDecodeAll(values.data());
   const uint64_t cycles = alp::CycleNow() - t0;
+  if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
   if (!alp::WriteDoublesFile(out_path, values.data(), values.size())) {
     return Fail("cannot write output", out_path);
   }
@@ -89,29 +89,30 @@ int CmdDecompress(const std::string& in_path, const std::string& out_path) {
 int CmdInspect(const std::string& in_path) {
   const auto buffer = alp::ReadFileBytes(in_path);
   if (!buffer.has_value()) return Fail("cannot read input", in_path);
-  std::string reason;
-  if (!alp::ValidateColumn<double>(buffer->data(), buffer->size(), &reason)) {
-    return Fail("not a valid ALP column", reason);
+  auto reader = alp::ColumnReader<double>::Open(buffer->data(), buffer->size());
+  if (!reader.ok()) {
+    return Fail("not a valid ALP column", reader.status().ToString());
   }
-  alp::ColumnReader<double> reader(buffer->data(), buffer->size());
 
   std::printf("file:        %s (%zu bytes)\n", in_path.c_str(), buffer->size());
-  std::printf("values:      %zu\n", reader.value_count());
-  std::printf("vectors:     %zu\n", reader.vector_count());
+  std::printf("format:      v%u%s\n", reader->format_version(),
+              reader->format_version() >= 3 ? " (checksummed)" : "");
+  std::printf("values:      %zu\n", reader->value_count());
+  std::printf("vectors:     %zu\n", reader->vector_count());
   std::printf("bits/value:  %.2f\n",
-              alp::BitsPerValue<double>(*buffer, reader.value_count()));
+              alp::BitsPerValue<double>(*buffer, reader->value_count()));
 
   size_t rd_vectors = 0;
   double global_min = std::numeric_limits<double>::infinity();
   double global_max = -global_min;
-  for (size_t v = 0; v < reader.vector_count(); ++v) {
-    rd_vectors += reader.VectorScheme(v) == alp::Scheme::kAlpRd;
-    global_min = std::min(global_min, reader.Stats(v).min);
-    global_max = std::max(global_max, reader.Stats(v).max);
+  for (size_t v = 0; v < reader->vector_count(); ++v) {
+    rd_vectors += reader->VectorScheme(v) == alp::Scheme::kAlpRd;
+    global_min = std::min(global_min, reader->Stats(v).min);
+    global_max = std::max(global_max, reader->Stats(v).max);
   }
   std::printf("schemes:     %zu ALP vectors, %zu ALP_rd vectors\n",
-              reader.vector_count() - rd_vectors, rd_vectors);
-  if (reader.vector_count() > 0) {
+              reader->vector_count() - rd_vectors, rd_vectors);
+  if (reader->vector_count() > 0) {
     std::printf("value range: [%g, %g]\n", global_min, global_max);
   }
   return 0;
@@ -120,18 +121,20 @@ int CmdInspect(const std::string& in_path) {
 int CmdVerify(const std::string& alp_path, const std::string& original_path) {
   const auto buffer = alp::ReadFileBytes(alp_path);
   if (!buffer.has_value()) return Fail("cannot read input", alp_path);
-  const auto original = alp::ReadDoublesFile(original_path);
-  if (!original.has_value()) return Fail("cannot read original", original_path);
-  std::string reason;
-  if (!alp::ValidateColumn<double>(buffer->data(), buffer->size(), &reason)) {
-    return Fail("not a valid ALP column", reason);
+  const auto original = alp::ReadDoublesFileEx(original_path);
+  if (!original.ok()) {
+    return Fail("cannot read original", original.status().ToString());
   }
-  alp::ColumnReader<double> reader(buffer->data(), buffer->size());
-  if (reader.value_count() != original->size()) {
+  auto reader = alp::ColumnReader<double>::Open(buffer->data(), buffer->size());
+  if (!reader.ok()) {
+    return Fail("not a valid ALP column", reader.status().ToString());
+  }
+  if (reader->value_count() != original->size()) {
     return Fail("value counts differ");
   }
-  std::vector<double> restored(reader.value_count());
-  reader.DecodeAll(restored.data());
+  std::vector<double> restored(reader->value_count());
+  const alp::Status decode = reader->TryDecodeAll(restored.data());
+  if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
   for (size_t i = 0; i < restored.size(); ++i) {
     if (alp::BitsOf(restored[i]) != alp::BitsOf((*original)[i])) {
       std::fprintf(stderr, "MISMATCH at row %zu\n", i);
@@ -143,8 +146,8 @@ int CmdVerify(const std::string& alp_path, const std::string& original_path) {
 }
 
 int CmdBench(const std::string& in_path) {
-  const auto values = alp::ReadDoublesFile(in_path);
-  if (!values.has_value()) return Fail("cannot read input", in_path);
+  const auto values = alp::ReadDoublesFileEx(in_path);
+  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
   if (values->empty()) return Fail("no values in input");
   const size_t n = values->size();
 
