@@ -11,6 +11,7 @@
 #include "fastlanes/ffor.h"
 #include "util/checksum.h"
 #include "util/serialize.h"
+#include "util/thread_pool.h"
 
 namespace alp {
 namespace {
@@ -332,26 +333,56 @@ template std::vector<uint8_t> AssembleColumnFromSegments<float>(
 
 }  // namespace internal
 
+namespace {
+
+/// Shared compression driver: rowgroup rg is compressed into segments[rg]
+/// (concurrently when \p pool is non-null), then everything is stitched in
+/// rowgroup order. Because each rowgroup is compressed into a standalone,
+/// position-independent segment and the stitch order is fixed, the output
+/// bytes — and the merged counters — cannot depend on the worker count.
 template <typename T>
-std::vector<uint8_t> CompressColumn(const T* data, size_t n, const SamplerConfig& config,
-                                    CompressionInfo* info) {
+std::vector<uint8_t> CompressColumnImpl(const T* data, size_t n,
+                                        const SamplerConfig& config,
+                                        CompressionInfo* info, ThreadPool* pool) {
   const size_t total_vectors = (n + kVectorSize - 1) / kVectorSize;
   const size_t rowgroup_count =
       std::max<size_t>((total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
 
-  CompressionInfo local_info;
-  std::vector<VectorStats> stats;
-  stats.reserve(total_vectors);
-  std::vector<std::vector<uint8_t>> segments;
-  segments.reserve(rowgroup_count);
-  for (size_t rg = 0; rg < rowgroup_count; ++rg) {
+  std::vector<std::vector<uint8_t>> segments(rowgroup_count);
+  std::vector<std::vector<VectorStats>> rg_stats(rowgroup_count);
+  std::vector<CompressionInfo> rg_infos(info != nullptr ? rowgroup_count : 0);
+  ParallelFor(pool, rowgroup_count, [&](size_t rg) {
     const size_t begin = rg * kRowgroupSize;
     const size_t len = n == 0 ? 0 : std::min<size_t>(kRowgroupSize, n - begin);
-    segments.push_back(internal::CompressRowgroupSegment(data + begin, len, config,
-                                                         &stats, &local_info));
+    segments[rg] = internal::CompressRowgroupSegment(
+        data + begin, len, config, &rg_stats[rg],
+        info != nullptr ? &rg_infos[rg] : nullptr);
+  });
+
+  std::vector<VectorStats> stats;
+  stats.reserve(total_vectors);
+  for (const auto& s : rg_stats) stats.insert(stats.end(), s.begin(), s.end());
+  if (info != nullptr) {
+    CompressionInfo merged;
+    for (const auto& i : rg_infos) merged.MergeFrom(i);
+    *info = merged;
   }
-  if (info != nullptr) *info = local_info;
   return internal::AssembleColumnFromSegments<T>(n, segments, stats);
+}
+
+}  // namespace
+
+template <typename T>
+std::vector<uint8_t> CompressColumn(const T* data, size_t n, const SamplerConfig& config,
+                                    CompressionInfo* info) {
+  return CompressColumnImpl(data, n, config, info, nullptr);
+}
+
+template <typename T>
+std::vector<uint8_t> CompressColumnParallel(const T* data, size_t n,
+                                            const SamplerConfig& config,
+                                            CompressionInfo* info, ThreadPool* pool) {
+  return CompressColumnImpl(data, n, config, info, pool);
 }
 
 template <typename T>
@@ -428,7 +459,14 @@ ColumnReader<T>::ColumnReader(const uint8_t* data, size_t size)
 
 template <typename T>
 StatusOr<ColumnReader<T>> ColumnReader<T>::Open(const uint8_t* data, size_t size) {
-  Status s = ValidateColumnEx<T>(data, size);
+  return OpenParallel(data, size, nullptr);
+}
+
+template <typename T>
+StatusOr<ColumnReader<T>> ColumnReader<T>::OpenParallel(const uint8_t* data,
+                                                        size_t size,
+                                                        ThreadPool* pool) {
+  Status s = ValidateColumnParallelEx<T>(data, size, pool);
   if (!s.ok()) return s;
   ColumnReader<T> reader(data, size);
   if (!reader.ok()) {
@@ -723,11 +761,56 @@ Status ColumnReader<T>::TryDecodeAll(T* out) const {
 }
 
 template <typename T>
-Status ValidateColumnEx(const uint8_t* data, size_t size) {
+Status ColumnReader<T>::TryDecodeAllParallel(T* out, ThreadPool* pool) const {
+  if (!ok_) return Status::Corrupt("column reader not initialized");
+  // Partition by rowgroup-sized blocks of *global vector indexes* — the
+  // exact ranges the serial loop walks — so each task writes a disjoint
+  // region of out and hits the same per-vector Statuses the serial scan
+  // would. A task stops at its block's first failure; the lowest-indexed
+  // block's Status wins, which is the Status TryDecodeAll returns.
+  const size_t blocks = (vector_count_ + kRowgroupVectors - 1) / kRowgroupVectors;
+  std::vector<Status> results(blocks);
+  ParallelFor(pool, blocks, [&](size_t b) {
+    const size_t v_end =
+        std::min<size_t>((b + 1) * kRowgroupVectors, vector_count_);
+    for (size_t v = b * kRowgroupVectors; v < v_end; ++v) {
+      T vec[kVectorSize];
+      Status s = TryDecodeVector(v, vec);
+      if (!s.ok()) {
+        results[b] = std::move(s);
+        return;
+      }
+      std::memcpy(out + v * kVectorSize, vec, VectorLength(v) * sizeof(T));
+    }
+  });
+  for (Status& s : results) {
+    if (!s.ok()) return std::move(s);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+/// Everything the per-rowgroup validation phases need, parsed and verified
+/// once by ValidateHeaderAndIndex.
+struct ValidationContext {
+  ColumnHeader header;
+  IndexLayout layout;
+  std::vector<uint64_t> rg_offsets;
+  size_t total_vectors = 0;
+};
+
+/// Phase 1 (serial): column header sanity, index-section fit, the v3 header
+/// checksum, and the rowgroup offset index. After this returns OK, every
+/// rg_offsets entry is 8-aligned, strictly increasing, and has room for at
+/// least a RowgroupHeader — the guarantees the per-rowgroup phases build on.
+template <typename T>
+Status ValidateHeaderAndIndex(const uint8_t* data, size_t size,
+                              ValidationContext* ctx) {
   if (data == nullptr || size < sizeof(ColumnHeader)) {
     return Status::Truncated("buffer smaller than the column header");
   }
-  ColumnHeader header;
+  ColumnHeader& header = ctx->header;
   std::memcpy(&header, data, sizeof(header));
   if (header.magic != kMagic) return Status::Corrupt("bad magic", 0);
   if (header.version < kMinVersion || header.version > kVersion) {
@@ -743,16 +826,17 @@ Status ValidateColumnEx(const uint8_t* data, size_t size) {
   }
   const bool v3 = header.version >= 3;
 
-  const size_t total_vectors = (header.value_count + kVectorSize - 1) / kVectorSize;
-  const size_t expected_rowgroups =
-      std::max<size_t>((total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
+  ctx->total_vectors = (header.value_count + kVectorSize - 1) / kVectorSize;
+  const size_t expected_rowgroups = std::max<size_t>(
+      (ctx->total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
   if (header.rowgroup_count != expected_rowgroups) {
     return Status::Corrupt("rowgroup count inconsistent with value count",
                            offsetof(ColumnHeader, rowgroup_count));
   }
 
-  const IndexLayout layout =
-      ComputeIndexLayout(header.version, header.rowgroup_count, total_vectors);
+  ctx->layout =
+      ComputeIndexLayout(header.version, header.rowgroup_count, ctx->total_vectors);
+  const IndexLayout& layout = ctx->layout;
   if (layout.payload_begin > size) {
     return Status::Truncated("truncated index sections", sizeof(ColumnHeader));
   }
@@ -769,13 +853,13 @@ Status ValidateColumnEx(const uint8_t* data, size_t size) {
     }
   }
 
-  std::vector<uint64_t> rg_offsets(header.rowgroup_count);
-  std::memcpy(rg_offsets.data(), data + layout.offsets_at,
-              rg_offsets.size() * sizeof(uint64_t));
+  ctx->rg_offsets.resize(header.rowgroup_count);
+  std::memcpy(ctx->rg_offsets.data(), data + layout.offsets_at,
+              ctx->rg_offsets.size() * sizeof(uint64_t));
 
   // Rowgroup offsets: in the payload area, 8-aligned, strictly increasing.
-  for (size_t rg = 0; rg < rg_offsets.size(); ++rg) {
-    const uint64_t off = rg_offsets[rg];
+  for (size_t rg = 0; rg < ctx->rg_offsets.size(); ++rg) {
+    const uint64_t off = ctx->rg_offsets[rg];
     if (off % 8 != 0) {
       return Status::Corrupt("misaligned rowgroup offset",
                              layout.offsets_at + rg * sizeof(uint64_t));
@@ -785,33 +869,37 @@ Status ValidateColumnEx(const uint8_t* data, size_t size) {
       return Status::Corrupt("rowgroup offset out of bounds",
                              layout.offsets_at + rg * sizeof(uint64_t));
     }
-    if (rg > 0 && off <= rg_offsets[rg - 1]) {
+    if (rg > 0 && off <= ctx->rg_offsets[rg - 1]) {
       return Status::Corrupt("rowgroup offsets not increasing",
                              layout.offsets_at + rg * sizeof(uint64_t));
     }
   }
+  return Status::Ok();
+}
 
-  // v3: verify each rowgroup payload checksum (payload plus its alignment
-  // padding, i.e. [offset, next offset or end of buffer)).
-  if (v3) {
-    for (size_t rg = 0; rg < rg_offsets.size(); ++rg) {
-      const size_t begin = static_cast<size_t>(rg_offsets[rg]);
-      const size_t end = rg + 1 < rg_offsets.size()
-                             ? static_cast<size_t>(rg_offsets[rg + 1])
-                             : size;
-      uint64_t stored;
-      std::memcpy(&stored, data + layout.checksums_at + rg * sizeof(uint64_t),
-                  sizeof(stored));
-      if (Checksum64(data + begin, end - begin) != stored) {
-        return Status::ChecksumMismatch("rowgroup payload checksum mismatch", begin);
-      }
-    }
+/// Phase 2 (per rowgroup, v3 only): payload checksum over [offset, next
+/// offset or end of buffer) — the payload plus its alignment padding.
+Status ValidateRowgroupChecksum(const uint8_t* data, size_t size,
+                                const ValidationContext& ctx, size_t rg) {
+  const size_t begin = static_cast<size_t>(ctx.rg_offsets[rg]);
+  const size_t end = rg + 1 < ctx.rg_offsets.size()
+                         ? static_cast<size_t>(ctx.rg_offsets[rg + 1])
+                         : size;
+  uint64_t stored;
+  std::memcpy(&stored, data + ctx.layout.checksums_at + rg * sizeof(uint64_t),
+              sizeof(stored));
+  if (Checksum64(data + begin, end - begin) != stored) {
+    return Status::ChecksumMismatch("rowgroup payload checksum mismatch", begin);
   }
+  return Status::Ok();
+}
 
-  // Zone-map sanity: NaN bounds can never satisfy MayContain correctly, and
-  // min > max is only legal in the empty-vector sentinel form.
-  for (size_t v = 0; v < total_vectors; ++v) {
-    const size_t at = layout.stats_at + v * sizeof(VectorStats);
+/// Phase 3 (serial; cheap): zone-map sanity. NaN bounds can never satisfy
+/// MayContain correctly, and min > max is only legal in the empty-vector
+/// sentinel form.
+Status ValidateZoneMap(const uint8_t* data, const ValidationContext& ctx) {
+  for (size_t v = 0; v < ctx.total_vectors; ++v) {
+    const size_t at = ctx.layout.stats_at + v * sizeof(VectorStats);
     VectorStats vs;
     std::memcpy(&vs, data + at, sizeof(vs));
     if (std::isnan(vs.min) || std::isnan(vs.max)) {
@@ -824,122 +912,174 @@ Status ValidateColumnEx(const uint8_t* data, size_t size) {
       return Status::Corrupt("zone map entry has min > max", at);
     }
   }
+  return Status::Ok();
+}
 
-  size_t vectors_seen = 0;
-  for (size_t rg = 0; rg < header.rowgroup_count; ++rg) {
-    const size_t off = static_cast<size_t>(rg_offsets[rg]);
-    RowgroupHeader rg_header;
-    std::memcpy(&rg_header, data + off, sizeof(rg_header));
-    if (rg_header.scheme > 1) return Status::Corrupt("unknown rowgroup scheme", off);
+/// Phase 4 (per rowgroup): full structural walk of one rowgroup — scheme,
+/// vector count, ALP_rd parameters, vector offset index, per-vector header
+/// invariants, payload extents and exception positions. Independent of
+/// every other rowgroup: the vectors a rowgroup must hold follow from its
+/// index alone (rowgroup rg owns global vectors [rg*kRowgroupVectors, ...)),
+/// which is what makes the walk safe to fan out.
+template <typename T>
+Status ValidateRowgroupStructure(const uint8_t* data, size_t size,
+                                 const ValidationContext& ctx, size_t rg) {
+  const size_t off = static_cast<size_t>(ctx.rg_offsets[rg]);
+  RowgroupHeader rg_header;
+  std::memcpy(&rg_header, data + off, sizeof(rg_header));
+  if (rg_header.scheme > 1) return Status::Corrupt("unknown rowgroup scheme", off);
 
-    // Each rowgroup must hold exactly its share of the column's vectors.
-    const size_t expected_vectors =
-        std::min<size_t>(kRowgroupVectors, total_vectors - vectors_seen);
-    if (rg_header.vector_count != expected_vectors) {
-      return Status::Corrupt("rowgroup vector count inconsistent with value count",
-                             off);
-    }
-
-    size_t index_at = off + sizeof(RowgroupHeader);
-    RdHeader rd{};
-    if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlpRd)) {
-      if (size - index_at < sizeof(RdHeader)) {
-        return Status::Truncated("truncated ALP_rd header", index_at);
-      }
-      std::memcpy(&rd, data + index_at, sizeof(rd));
-      // The encoder cuts at most kRdMaxLeftBits from the top, so
-      // right_bits lies in [48, 64) for doubles and [16, 32) for floats;
-      // anything else makes the glue shift in RdDecodeVector undefined.
-      if (rd.right_bits < AlpTraits<T>::kValueBits - kRdMaxLeftBits ||
-          rd.right_bits >= AlpTraits<T>::kValueBits) {
-        return Status::Corrupt("ALP_rd cut position out of range", index_at);
-      }
-      if (rd.dict_size > kRdMaxDictSize || rd.dict_width > kRdMaxDictWidth) {
-        return Status::Corrupt("ALP_rd dictionary too big", index_at);
-      }
-      index_at += sizeof(RdHeader);
-    }
-    if (size - index_at < size_t{rg_header.vector_count} * sizeof(uint32_t)) {
-      return Status::Truncated("truncated vector offset index", index_at);
-    }
-
-    uint32_t prev_vec_off = 0;
-    for (uint32_t v = 0; v < rg_header.vector_count; ++v) {
-      uint32_t vec_off;
-      std::memcpy(&vec_off, data + index_at + v * sizeof(uint32_t), sizeof(vec_off));
-      if (vec_off % 8 != 0) {
-        return Status::Corrupt("misaligned vector offset",
-                               index_at + v * sizeof(uint32_t));
-      }
-      if (v > 0 && vec_off <= prev_vec_off) {
-        return Status::Corrupt("vector offsets not increasing",
-                               index_at + v * sizeof(uint32_t));
-      }
-      prev_vec_off = vec_off;
-      const size_t vec_at = off + vec_off;
-      if (vec_at >= size || size - vec_at < 16) {
-        return Status::Corrupt("vector offset out of bounds",
-                               index_at + v * sizeof(uint32_t));
-      }
-
-      const size_t global_v = vectors_seen + v;
-      const size_t expected_n = std::min<size_t>(
-          kVectorSize, header.value_count - global_v * kVectorSize);
-
-      // Verify the full payload extent of the vector (each packed width
-      // unit occupies 128 bytes for both lane types), then the exception
-      // positions, which index the decode output array.
-      size_t end;
-      uint16_t exc_count;
-      size_t exc_pos_at;
-      if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlp)) {
-        AlpVectorHeader vh;
-        std::memcpy(&vh, data + vec_at, sizeof(vh));
-        if (vh.e > AlpTraits<T>::kMaxExponent || vh.f > vh.e) {
-          return Status::Corrupt("ALP exponent/factor out of range", vec_at);
-        }
-        if (vh.width > AlpTraits<T>::kValueBits) {
-          return Status::Corrupt("packed width out of range", vec_at);
-        }
-        if (vh.int_encoding > kIntDelta ||
-            (vh.int_encoding == kIntDelta && sizeof(T) != 8)) {
-          return Status::Corrupt("unknown integer encoding", vec_at);
-        }
-        if (vh.n != expected_n || vh.exc_count > vh.n) {
-          return Status::Corrupt("vector counts out of range", vec_at);
-        }
-        exc_count = vh.exc_count;
-        exc_pos_at = vec_at + sizeof(AlpVectorHeader) + size_t{vh.width} * 128 +
-                     size_t{vh.exc_count} * sizeof(T);
-        end = exc_pos_at + size_t{vh.exc_count} * sizeof(uint16_t);
-      } else {
-        RdVectorHeader vh;
-        std::memcpy(&vh, data + vec_at, sizeof(vh));
-        if (vh.n != expected_n || vh.exc_count > vh.n) {
-          return Status::Corrupt("vector counts out of range", vec_at);
-        }
-        exc_count = vh.exc_count;
-        exc_pos_at = vec_at + sizeof(RdVectorHeader) +
-                     (size_t{rd.right_bits} + rd.dict_width) * 128 +
-                     size_t{vh.exc_count} * sizeof(uint16_t);
-        end = exc_pos_at + size_t{vh.exc_count} * sizeof(uint16_t);
-      }
-      if (end > size) return Status::Truncated("vector payload truncated", vec_at);
-      for (uint16_t i = 0; i < exc_count; ++i) {
-        uint16_t pos;
-        std::memcpy(&pos, data + exc_pos_at + i * sizeof(uint16_t), sizeof(pos));
-        if (pos >= expected_n) {
-          return Status::Corrupt("exception position out of range",
-                                 exc_pos_at + i * sizeof(uint16_t));
-        }
-      }
-    }
-    vectors_seen += rg_header.vector_count;
+  // Each rowgroup must hold exactly its share of the column's vectors.
+  const size_t first_vector = rg * kRowgroupVectors;
+  const size_t expected_vectors =
+      std::min<size_t>(kRowgroupVectors, ctx.total_vectors - first_vector);
+  if (rg_header.vector_count != expected_vectors) {
+    return Status::Corrupt("rowgroup vector count inconsistent with value count",
+                           off);
   }
-  if (vectors_seen != total_vectors) {
-    return Status::Corrupt("vector count mismatch");
+
+  size_t index_at = off + sizeof(RowgroupHeader);
+  RdHeader rd{};
+  if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlpRd)) {
+    if (size - index_at < sizeof(RdHeader)) {
+      return Status::Truncated("truncated ALP_rd header", index_at);
+    }
+    std::memcpy(&rd, data + index_at, sizeof(rd));
+    // The encoder cuts at most kRdMaxLeftBits from the top, so
+    // right_bits lies in [48, 64) for doubles and [16, 32) for floats;
+    // anything else makes the glue shift in RdDecodeVector undefined.
+    if (rd.right_bits < AlpTraits<T>::kValueBits - kRdMaxLeftBits ||
+        rd.right_bits >= AlpTraits<T>::kValueBits) {
+      return Status::Corrupt("ALP_rd cut position out of range", index_at);
+    }
+    if (rd.dict_size > kRdMaxDictSize || rd.dict_width > kRdMaxDictWidth) {
+      return Status::Corrupt("ALP_rd dictionary too big", index_at);
+    }
+    index_at += sizeof(RdHeader);
+  }
+  if (size - index_at < size_t{rg_header.vector_count} * sizeof(uint32_t)) {
+    return Status::Truncated("truncated vector offset index", index_at);
+  }
+
+  uint32_t prev_vec_off = 0;
+  for (uint32_t v = 0; v < rg_header.vector_count; ++v) {
+    uint32_t vec_off;
+    std::memcpy(&vec_off, data + index_at + v * sizeof(uint32_t), sizeof(vec_off));
+    if (vec_off % 8 != 0) {
+      return Status::Corrupt("misaligned vector offset",
+                             index_at + v * sizeof(uint32_t));
+    }
+    if (v > 0 && vec_off <= prev_vec_off) {
+      return Status::Corrupt("vector offsets not increasing",
+                             index_at + v * sizeof(uint32_t));
+    }
+    prev_vec_off = vec_off;
+    const size_t vec_at = off + vec_off;
+    if (vec_at >= size || size - vec_at < 16) {
+      return Status::Corrupt("vector offset out of bounds",
+                             index_at + v * sizeof(uint32_t));
+    }
+
+    const size_t global_v = first_vector + v;
+    const size_t expected_n = std::min<size_t>(
+        kVectorSize, ctx.header.value_count - global_v * kVectorSize);
+
+    // Verify the full payload extent of the vector (each packed width
+    // unit occupies 128 bytes for both lane types), then the exception
+    // positions, which index the decode output array.
+    size_t end;
+    uint16_t exc_count;
+    size_t exc_pos_at;
+    if (rg_header.scheme == static_cast<uint8_t>(Scheme::kAlp)) {
+      AlpVectorHeader vh;
+      std::memcpy(&vh, data + vec_at, sizeof(vh));
+      if (vh.e > AlpTraits<T>::kMaxExponent || vh.f > vh.e) {
+        return Status::Corrupt("ALP exponent/factor out of range", vec_at);
+      }
+      if (vh.width > AlpTraits<T>::kValueBits) {
+        return Status::Corrupt("packed width out of range", vec_at);
+      }
+      if (vh.int_encoding > kIntDelta ||
+          (vh.int_encoding == kIntDelta && sizeof(T) != 8)) {
+        return Status::Corrupt("unknown integer encoding", vec_at);
+      }
+      if (vh.n != expected_n || vh.exc_count > vh.n) {
+        return Status::Corrupt("vector counts out of range", vec_at);
+      }
+      exc_count = vh.exc_count;
+      exc_pos_at = vec_at + sizeof(AlpVectorHeader) + size_t{vh.width} * 128 +
+                   size_t{vh.exc_count} * sizeof(T);
+      end = exc_pos_at + size_t{vh.exc_count} * sizeof(uint16_t);
+    } else {
+      RdVectorHeader vh;
+      std::memcpy(&vh, data + vec_at, sizeof(vh));
+      if (vh.n != expected_n || vh.exc_count > vh.n) {
+        return Status::Corrupt("vector counts out of range", vec_at);
+      }
+      exc_count = vh.exc_count;
+      exc_pos_at = vec_at + sizeof(RdVectorHeader) +
+                   (size_t{rd.right_bits} + rd.dict_width) * 128 +
+                   size_t{vh.exc_count} * sizeof(uint16_t);
+      end = exc_pos_at + size_t{vh.exc_count} * sizeof(uint16_t);
+    }
+    if (end > size) return Status::Truncated("vector payload truncated", vec_at);
+    for (uint16_t i = 0; i < exc_count; ++i) {
+      uint16_t pos;
+      std::memcpy(&pos, data + exc_pos_at + i * sizeof(uint16_t), sizeof(pos));
+      if (pos >= expected_n) {
+        return Status::Corrupt("exception position out of range",
+                               exc_pos_at + i * sizeof(uint16_t));
+      }
+    }
   }
   return Status::Ok();
+}
+
+/// Shared validation driver. The per-rowgroup phases run through \p pool
+/// (inline when null). Phase order — checksums for all rowgroups, then zone
+/// map, then structure for all rowgroups — matches the historical serial
+/// validator, and within a phase the lowest-indexed rowgroup's failure is
+/// reported, so serial and parallel return identical Statuses.
+template <typename T>
+Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool) {
+  ValidationContext ctx;
+  Status s = ValidateHeaderAndIndex<T>(data, size, &ctx);
+  if (!s.ok()) return s;
+
+  const size_t rowgroups = ctx.rg_offsets.size();
+  if (ctx.header.version >= 3) {
+    std::vector<Status> results(rowgroups);
+    ParallelFor(pool, rowgroups, [&](size_t rg) {
+      results[rg] = ValidateRowgroupChecksum(data, size, ctx, rg);
+    });
+    for (Status& r : results) {
+      if (!r.ok()) return std::move(r);
+    }
+  }
+
+  s = ValidateZoneMap(data, ctx);
+  if (!s.ok()) return s;
+
+  std::vector<Status> results(rowgroups);
+  ParallelFor(pool, rowgroups, [&](size_t rg) {
+    results[rg] = ValidateRowgroupStructure<T>(data, size, ctx, rg);
+  });
+  for (Status& r : results) {
+    if (!r.ok()) return std::move(r);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+template <typename T>
+Status ValidateColumnEx(const uint8_t* data, size_t size) {
+  return ValidateColumnImpl<T>(data, size, nullptr);
+}
+
+template <typename T>
+Status ValidateColumnParallelEx(const uint8_t* data, size_t size, ThreadPool* pool) {
+  return ValidateColumnImpl<T>(data, size, pool);
 }
 
 template <typename T>
@@ -965,10 +1105,20 @@ template std::vector<uint8_t> CompressColumn<double>(const double*, size_t,
 template std::vector<uint8_t> CompressColumn<float>(const float*, size_t,
                                                     const SamplerConfig&,
                                                     CompressionInfo*);
+template std::vector<uint8_t> CompressColumnParallel<double>(const double*, size_t,
+                                                             const SamplerConfig&,
+                                                             CompressionInfo*,
+                                                             ThreadPool*);
+template std::vector<uint8_t> CompressColumnParallel<float>(const float*, size_t,
+                                                            const SamplerConfig&,
+                                                            CompressionInfo*,
+                                                            ThreadPool*);
 template class ColumnReader<double>;
 template class ColumnReader<float>;
 template Status ValidateColumnEx<double>(const uint8_t*, size_t);
 template Status ValidateColumnEx<float>(const uint8_t*, size_t);
+template Status ValidateColumnParallelEx<double>(const uint8_t*, size_t, ThreadPool*);
+template Status ValidateColumnParallelEx<float>(const uint8_t*, size_t, ThreadPool*);
 template bool ValidateColumn<double>(const uint8_t*, size_t, std::string*);
 template bool ValidateColumn<float>(const uint8_t*, size_t, std::string*);
 template void DecompressColumn<double>(const std::vector<uint8_t>&, double*);

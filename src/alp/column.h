@@ -11,6 +11,7 @@
 #include "alp/rd.h"
 #include "alp/sampler.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 /// \file column.h
 /// The self-describing ALP column container: the public entry point most
@@ -37,6 +38,20 @@
 /// The trusted tier (constructor + DecodeVector/DecodeAll) skips per-vector
 /// re-validation for speed and is only for buffers this process produced or
 /// that already passed validation.
+///
+/// Parallelism: rowgroups are fully independent on both sides of the
+/// pipeline, so CompressColumnParallel, ColumnReader::OpenParallel (parallel
+/// checksum + structure verification) and TryDecodeAllParallel fan rowgroups
+/// out over a ThreadPool. All three carry a hard determinism contract:
+///  - encode: the produced buffer is byte-identical for every worker count
+///    (rowgroups are compressed into standalone segments and stitched in
+///    rowgroup order; nothing downstream depends on completion order);
+///  - decode/validate: the values and the reported Status are identical to
+///    the serial path's — when several rowgroups are bad, the Status of the
+///    lowest-indexed failure wins, which is exactly the one the serial scan
+///    would have hit first.
+/// tests/test_parallel.cc enforces both oracles; see also bench/
+/// bench_parallel_scaling.cc.
 
 namespace alp {
 
@@ -65,6 +80,22 @@ struct CompressionInfo {
   double ExceptionsPerVector() const {
     return vectors == 0 ? 0.0 : static_cast<double>(exceptions) / vectors;
   }
+
+  /// Accumulates another rowgroup's counters; every field is additive, so
+  /// merging per-rowgroup infos in rowgroup order reproduces the serial
+  /// counters exactly (the parallel pipeline relies on this).
+  void MergeFrom(const CompressionInfo& other) {
+    rowgroups += other.rowgroups;
+    rowgroups_rd += other.rowgroups_rd;
+    vectors += other.vectors;
+    exceptions += other.exceptions;
+    sampler.vectors += other.sampler.vectors;
+    sampler.vectors_skipped += other.sampler.vectors_skipped;
+    sampler.combinations_tried += other.sampler.combinations_tried;
+    for (size_t t = 0; t < 8; ++t) {
+      sampler.tried_histogram[t] += other.sampler.tried_histogram[t];
+    }
+  }
 };
 
 /// Compresses \p n values into a self-describing byte buffer.
@@ -72,6 +103,17 @@ template <typename T>
 std::vector<uint8_t> CompressColumn(const T* data, size_t n,
                                     const SamplerConfig& config = {},
                                     CompressionInfo* info = nullptr);
+
+/// Parallel CompressColumn: rowgroups are compressed concurrently on
+/// \p pool and stitched in rowgroup order. Guaranteed byte-identical to
+/// CompressColumn (and to itself at every worker count); \p info, when
+/// requested, carries identical counters too. A null \p pool falls back to
+/// the serial path.
+template <typename T>
+std::vector<uint8_t> CompressColumnParallel(const T* data, size_t n,
+                                            const SamplerConfig& config = {},
+                                            CompressionInfo* info = nullptr,
+                                            ThreadPool* pool = &ThreadPool::Shared());
 
 /// Current (newest) and oldest-readable versions of the column container.
 inline constexpr uint8_t kColumnFormatVersion = 3;     ///< v3: checksums.
@@ -86,6 +128,13 @@ class ColumnReader {
   /// verification, then index parsing. v2 buffers are accepted with
   /// checksum verification skipped. The buffer must outlive the reader.
   static StatusOr<ColumnReader<T>> Open(const uint8_t* data, size_t size);
+
+  /// Open with the rowgroup checksum + structure verification fanned out
+  /// over \p pool. Accepts and rejects exactly the same buffers as Open,
+  /// with the same Status (lowest-offending-rowgroup reporting); a null
+  /// \p pool degenerates to Open.
+  static StatusOr<ColumnReader<T>> OpenParallel(const uint8_t* data, size_t size,
+                                                ThreadPool* pool = &ThreadPool::Shared());
 
   /// Parses the header and indexes without validation; only for trusted
   /// buffers (ones this process produced or that already passed
@@ -137,6 +186,13 @@ class ColumnReader {
   /// Bounds-checked decode of the whole column (room for value_count()).
   Status TryDecodeAll(T* out) const;
 
+  /// TryDecodeAll with rowgroups decoded concurrently on \p pool. Values
+  /// written to \p out are identical to the serial path's; on failure the
+  /// returned Status is the serial path's (the lowest-indexed failing
+  /// vector's). Safe to call from several threads on one reader — decoding
+  /// is read-only — including several concurrent calls sharing one pool.
+  Status TryDecodeAllParallel(T* out, ThreadPool* pool = &ThreadPool::Shared()) const;
+
  private:
   struct RowgroupInfo {
     size_t byte_offset = 0;          ///< Absolute offset in the buffer.
@@ -171,6 +227,15 @@ class ColumnReader {
 /// Never reads past \p size, never crashes on adversarial input.
 template <typename T>
 Status ValidateColumnEx(const uint8_t* data, size_t size);
+
+/// ValidateColumnEx with the per-rowgroup work (checksum verification, then
+/// structural walk) fanned out over \p pool. Same accept/reject decisions
+/// and same Status as the serial validator: when several rowgroups are bad
+/// the lowest-indexed rowgroup's failure is reported, per verification
+/// phase. A null \p pool degenerates to the serial validator.
+template <typename T>
+Status ValidateColumnParallelEx(const uint8_t* data, size_t size,
+                                ThreadPool* pool = &ThreadPool::Shared());
 
 /// Boolean convenience wrapper around ValidateColumnEx (the pre-Status
 /// API); \p reason receives the Status message on failure.

@@ -1,0 +1,107 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace alp {
+
+unsigned ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("ALP_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = threads == 0 ? DefaultThreadCount() : threads;
+  queues_.resize(count);
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::TryTake(unsigned self, std::function<void()>* task) {
+  if (!queues_[self].empty()) {
+    *task = std::move(queues_[self].back());  // Own queue: LIFO.
+    queues_[self].pop_back();
+    return true;
+  }
+  const unsigned n = static_cast<unsigned>(queues_.size());
+  for (unsigned hop = 1; hop < n; ++hop) {
+    auto& victim = queues_[(self + hop) % n];
+    if (!victim.empty()) {
+      *task = std::move(victim.front());  // Steal: FIFO.
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(unsigned index) {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      // Drain-before-exit: take work even when shutting down, so queued
+      // tasks (and the TaskGroups waiting on them) always complete.
+      work_cv_.wait(lock, [&] { return TryTake(index, &task) || shutdown_; });
+      if (!task) return;  // Shutdown with all queues drained.
+    }
+    task();
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    // Notify under the lock: once pending_ hits 0 a waiter may destroy
+    // this group the moment it reacquires the mutex, so the notification
+    // must not touch members after unlocking.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --pending_;
+    done_cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  if (pool_ == nullptr) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace alp
+

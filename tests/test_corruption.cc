@@ -23,12 +23,23 @@
 
 #include "alp/alp.h"
 #include "codecs/codec.h"
+#include "test_fixtures.h"
 #include "util/bits.h"
 #include "util/checksum.h"
 #include "util/status.h"
 
 namespace alp {
 namespace {
+
+using testutil::AlpSmall;
+using testutil::Classify;
+using testutil::Corpus;
+using testutil::HighPrecisionData;
+using testutil::kVersionByte;
+using testutil::MutationOutcome;
+using testutil::RdSmall;
+using testutil::StripToV2;
+using testutil::TwoRowgroups;
 
 // ---------------------------------------------------------------------------
 // Status / StatusOr substrate.
@@ -130,101 +141,8 @@ TEST(Checksum, StreamMatchesOneShot) {
 }
 
 // ---------------------------------------------------------------------------
-// Column corpora and mutation helpers.
-
-/// Mostly-decimal data (compresses via ALP) with occasional specials.
-std::vector<double> DecimalData(uint64_t seed, size_t n) {
-  std::mt19937_64 rng(seed);
-  std::vector<double> data(n);
-  for (auto& v : data) {
-    switch (rng() % 16) {
-      case 0: v = DoubleFromBits(rng()); break;  // Exception fodder.
-      case 1: v = 0.0; break;
-      default: {
-        const int64_t d = static_cast<int64_t>(rng() % 1000000) - 500000;
-        v = static_cast<double>(d) / 100.0;
-        break;
-      }
-    }
-  }
-  return data;
-}
-
-/// Full-precision reals: the sampler sends these rowgroups to ALP_rd.
-std::vector<double> HighPrecisionData(uint64_t seed, size_t n) {
-  std::mt19937_64 rng(seed);
-  std::vector<double> data(n);
-  for (auto& v : data) {
-    v = DoubleFromBits((rng() & 0x000FFFFFFFFFFFFFULL) | 0x3FE0000000000000ULL);
-  }
-  return data;
-}
-
-struct Corpus {
-  const char* name;
-  std::vector<double> values;
-  std::vector<uint8_t> buffer;
-};
-
-Corpus MakeCorpus(const char* name, std::vector<double> values) {
-  Corpus corpus;
-  corpus.name = name;
-  corpus.values = std::move(values);
-  corpus.buffer = CompressColumn(corpus.values.data(), corpus.values.size());
-  return corpus;
-}
-
-/// Small single-rowgroup ALP column (every bit of it gets flipped).
-const Corpus& AlpSmall() {
-  static const Corpus corpus =
-      MakeCorpus("alp_small", DecimalData(101, 2 * kVectorSize + 77));
-  return corpus;
-}
-
-/// Small ALP_rd column, exercising the RdHeader/dictionary paths.
-const Corpus& RdSmall() {
-  static const Corpus corpus =
-      MakeCorpus("rd_small", HighPrecisionData(202, kVectorSize + 13));
-  return corpus;
-}
-
-/// Two rowgroups, mixed schemes, for seeded random mutations.
-const Corpus& TwoRowgroups() {
-  static const Corpus corpus = [] {
-    std::vector<double> values = DecimalData(303, kRowgroupSize);
-    const std::vector<double> tail =
-        HighPrecisionData(304, 3 * kVectorSize + 5);
-    values.insert(values.end(), tail.begin(), tail.end());
-    return MakeCorpus("two_rowgroups", std::move(values));
-  }();
-  return corpus;
-}
-
-enum class MutationOutcome { kRejected, kRoundTripped, kSilentCorruption };
-
-/// Decodes a (possibly mutated) buffer through the fallible path and
-/// classifies the result against the original values.
-MutationOutcome Classify(const std::vector<uint8_t>& buffer,
-                         const std::vector<double>& original) {
-  StatusOr<ColumnReader<double>> reader =
-      ColumnReader<double>::Open(buffer.data(), buffer.size());
-  if (!reader.ok()) return MutationOutcome::kRejected;
-  if (reader->value_count() != original.size()) {
-    return MutationOutcome::kSilentCorruption;
-  }
-  std::vector<double> out(reader->value_count());
-  if (!reader->TryDecodeAll(out.data()).ok()) return MutationOutcome::kRejected;
-  return std::memcmp(out.data(), original.data(),
-                     original.size() * sizeof(double)) == 0
-             ? MutationOutcome::kRoundTripped
-             : MutationOutcome::kSilentCorruption;
-}
-
-/// Byte offset of the version field inside ColumnHeader. Flipping it is the
-/// one mutation checksums cannot flag (a 3 -> 2 downgrade disables
-/// verification), so those cases fall back to the reject-or-round-trip
-/// invariant instead of must-reject.
-constexpr size_t kVersionByte = 4;
+// Column corpora and mutation helpers live in test_fixtures.h, shared with
+// the golden-vector and parallel-pipeline suites.
 
 // ---------------------------------------------------------------------------
 // Valid buffers through the fallible path.
@@ -302,38 +220,8 @@ TEST(ColumnOpen, RejectsUnsupportedVersions) {
 }
 
 // ---------------------------------------------------------------------------
-// v2 compatibility: checksum sections stripped, version byte set to 2.
-
-/// Rewrites a v3 buffer as the v2 layout it extends: drops the rowgroup
-/// checksum section and the header checksum slot, and rebases the rowgroup
-/// offsets. The result is byte-identical to what the v2 writer produced.
-std::vector<uint8_t> StripToV2(const std::vector<uint8_t>& v3) {
-  uint64_t value_count = 0;
-  uint32_t rowgroup_count = 0;
-  std::memcpy(&value_count, v3.data() + 8, sizeof(value_count));
-  std::memcpy(&rowgroup_count, v3.data() + 16, sizeof(rowgroup_count));
-  const size_t total_vectors = (value_count + kVectorSize - 1) / kVectorSize;
-
-  const size_t offsets_at = 24;
-  const size_t checksums_at = offsets_at + size_t{rowgroup_count} * 8;
-  const size_t stats_at = checksums_at + size_t{rowgroup_count} * 8;
-  const size_t header_checksum_at = stats_at + total_vectors * 16;
-  const size_t payload_begin = header_checksum_at + 8;
-  const size_t delta = payload_begin - (checksums_at + total_vectors * 16);
-
-  std::vector<uint8_t> v2;
-  v2.insert(v2.end(), v3.begin(), v3.begin() + checksums_at);
-  v2.insert(v2.end(), v3.begin() + stats_at, v3.begin() + header_checksum_at);
-  v2.insert(v2.end(), v3.begin() + payload_begin, v3.end());
-  v2[kVersionByte] = 2;
-  for (uint32_t rg = 0; rg < rowgroup_count; ++rg) {
-    uint64_t offset = 0;
-    std::memcpy(&offset, v2.data() + offsets_at + rg * 8, sizeof(offset));
-    offset -= delta;
-    std::memcpy(v2.data() + offsets_at + rg * 8, &offset, sizeof(offset));
-  }
-  return v2;
-}
+// v2 compatibility: checksum sections stripped, version byte set to 2
+// (StripToV2 in test_fixtures.h).
 
 TEST(ColumnV2Compat, V2BuffersStillDecode) {
   for (const Corpus* corpus : {&AlpSmall(), &RdSmall(), &TwoRowgroups()}) {

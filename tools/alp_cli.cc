@@ -1,15 +1,20 @@
 // alp — command-line front end for the ALP column format.
 //
-//   alp compress   <in.bin|in.csv> <out.alp>     compress doubles
-//   alp decompress <in.alp> <out.bin|out.csv>    restore doubles
+//   alp [--threads=N] compress   <in.bin|in.csv> <out.alp>   compress doubles
+//   alp [--threads=N] decompress <in.alp> <out.bin|out.csv>  restore doubles
 //   alp inspect    <in.alp>                      header, schemes, ratios
-//   alp verify     <in.alp> <original>           bit-exactness check
+//   alp [--threads=N] verify <in.alp> <original> bit-exactness check
 //   alp bench      <in.bin|in.csv>               compare all schemes on a file
 //   alp gen        <dataset> <count> <out>       emit a surrogate dataset
 //   alp datasets                                 list surrogate names
 //
 // Binary files are raw host-endian float64; ".csv"/".txt" files hold one
 // value per line.
+//
+// --threads=N (or the ALP_THREADS environment variable) sets the worker
+// count for the parallel rowgroup pipeline; the default is the hardware
+// concurrency. The compressed output is byte-identical at every thread
+// count — see README "Threading & determinism".
 
 #include <cinttypes>
 #include <cstdio>
@@ -22,19 +27,33 @@
 #include "data/datasets.h"
 #include "util/cycle_clock.h"
 #include "util/file_io.h"
+#include "util/thread_pool.h"
 
 namespace {
+
+/// Worker count for the parallel rowgroup pipeline: --threads=N wins, then
+/// ALP_THREADS, then hardware concurrency (ThreadPool::DefaultThreadCount).
+unsigned g_threads = 0;
+
+alp::ThreadPool& Pool() {
+  static alp::ThreadPool pool(g_threads == 0 ? alp::ThreadPool::DefaultThreadCount()
+                                             : g_threads);
+  return pool;
+}
 
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  alp compress   <in.bin|in.csv> <out.alp>\n"
-               "  alp decompress <in.alp> <out.bin|out.csv>\n"
+               "  alp [--threads=N] compress   <in.bin|in.csv> <out.alp>\n"
+               "  alp [--threads=N] decompress <in.alp> <out.bin|out.csv>\n"
                "  alp inspect    <in.alp>\n"
-               "  alp verify     <in.alp> <original.bin|original.csv>\n"
+               "  alp [--threads=N] verify <in.alp> <original.bin|original.csv>\n"
                "  alp bench      <in.bin|in.csv>\n"
                "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
-               "  alp datasets\n");
+               "  alp datasets\n"
+               "\n"
+               "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
+               "output bytes are identical at every thread count.\n");
   return 2;
 }
 
@@ -50,7 +69,8 @@ int CmdCompress(const std::string& in_path, const std::string& out_path) {
 
   alp::CompressionInfo info;
   const uint64_t t0 = alp::CycleNow();
-  const auto buffer = alp::CompressColumn(values->data(), values->size(), {}, &info);
+  const auto buffer =
+      alp::CompressColumnParallel(values->data(), values->size(), {}, &info, &Pool());
   const uint64_t cycles = alp::CycleNow() - t0;
 
   if (!alp::WriteFileBytes(out_path, buffer.data(), buffer.size())) {
@@ -60,29 +80,33 @@ int CmdCompress(const std::string& in_path, const std::string& out_path) {
               buffer.size(), alp::BitsPerValue<double>(buffer, values->size()),
               values->size() * 8.0 / buffer.size());
   std::printf("rowgroups: %zu (%zu ALP_rd) | exceptions/vector: %.2f | "
-              "%.3f tuples/cycle\n",
+              "%.3f tuples/cycle | %u threads\n",
               info.rowgroups, info.rowgroups_rd, info.ExceptionsPerVector(),
-              cycles == 0 ? 0.0 : static_cast<double>(values->size()) / cycles);
+              cycles == 0 ? 0.0 : static_cast<double>(values->size()) / cycles,
+              Pool().size());
   return 0;
 }
 
 int CmdDecompress(const std::string& in_path, const std::string& out_path) {
   const auto buffer = alp::ReadFileBytes(in_path);
   if (!buffer.has_value()) return Fail("cannot read input", in_path);
-  auto reader = alp::ColumnReader<double>::Open(buffer->data(), buffer->size());
+  auto reader = alp::ColumnReader<double>::OpenParallel(buffer->data(),
+                                                        buffer->size(), &Pool());
   if (!reader.ok()) {
     return Fail("not a valid ALP column", reader.status().ToString());
   }
   std::vector<double> values(reader->value_count());
   const uint64_t t0 = alp::CycleNow();
-  const alp::Status decode = reader->TryDecodeAll(values.data());
+  const alp::Status decode = reader->TryDecodeAllParallel(values.data(), &Pool());
   const uint64_t cycles = alp::CycleNow() - t0;
   if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
   if (!alp::WriteDoublesFile(out_path, values.data(), values.size())) {
     return Fail("cannot write output", out_path);
   }
-  std::printf("%zu values restored (%.3f tuples/cycle)\n", values.size(),
-              cycles == 0 ? 0.0 : static_cast<double>(values.size()) / cycles);
+  std::printf("%zu values restored (%.3f tuples/cycle, %u threads)\n",
+              values.size(),
+              cycles == 0 ? 0.0 : static_cast<double>(values.size()) / cycles,
+              Pool().size());
   return 0;
 }
 
@@ -125,7 +149,8 @@ int CmdVerify(const std::string& alp_path, const std::string& original_path) {
   if (!original.ok()) {
     return Fail("cannot read original", original.status().ToString());
   }
-  auto reader = alp::ColumnReader<double>::Open(buffer->data(), buffer->size());
+  auto reader = alp::ColumnReader<double>::OpenParallel(buffer->data(),
+                                                        buffer->size(), &Pool());
   if (!reader.ok()) {
     return Fail("not a valid ALP column", reader.status().ToString());
   }
@@ -133,7 +158,7 @@ int CmdVerify(const std::string& alp_path, const std::string& original_path) {
     return Fail("value counts differ");
   }
   std::vector<double> restored(reader->value_count());
-  const alp::Status decode = reader->TryDecodeAll(restored.data());
+  const alp::Status decode = reader->TryDecodeAllParallel(restored.data(), &Pool());
   if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
   for (size_t i = 0; i < restored.size(); ++i) {
     if (alp::BitsOf(restored[i]) != alp::BitsOf((*original)[i])) {
@@ -216,6 +241,20 @@ int CmdDatasets() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global options come before the command; only --threads=N so far.
+  int arg = 1;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strncmp(argv[arg], "--threads=", 10) == 0) {
+      const long v = std::atol(argv[arg] + 10);
+      if (v <= 0) return Fail("bad --threads value", argv[arg]);
+      g_threads = static_cast<unsigned>(v);
+    } else {
+      return Usage();
+    }
+    ++arg;
+  }
+  argc -= arg - 1;
+  argv += arg - 1;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   if (command == "compress" && argc == 4) return CmdCompress(argv[2], argv[3]);
