@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -55,6 +56,112 @@ inline void Rule(char c = '-', int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');
 }
+
+/// Machine-readable emission shared by every bench binary (schema
+/// "alp-bench-v1", documented in docs/BENCH_SCHEMA.md). A binary calls
+/// JsonReport::FromArgs(argc, argv, "bench_name") once; when the user passed
+/// --json=<path> the human-formatted stdout stays untouched and every
+/// Add()ed record is additionally written to <path> on Write() (or at
+/// destruction). With no --json flag all calls are no-ops.
+///
+/// One record = one (dataset, scheme, metric) measurement:
+///   {"dataset": "City-Temp", "scheme": "ALP", "metric": "bits_per_value",
+///    "value": 7.23, "unit": "bits" [, "threads": 4]}
+/// Canonical metric names: bits_per_value, compression_ratio,
+/// compress_tuples_per_cycle, decompress_tuples_per_cycle,
+/// compress_cycles_per_value, decompress_cycles_per_value,
+/// tuples_per_cycle_per_core. Keep units consistent with the metric (see
+/// the schema doc) so cross-bench comparison stays trivial.
+class JsonReport {
+ public:
+  JsonReport() = default;
+
+  /// Scans argv for --json=<path>; unrelated arguments are ignored so
+  /// binaries with their own flags can share the scan.
+  static JsonReport FromArgs(int argc, char** argv, std::string bench_name) {
+    JsonReport report;
+    report.bench_ = std::move(bench_name);
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--json=", 7) == 0 && a[7] != '\0') {
+        report.path_ = a + 7;
+      }
+    }
+    return report;
+  }
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+  JsonReport(JsonReport&& other) noexcept { *this = std::move(other); }
+  JsonReport& operator=(JsonReport&& other) noexcept {
+    bench_ = std::move(other.bench_);
+    path_ = std::move(other.path_);
+    records_ = std::move(other.records_);
+    written_ = other.written_;
+    other.path_.clear();
+    return *this;
+  }
+
+  ~JsonReport() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Appends one measurement record; \p threads < 0 omits the field.
+  void Add(const std::string& dataset, const std::string& scheme,
+           const std::string& metric, double value, const std::string& unit,
+           int threads = -1) {
+    if (!enabled()) return;
+    std::string rec = "    {\"dataset\": " + Quote(dataset) +
+                      ", \"scheme\": " + Quote(scheme) +
+                      ", \"metric\": " + Quote(metric) + ", \"value\": ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    rec += buf;
+    rec += ", \"unit\": " + Quote(unit);
+    if (threads >= 0) {
+      rec += ", \"threads\": " + std::to_string(threads);
+    }
+    rec += "}";
+    records_.push_back(std::move(rec));
+  }
+
+  /// Writes the report file; safe to call more than once (later calls
+  /// rewrite with any records added since). Returns false on I/O failure.
+  bool Write() {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"alp-bench-v1\",\n  \"bench\": %s,\n"
+                 "  \"records\": [\n", Quote(bench_).c_str());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    written_ = true;
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+    return out;
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<std::string> records_;
+  bool written_ = false;
+};
 
 }  // namespace alp::bench
 

@@ -15,7 +15,8 @@
 #include "codecs/codec.h"
 #include "data/datasets.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig1_scatter");
   const size_t n = alp::bench::ValuesPerDataset(128 * 1024);
   constexpr uint64_t kBudget = 3'000'000;  // Cycles per speed measurement.
 
@@ -45,6 +46,10 @@ int main() {
           [&] { alp::bench::AlpMicroDecompress(vec, out); }, alp::kVectorSize, kBudget);
       std::printf("%-14s %-10s %12.1f %12.3f %12.3f\n",
                   std::string(spec.name).c_str(), "ALP", ratio, comp, dec);
+      const std::string ds(spec.name);
+      json.Add(ds, "ALP", "bits_per_value", ratio, "bits");
+      json.Add(ds, "ALP", "compress_tuples_per_cycle", comp, "tuples/cycle");
+      json.Add(ds, "ALP", "decompress_tuples_per_cycle", dec, "tuples/cycle");
       alp_ratio += ratio;
       alp_comp += comp;
       alp_dec += dec;
@@ -72,6 +77,11 @@ int main() {
       std::printf("%-14s %-10s %12.1f %12.3f %12.3f\n",
                   std::string(spec.name).c_str(),
                   std::string(codec->name()).c_str(), ratio, comp, dec);
+      const std::string ds(spec.name);
+      const std::string scheme(codec->name());
+      json.Add(ds, scheme, "bits_per_value", ratio, "bits");
+      json.Add(ds, scheme, "compress_tuples_per_cycle", comp, "tuples/cycle");
+      json.Add(ds, scheme, "decompress_tuples_per_cycle", dec, "tuples/cycle");
       best_other_comp = std::max(best_other_comp, comp);
       best_other_dec = std::max(best_other_dec, dec);
     }

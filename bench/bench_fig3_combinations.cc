@@ -11,7 +11,8 @@
 #include "bench_common.h"
 #include "data/datasets.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig3_combinations");
   const size_t n = alp::bench::ValuesPerDataset(128 * 1024);
   std::printf("Figure 3: best (e,f) combinations per dataset (%zu values each)\n\n", n);
   std::printf("%-14s %10s %12s %12s %12s   %s\n", "Dataset", "#combos",
@@ -33,6 +34,11 @@ int main() {
                   a.histogram[i].second);
     }
     std::printf("\n");
+    const std::string ds(spec.name);
+    json.Add(ds, "ALP", "winning_combinations", static_cast<double>(a.histogram.size()),
+             "combinations");
+    json.Add(ds, "ALP", "top1_coverage", a.CoverageOfTop(1), "fraction");
+    json.Add(ds, "ALP", "top5_coverage", a.CoverageOfTop(5), "fraction");
     datasets_single += a.histogram.size() == 1;
     datasets_top5 += a.CoverageOfTop(5) >= 0.99;
     ++total;

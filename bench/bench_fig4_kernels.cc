@@ -14,7 +14,8 @@
 #include "bench_common.h"
 #include "data/datasets.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig4_kernels");
   constexpr uint64_t kBudget = 8'000'000;
   std::printf("Figure 4: fused decode kernel flavours, tuples per cycle\n");
   std::printf("(explicit SIMD path %s on this host)\n\n",
@@ -46,6 +47,10 @@ int main() {
 
     std::printf("%-14s %12.3f %16.3f %12.3f\n", std::string(spec.name).c_str(),
                 scalar, autovec, simd);
+    const std::string ds(spec.name);
+    json.Add(ds, "ALP-scalar", "decompress_tuples_per_cycle", scalar, "tuples/cycle");
+    json.Add(ds, "ALP-autovec", "decompress_tuples_per_cycle", autovec, "tuples/cycle");
+    json.Add(ds, "ALP-simd", "decompress_tuples_per_cycle", simd, "tuples/cycle");
     sum_scalar += scalar;
     sum_auto += autovec;
     sum_simd += simd;

@@ -37,7 +37,8 @@ FusionResult Measure(const alp::bench::AlpMicroVector& vec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig5_fusion");
   std::printf("Figure 5 (top): fused vs unfused ALP+FFOR decode per dataset\n\n");
   std::printf("%-14s %10s %10s %10s\n", "Dataset", "fused t/c", "unfused", "speedup");
   alp::bench::Rule('-', 50);
@@ -52,6 +53,10 @@ int main() {
     const FusionResult r = Measure(vec);
     std::printf("%-14s %10.3f %10.3f %9.2fx\n", std::string(spec.name).c_str(),
                 r.fused, r.unfused, r.fused / r.unfused);
+    const std::string ds(spec.name);
+    json.Add(ds, "ALP-fused", "decompress_tuples_per_cycle", r.fused, "tuples/cycle");
+    json.Add(ds, "ALP-unfused", "decompress_tuples_per_cycle", r.unfused,
+             "tuples/cycle");
     total_speedup += r.fused / r.unfused;
     ++count;
   }

@@ -10,7 +10,8 @@
 #include "bench_common.h"
 #include "data/datasets.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table2_metrics");
   const size_t n = alp::bench::ValuesPerDataset();
   std::printf("Table 2: dataset metrics over %zu values per surrogate\n\n", n);
   std::printf("%-14s %4s %4s %5s %5s | %7s %11s %11s | %7s %6s | %6s %9s %6s | %6s %6s\n",
@@ -35,6 +36,16 @@ int main() {
         m.value_std, m.exponent_avg, m.exponent_std, 100.0 * m.success_per_value,
         m.best_dataset_exponent, 100.0 * m.success_dataset,
         100.0 * m.success_per_vector, m.xor_leading_avg, m.xor_trailing_avg);
+
+    // Dataset-intrinsic metrics carry scheme "data" in the JSON schema.
+    const std::string name(spec.name);
+    json.Add(name, "data", "precision_avg", m.precision_avg, "digits");
+    json.Add(name, "data", "non_unique_fraction", m.non_unique_fraction, "fraction");
+    json.Add(name, "data", "success_per_value", m.success_per_value, "fraction");
+    json.Add(name, "data", "success_dataset", m.success_dataset, "fraction");
+    json.Add(name, "data", "success_per_vector", m.success_per_vector, "fraction");
+    json.Add(name, "data", "xor_leading_avg", m.xor_leading_avg, "bits");
+    json.Add(name, "data", "xor_trailing_avg", m.xor_trailing_avg, "bits");
 
     auto& acc = spec.time_series ? ts_avg : nts_avg;
     (spec.time_series ? ts_count : nts_count)++;

@@ -24,7 +24,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table4_ratio");
   const size_t n = alp::bench::ValuesPerDataset();
   auto codecs = alp::codecs::AllDoubleCodecs();
   const size_t scheme_count = codecs.size() + 1;  // + LWC+ALP cascade.
@@ -49,10 +50,17 @@ int main() {
     for (const auto& codec : codecs) {
       if (codec->name() == "Zstd") {
         const auto cascaded = alp::CascadeCompress(data.data(), data.size());
-        row.bits.push_back(cascaded.size() * 8.0 / data.size());
+        const double bits = cascaded.size() * 8.0 / data.size();
+        row.bits.push_back(bits);
+        json.Add(row.name, "LWC+ALP", "bits_per_value", bits, "bits");
+        json.Add(row.name, "LWC+ALP", "compression_ratio", 64.0 / bits, "x");
       }
       const auto compressed = codec->Compress(data.data(), data.size());
-      row.bits.push_back(compressed.size() * 8.0 / data.size());
+      const double bits = compressed.size() * 8.0 / data.size();
+      row.bits.push_back(bits);
+      json.Add(row.name, std::string(codec->name()), "bits_per_value", bits, "bits");
+      json.Add(row.name, std::string(codec->name()), "compression_ratio",
+               64.0 / bits, "x");
     }
     rows.push_back(std::move(row));
 

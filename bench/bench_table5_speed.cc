@@ -24,7 +24,8 @@ constexpr uint64_t kMinCycles = 20'000'000;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table5_speed");
   const auto& datasets = alp::data::AllDatasets();
   std::map<std::string, std::pair<double, double>> totals;  // name -> (comp, dec).
 
@@ -47,6 +48,13 @@ int main() {
         alp::kVectorSize, kMinCycles);
     totals["ALP"].first += alp_comp;
     totals["ALP"].second += alp_dec;
+    const std::string ds(spec.name);
+    json.Add(ds, "ALP", "compress_tuples_per_cycle", alp_comp, "tuples/cycle");
+    json.Add(ds, "ALP", "decompress_tuples_per_cycle", alp_dec, "tuples/cycle");
+    json.Add(ds, "ALP", "compress_cycles_per_value",
+             alp_comp == 0 ? 0.0 : 1.0 / alp_comp, "cycles/value");
+    json.Add(ds, "ALP", "decompress_cycles_per_value",
+             alp_dec == 0 ? 0.0 : 1.0 / alp_dec, "cycles/value");
 
     // --- Baselines: one vector per call (Zstd: one rowgroup per call). ---
     for (const auto& codec : alp::codecs::AllDoubleCodecs()) {
@@ -67,6 +75,9 @@ int main() {
           tuples, budget);
       totals[std::string(codec->name())].first += comp;
       totals[std::string(codec->name())].second += dec;
+      const std::string scheme(codec->name());
+      json.Add(ds, scheme, "compress_tuples_per_cycle", comp, "tuples/cycle");
+      json.Add(ds, scheme, "decompress_tuples_per_cycle", dec, "tuples/cycle");
     }
     std::printf("  measured %s\n", std::string(spec.name).c_str());
   }

@@ -37,7 +37,8 @@ std::vector<unsigned> ThreadCounts() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table6_endtoend");
   const size_t n = alp::bench::ValuesPerDataset(4 * 1024 * 1024);
   const auto threads = ThreadCounts();
   const char* kDatasets[] = {"Gov/26", "City-Temp", "Food-prices", "Blockchain",
@@ -76,11 +77,17 @@ int main() {
         ThreadPool pool(t);
         const QueryResult r = RunScan(column, pool);
         std::printf("  %15.3f", r.TuplesPerCyclePerCore());
+        json.Add(name, column.scheme(), "scan_tuples_per_cycle_per_core",
+                 r.TuplesPerCyclePerCore(), "tuples/cycle/core",
+                 static_cast<int>(t));
       }
       for (unsigned t : threads) {
         ThreadPool pool(t);
         const QueryResult r = RunSum(column, pool);
         std::printf("  %15.3f", r.TuplesPerCyclePerCore());
+        json.Add(name, column.scheme(), "sum_tuples_per_cycle_per_core",
+                 r.TuplesPerCyclePerCore(), "tuples/cycle/core",
+                 static_cast<int>(t));
         if (t == threads.front()) sum_cpt = r.CyclesPerTuple();
       }
       const QueryResult comp = RunCompression(column, data.data(), data.size());
@@ -88,7 +95,11 @@ int main() {
         std::printf("  %11s", "N/A");
       } else {
         std::printf("  %11.3f", comp.TuplesPerCyclePerCore());
+        json.Add(name, column.scheme(), "comp_tuples_per_cycle_per_core",
+                 comp.TuplesPerCyclePerCore(), "tuples/cycle/core");
       }
+      json.Add(name, column.scheme(), "sum_cycles_per_tuple", sum_cpt,
+               "cycles/tuple", static_cast<int>(threads.front()));
       std::printf("  %14.2f\n", sum_cpt);
     }
     std::printf("\n");

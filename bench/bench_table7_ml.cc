@@ -16,7 +16,8 @@
 #include "data/ml_weights.h"
 #include "util/bits.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table7_ml");
   const size_t cap = alp::bench::ValuesPerDataset(1024 * 1024);
 
   std::printf("Table 7: ML model weights (float32), bits per value\n\n");
@@ -50,6 +51,10 @@ int main() {
       const double bits = compressed.size() * 8.0 / weights.size();
       avg[c] += bits / 4.0;
       std::printf(" %11.1f", bits);
+      json.Add(std::string(model.name), std::string(codecs[c]->name()),
+               "bits_per_value", bits, "bits");
+      json.Add(std::string(model.name), std::string(codecs[c]->name()),
+               "compression_ratio", 32.0 / bits, "x");
     }
     std::printf("\n");
   }
@@ -73,8 +78,11 @@ int main() {
     }
     const auto d64 = alp::CompressColumn(doubles.data(), doubles.size());
     const auto d32 = alp::CompressColumn(floats.data(), floats.size());
-    std::printf("%-14s %16.1f %16.1f\n", name, d64.size() * 8.0 / doubles.size(),
-                d32.size() * 8.0 / floats.size());
+    const double bits64 = d64.size() * 8.0 / doubles.size();
+    const double bits32 = d32.size() * 8.0 / floats.size();
+    std::printf("%-14s %16.1f %16.1f\n", name, bits64, bits32);
+    json.Add(name, "ALP64", "bits_per_value", bits64, "bits");
+    json.Add(name, "ALP32", "bits_per_value", bits32, "bits");
   }
   std::printf("(same compressed size => halved compression ratio at 32-bit width,\n"
               "as Section 4.4 reports)\n");

@@ -9,6 +9,7 @@
 #include "fastlanes/bitpack.h"
 #include "fastlanes/delta.h"
 #include "fastlanes/ffor.h"
+#include "obs/trace.h"
 #include "util/checksum.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
@@ -120,25 +121,34 @@ void WriteAlpVector(const EncodedVector<T>& enc, bool try_delta, ByteBuffer* out
   Uint packed[kVectorSize];
   fastlanes::DeltaParams delta;
   bool use_delta = false;
-  if constexpr (sizeof(T) == 8) {
-    if (try_delta) {
-      delta = fastlanes::DeltaAnalyze(enc.encoded, kVectorSize);
-      use_delta = delta.width < ffor.width;
-    }
-  }
-  if (use_delta) {
+  {
+    ALP_OBS_SPAN(pack_span, "compress.pack", kVectorSize);
     if constexpr (sizeof(T) == 8) {
-      fastlanes::DeltaEncode(enc.encoded, packed, delta);
-      header.int_encoding = kIntDelta;
-      header.width = static_cast<uint8_t>(delta.width);
-      header.base = static_cast<uint64_t>(delta.first);
+      if (try_delta) {
+        delta = fastlanes::DeltaAnalyze(enc.encoded, kVectorSize);
+        use_delta = delta.width < ffor.width;
+      }
     }
-  } else {
-    fastlanes::FforEncode(enc.encoded, packed, ffor);
-    header.int_encoding = kIntFfor;
-    header.width = static_cast<uint8_t>(ffor.width);
-    header.base = ffor.base;
+    if (use_delta) {
+      if constexpr (sizeof(T) == 8) {
+        fastlanes::DeltaEncode(enc.encoded, packed, delta);
+        header.int_encoding = kIntDelta;
+        header.width = static_cast<uint8_t>(delta.width);
+        header.base = static_cast<uint64_t>(delta.first);
+      }
+    } else {
+      fastlanes::FforEncode(enc.encoded, packed, ffor);
+      header.int_encoding = kIntFfor;
+      header.width = static_cast<uint8_t>(ffor.width);
+      header.base = ffor.base;
+    }
   }
+  ALP_OBS_ONLY({
+    static obs::Histogram& widths = obs::MetricRegistry::Global().GetHistogram(
+        "encode.bit_width", {0, 4, 8, 12, 16, 20, 24, 28, 32, 40, 48, 56, 64},
+        "bits");
+    widths.Record(header.width);
+  });
   out->Append(header);
   out->AppendArray(packed, static_cast<size_t>(header.width) * kLanes);
   // Exceptions: raw value bits, then positions.
@@ -183,7 +193,30 @@ void CompressRowgroupTo(const T* rg_data, size_t rg_len, const SamplerConfig& co
   const size_t rg_begin = out->size();
   const uint32_t vectors_here =
       static_cast<uint32_t>((rg_len + kVectorSize - 1) / kVectorSize);
-  const RowgroupAnalysis analysis = AnalyzeRowgroup(rg_data, rg_len, config);
+  ALP_OBS_SPAN(rowgroup_span, "compress.rowgroup", rg_len);
+  ALP_OBS_ONLY({
+    // Worker attribution: which pool worker compressed this rowgroup (the
+    // serial path runs off-pool and is counted separately).
+    const int worker = ThreadPool::CurrentWorkerIndex();
+    if (worker >= 0) {
+      static obs::Histogram& by_worker =
+          obs::MetricRegistry::Global().GetHistogram(
+              "compress.rowgroups_by_worker",
+              {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+              "worker");
+      by_worker.Record(static_cast<uint64_t>(worker));
+    } else {
+      static obs::Counter& serial =
+          obs::MetricRegistry::Global().GetCounter("compress.rowgroups_serial");
+      serial.Increment();
+    }
+  });
+
+  RowgroupAnalysis analysis;
+  {
+    ALP_OBS_SPAN(sample_span, "compress.sample", rg_len);
+    analysis = AnalyzeRowgroup(rg_data, rg_len, config);
+  }
 
   RowgroupHeader rg_header{};
   rg_header.scheme = static_cast<uint8_t>(analysis.scheme);
@@ -192,6 +225,7 @@ void CompressRowgroupTo(const T* rg_data, size_t rg_len, const SamplerConfig& co
 
   RdParams<T> rd_params;
   if (analysis.scheme == Scheme::kAlpRd) {
+    ALP_OBS_SPAN(rd_sample_span, "compress.sample_rd", rg_len);
     rd_params = RdAnalyzeRowgroup(rg_data, rg_len, config);
     RdHeader rd_header{};
     rd_header.right_bits = rd_params.right_bits;
@@ -221,18 +255,27 @@ void CompressRowgroupTo(const T* rg_data, size_t rg_len, const SamplerConfig& co
     }
 
     if (analysis.scheme == Scheme::kAlp) {
-      const Combination c =
-          ChooseForVector(rg_data + off, len, analysis.combinations, config,
-                          info != nullptr ? &info->sampler : nullptr);
+      Combination c;
+      {
+        ALP_OBS_SPAN(choose_span, "compress.choose", len);
+        c = ChooseForVector(rg_data + off, len, analysis.combinations, config,
+                            info != nullptr ? &info->sampler : nullptr);
+      }
       EncodedVector<T> enc;
-      EncodeVector(rg_data + off, len, c, &enc);
+      {
+        ALP_OBS_SPAN(encode_span, "compress.encode", len);
+        EncodeVector(rg_data + off, len, c, &enc);
+      }
       WriteAlpVector(enc, config.try_delta_encoding, out);
       out->PatchAt(vec_header_at + offsetof(AlpVectorHeader, n),
                    static_cast<uint16_t>(len));
       if (info != nullptr) info->exceptions += enc.exc_count;
     } else {
       RdEncodedVector<T> enc;
-      RdEncodeVector(rg_data + off, len, rd_params, &enc);
+      {
+        ALP_OBS_SPAN(encode_rd_span, "compress.encode_rd", len);
+        RdEncodeVector(rg_data + off, len, rd_params, &enc);
+      }
       WriteRdVector(enc, rd_params, out);
       out->PatchAt(vec_header_at + offsetof(RdVectorHeader, n),
                    static_cast<uint16_t>(len));
@@ -251,6 +294,7 @@ template <typename T>
 std::vector<uint8_t> AssembleColumn(uint64_t value_count,
                                     const std::vector<std::vector<uint8_t>>& segments,
                                     const std::vector<VectorStats>& stats) {
+  ALP_OBS_SPAN(assemble_span, "compress.assemble", value_count);
   ByteBuffer out;
   ColumnHeader header{};
   header.magic = kMagic;
@@ -277,6 +321,7 @@ std::vector<uint8_t> AssembleColumn(uint64_t value_count,
   // Rowgroup checksum i covers [offset_i, offset_{i+1}) — or to the end of
   // the buffer for the last rowgroup — i.e. the payload plus its alignment
   // padding, so the whole file is covered by header+rowgroup checksums.
+  ALP_OBS_SPAN(checksum_span, "compress.checksum", out.size());
   std::vector<uint64_t> rg_checksums(header.rowgroup_count, 0);
   for (size_t rg = 0; rg < rg_offsets.size(); ++rg) {
     const size_t begin = rg_offsets[rg];
@@ -586,6 +631,7 @@ void ColumnReader<T>::DecodeVector(size_t v, T* out) const {
 
 template <typename T>
 void ColumnReader<T>::DecodeAll(T* out) const {
+  ALP_OBS_SPAN(decode_span, "decompress.column", value_count_);
   for (size_t v = 0; v < vector_count_; ++v) {
     DecodeVector(v, out + v * kVectorSize);
   }
@@ -751,6 +797,7 @@ Status ColumnReader<T>::TryDecodeVector(size_t v, T* out) const {
 template <typename T>
 Status ColumnReader<T>::TryDecodeAll(T* out) const {
   if (!ok_) return Status::Corrupt("column reader not initialized");
+  ALP_OBS_SPAN(decode_span, "decompress.column", value_count_);
   for (size_t v = 0; v < vector_count_; ++v) {
     T vec[kVectorSize];
     Status s = TryDecodeVector(v, vec);
@@ -771,9 +818,24 @@ Status ColumnReader<T>::TryDecodeAllParallel(T* out, ThreadPool* pool) const {
   const size_t blocks = (vector_count_ + kRowgroupVectors - 1) / kRowgroupVectors;
   std::vector<Status> results(blocks);
   ParallelFor(pool, blocks, [&](size_t b) {
+    const size_t v_begin = b * kRowgroupVectors;
     const size_t v_end =
         std::min<size_t>((b + 1) * kRowgroupVectors, vector_count_);
-    for (size_t v = b * kRowgroupVectors; v < v_end; ++v) {
+    ALP_OBS_SPAN(rg_span, "decompress.rowgroup",
+                 std::min<size_t>(v_end * kVectorSize, value_count_) -
+                     v_begin * kVectorSize);
+    ALP_OBS_ONLY({
+      const int worker = ThreadPool::CurrentWorkerIndex();
+      if (worker >= 0) {
+        static obs::Histogram& by_worker =
+            obs::MetricRegistry::Global().GetHistogram(
+                "decompress.rowgroups_by_worker",
+                {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+                "worker");
+        by_worker.Record(static_cast<uint64_t>(worker));
+      }
+    });
+    for (size_t v = v_begin; v < v_end; ++v) {
       T vec[kVectorSize];
       Status s = TryDecodeVector(v, vec);
       if (!s.ok()) {
@@ -1050,6 +1112,7 @@ Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool) {
   if (ctx.header.version >= 3) {
     std::vector<Status> results(rowgroups);
     ParallelFor(pool, rowgroups, [&](size_t rg) {
+      ALP_OBS_SPAN(checksum_span, "decompress.validate_checksum", 1);
       results[rg] = ValidateRowgroupChecksum(data, size, ctx, rg);
     });
     for (Status& r : results) {
@@ -1062,6 +1125,7 @@ Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool) {
 
   std::vector<Status> results(rowgroups);
   ParallelFor(pool, rowgroups, [&](size_t rg) {
+    ALP_OBS_SPAN(structure_span, "decompress.validate_structure", 1);
     results[rg] = ValidateRowgroupStructure<T>(data, size, ctx, rg);
   });
   for (Status& r : results) {

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/trace.h"
 #include "util/bits.h"
 
 namespace alp {
@@ -95,6 +96,15 @@ void EncodeVector(const T* in, unsigned n, Combination c, EncodedVector<T>* out)
   using Uint = typename Traits::Uint;
   out->ffor.base = static_cast<uint64_t>(static_cast<Uint>(min));
   out->ffor.width = BitWidth(static_cast<Uint>(static_cast<Uint>(max) - static_cast<Uint>(min)));
+
+  ALP_OBS_ONLY({
+    // Table 2's exceptions/vector as a live distribution.
+    static obs::Histogram& exceptions =
+        obs::MetricRegistry::Global().GetHistogram(
+            "encode.exceptions_per_vector",
+            {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, "exceptions");
+    exceptions.Record(exc_count);
+  });
 }
 
 template <typename T>

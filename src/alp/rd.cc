@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/bits.h"
 
 namespace alp {
@@ -96,6 +97,16 @@ RdParams<T> RdAnalyzeRowgroup(const T* data, size_t n, const SamplerConfig& conf
       best_params = params;
     }
   }
+  ALP_OBS_ONLY({
+    static obs::Histogram& right_bits =
+        obs::MetricRegistry::Global().GetHistogram(
+            "rd.right_bits",
+            {16, 20, 24, 28, 32, 48, 50, 52, 54, 56, 58, 60, 63}, "bits");
+    static obs::Histogram& dict_size = obs::MetricRegistry::Global().GetHistogram(
+        "rd.dict_size", {1, 2, 4, 8}, "entries");
+    right_bits.Record(best_params.right_bits);
+    dict_size.Record(best_params.dict_size);
+  });
   return best_params;
 }
 
@@ -129,6 +140,13 @@ void RdEncodeVector(const T* in, unsigned n, const RdParams<T>& params,
     out->left_codes[i] = code;
   }
   out->exc_count = static_cast<uint16_t>(exc_count);
+  ALP_OBS_ONLY({
+    static obs::Histogram& exceptions =
+        obs::MetricRegistry::Global().GetHistogram(
+            "rd.exceptions_per_vector",
+            {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}, "exceptions");
+    exceptions.Record(exc_count);
+  });
 
   // Pad partial tails so full-block packing stays valid.
   for (unsigned i = n; i < kVectorSize; ++i) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "alp/encoder.h"
+#include "obs/trace.h"
 
 namespace alp {
 namespace {
@@ -106,8 +107,18 @@ RowgroupAnalysis AnalyzeRowgroup(const T* data, size_t n, const SamplerConfig& c
                                  : config.rd_threshold_bits_per_value;
   if (bits_per_value > threshold) {
     analysis.scheme = Scheme::kAlpRd;
+    ALP_OBS_ONLY({
+      static obs::Counter& rd_count =
+          obs::MetricRegistry::Global().GetCounter("sampler.scheme.alp_rd");
+      rd_count.Increment();
+    });
     return analysis;
   }
+  ALP_OBS_ONLY({
+    static obs::Counter& alp_count =
+        obs::MetricRegistry::Global().GetCounter("sampler.scheme.alp");
+    alp_count.Increment();
+  });
 
   // Keep the k most frequent combinations; break ties toward higher e / f.
   std::sort(ranked.begin(), ranked.end(),
@@ -119,6 +130,16 @@ RowgroupAnalysis AnalyzeRowgroup(const T* data, size_t n, const SamplerConfig& c
   analysis.combinations.reserve(keep);
   for (size_t i = 0; i < keep; ++i) analysis.combinations.push_back(ranked[i].c);
   if (analysis.combinations.empty()) analysis.combinations.push_back(Combination{0, 0});
+  ALP_OBS_ONLY({
+    static obs::Histogram& kept = obs::MetricRegistry::Global().GetHistogram(
+        "sampler.level1_combinations", {1, 2, 3, 4, 5, 6, 7, 8}, "candidates");
+    static obs::Histogram& exponent =
+        obs::MetricRegistry::Global().GetHistogram(
+            "sampler.chosen_exponent",
+            {0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20}, "e");
+    kept.Record(analysis.combinations.size());
+    exponent.Record(analysis.combinations.front().e);
+  });
   return analysis;
 }
 
@@ -130,6 +151,11 @@ Combination ChooseForVector(const T* vec, unsigned n,
     if (stats != nullptr) {
       ++stats->vectors_skipped;
     }
+    ALP_OBS_ONLY({
+      static obs::Counter& skipped =
+          obs::MetricRegistry::Global().GetCounter("sampler.level2_skipped");
+      skipped.Increment();
+    });
     return candidates.empty() ? Combination{0, 0} : candidates.front();
   }
 
@@ -159,6 +185,11 @@ Combination ChooseForVector(const T* vec, unsigned n,
     const unsigned bucket = tried < 8 ? tried : 7;
     ++stats->tried_histogram[bucket];
   }
+  ALP_OBS_ONLY({
+    static obs::Histogram& level2 = obs::MetricRegistry::Global().GetHistogram(
+        "sampler.level2_tried", {1, 2, 3, 4, 5, 6, 7, 8}, "candidates");
+    level2.Record(tried);
+  });
   return best;
 }
 

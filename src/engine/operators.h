@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "engine/column_store.h"
-#include "engine/thread_pool.h"
+#include "util/thread_pool.h"
 
 /// \file operators.h
 /// The vectorized query operators of the end-to-end experiments (paper
@@ -15,6 +15,11 @@
 /// metric.
 
 namespace alp::engine {
+
+/// The engine shares the instrumented work-stealing pool from util/ — its
+/// SPMD Run(fn(worker_index)) entry point covers the morsel-loop operators
+/// here, so the engine no longer carries a pool of its own.
+using ::alp::ThreadPool;
 
 /// Outcome of one query execution.
 struct QueryResult {

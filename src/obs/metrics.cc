@@ -1,0 +1,245 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace alp::obs {
+
+namespace internal {
+
+namespace {
+bool EnvEnabled() {
+  const char* env = std::getenv("ALP_OBS_ENABLE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{EnvEnabled()};
+
+unsigned ThreadShardSlot() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+  return slot;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+uint64_t Counter::Total() const {
+  uint64_t total = 0;
+  for (const ShardCell& cell : shards_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (ShardCell& cell : shards_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::UpdateMax(int64_t v) {
+  if (!Enabled()) return;
+  int64_t cur = value_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::vector<uint64_t> bounds, std::string unit)
+    : bounds_(std::move(bounds)), unit_(std::move(unit)), shards_(kShardCount) {
+  // Cells per shard: one per bucket, one overflow, then count and sum.
+  const size_t cells = bounds_.size() + 3;
+  for (Shard& shard : shards_) {
+    shard.cells = std::vector<std::atomic<uint64_t>>(cells);
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  if (!Enabled()) return;
+  // Bounds are small (tens of entries) and sorted; branchless-enough linear
+  // probe beats binary search at this size and keeps Record tiny.
+  size_t bucket = bounds_.size();  // overflow by default
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard& shard = shards_[internal::ThreadShardSlot()];
+  const size_t n = bounds_.size();
+  shard.cells[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.cells[n + 1].fetch_add(1, std::memory_order_relaxed);      // count
+  shard.cells[n + 2].fetch_add(value, std::memory_order_relaxed);  // sum
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < out.size(); ++i) {
+      out[i] += shard.cells[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t Histogram::TotalCount() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.cells[bounds_.size() + 1].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Histogram::TotalSum() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.cells[bounds_.size() + 2].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (std::atomic<uint64_t>& cell : shard.cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void StageStats::Reset() {
+  calls_.Reset();
+  cycles_.Reset();
+  items_.Reset();
+}
+
+// ---------------------------------------------------------------------------
+// MetricRegistry
+// ---------------------------------------------------------------------------
+
+// Metrics are stored behind unique_ptr so handles stay stable across map
+// rehashes; maps are ordered so snapshots come out name-sorted for free.
+struct MetricRegistry::Impl {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  std::map<std::string, std::unique_ptr<StageStats>, std::less<>> stages;
+};
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Impl& MetricRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.counters.find(name);
+  if (it == i.counters.end()) {
+    it = i.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.gauges.find(name);
+  if (it == i.gauges.end()) {
+    it = i.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        std::vector<uint64_t> bounds,
+                                        std::string_view unit) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.histograms.find(name);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds),
+                                                  std::string(unit)))
+             .first;
+  }
+  return *it->second;
+}
+
+StageStats& MetricRegistry::GetStage(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.stages.find(name);
+  if (it == i.stages.end()) {
+    it = i.stages.emplace(std::string(name), std::make_unique<StageStats>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  MetricsSnapshot snap;
+  snap.enabled = Enabled();
+  snap.counters.reserve(i.counters.size());
+  for (const auto& [name, counter] : i.counters) {
+    snap.counters.push_back({name, counter->Total()});
+  }
+  snap.gauges.reserve(i.gauges.size());
+  for (const auto& [name, gauge] : i.gauges) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(i.histograms.size());
+  for (const auto& [name, histogram] : i.histograms) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.unit = histogram->unit();
+    sample.bounds = histogram->bounds();
+    sample.counts = histogram->BucketCounts();
+    sample.count = histogram->TotalCount();
+    sample.sum = histogram->TotalSum();
+    snap.histograms.push_back(std::move(sample));
+  }
+  snap.stages.reserve(i.stages.size());
+  for (const auto& [name, stage] : i.stages) {
+    snap.stages.push_back(
+        {name, stage->Calls(), stage->Cycles(), stage->Items()});
+  }
+  return snap;
+}
+
+void MetricRegistry::Reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [name, counter] : i.counters) counter->Reset();
+  for (auto& [name, gauge] : i.gauges) gauge->Reset();
+  for (auto& [name, histogram] : i.histograms) histogram->Reset();
+  for (auto& [name, stage] : i.stages) stage->Reset();
+}
+
+}  // namespace alp::obs

@@ -1,0 +1,233 @@
+#ifndef ALP_OBS_METRICS_H_
+#define ALP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.h
+/// Pipeline telemetry: a process-wide registry of named counters, gauges and
+/// fixed-bucket histograms feeding the paper's rate metrics (exceptions per
+/// vector, bits per value, cycles per tuple, scheme-selection frequency) as
+/// live measurements instead of one-off bench code.
+///
+/// Cost model — the registry is designed so that instrumentation can live on
+/// the encode/decode hot paths:
+///
+///  - **Compile-time toggle.** Instrumentation sites in the pipeline are
+///    wrapped in `ALP_OBS_ONLY(...)` / `ALP_OBS_SPAN(...)` (see trace.h) and
+///    vanish entirely when the library is built with `-DALP_OBS=OFF`
+///    (`ALP_OBS == 0`): the disabled build carries no telemetry code in the
+///    kernels at all. The registry API itself always exists so callers
+///    (CLI, tests) need no conditional code; it just stays empty.
+///  - **Runtime toggle.** Even when compiled in, recording is gated on a
+///    single relaxed atomic flag (`Enabled()`), default off. A disabled
+///    check is one relaxed load + predictable branch — invisible next to a
+///    vector encode. `SetEnabled(true)` (or the `ALP_OBS_ENABLE=1`
+///    environment variable) turns recording on.
+///  - **Lock-free sharded writes.** Counters and histogram cells are arrays
+///    of per-thread-slot relaxed atomics (threads hash onto kShardCount
+///    slots), so concurrent writers never contend on a lock and never lose
+///    an increment — `Snapshot()` merges shards by summing, mirroring how
+///    `CompressionInfo::MergeFrom` keeps the parallel pipeline's counters
+///    exact. Registration (first lookup of a name) takes a mutex; hot paths
+///    hold the returned handle in a function-local static.
+///
+/// Telemetry never influences encoded bytes: compressed output is
+/// byte-identical with metrics on, off, or compiled out (asserted by
+/// tests/test_obs.cc against the golden files).
+
+#ifndef ALP_OBS
+#define ALP_OBS 1
+#endif
+
+namespace alp::obs {
+
+/// Number of per-thread shards (power of two). Threads are assigned slots
+/// round-robin; two threads sharing a slot stay exact (atomic adds), just
+/// occasionally contended.
+inline constexpr unsigned kShardCount = 16;
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+/// Stable per-thread shard slot in [0, kShardCount).
+unsigned ThreadShardSlot();
+}  // namespace internal
+
+/// Whether recording is enabled at runtime (relaxed read; hot-path safe).
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on or off process-wide. Off by default unless the
+/// ALP_OBS_ENABLE environment variable is set to a non-zero value.
+void SetEnabled(bool enabled);
+
+/// One cache line per shard cell so concurrent writers on different slots
+/// never false-share.
+struct alignas(64) ShardCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Monotonic counter, sharded per thread slot. Handles returned by the
+/// registry are valid for the life of the process.
+class Counter {
+ public:
+  void Add(uint64_t delta) {
+    if (!Enabled()) return;
+    shards_[internal::ThreadShardSlot()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards (relaxed; exact once writers have quiesced).
+  uint64_t Total() const;
+  void Reset();
+
+ private:
+  std::array<ShardCell, kShardCount> shards_;
+};
+
+/// Last-value / max gauge: Set overwrites, UpdateMax keeps the largest
+/// value seen. Not sharded — gauges are written at low frequency (queue
+/// depth, worker count).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void UpdateMax(int64_t v);
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts values <= bounds[i] (the first
+/// bound they do not exceed); values above the last bound land in the
+/// overflow bucket. Also tracks total count and sum, so mean and rates
+/// (e.g. exceptions/vector) fall out of one snapshot.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds, std::string unit);
+
+  void Record(uint64_t value);
+
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  const std::string& unit() const { return unit_; }
+
+  /// Merged per-bucket counts (bounds().size() + 1 entries, last = overflow).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  uint64_t TotalSum() const;
+  void Reset();
+
+ private:
+  struct Shard {
+    /// buckets + 1 overflow + count + sum, in that order.
+    std::vector<std::atomic<uint64_t>> cells;
+  };
+
+  std::vector<uint64_t> bounds_;
+  std::string unit_;
+  std::vector<Shard> shards_;
+};
+
+/// Accumulated cost of one pipeline stage: invocation count, total cycles
+/// and total items processed (values, bytes — the caller's unit). The
+/// ScopedTimer in trace.h is the intended writer.
+class StageStats {
+ public:
+  void Record(uint64_t cycles, uint64_t items) {
+    calls_.Add(1);
+    cycles_.Add(cycles);
+    items_.Add(items);
+  }
+
+  uint64_t Calls() const { return calls_.Total(); }
+  uint64_t Cycles() const { return cycles_.Total(); }
+  uint64_t Items() const { return items_.Total(); }
+  void Reset();
+
+ private:
+  Counter calls_;
+  Counter cycles_;
+  Counter items_;
+};
+
+/// Point-in-time merge of every registered metric; safe to take while
+/// writers are active (each cell is read atomically). Names are sorted, so
+/// rendering is deterministic.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::string unit;
+    std::vector<uint64_t> bounds;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 (overflow last).
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double Mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+    }
+  };
+  struct StageSample {
+    std::string name;
+    uint64_t calls = 0;
+    uint64_t cycles = 0;
+    uint64_t items = 0;
+    double CyclesPerCall() const {
+      return calls == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(calls);
+    }
+    double CyclesPerItem() const {
+      return items == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(items);
+    }
+  };
+
+  bool enabled = false;
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+  std::vector<StageSample> stages;
+};
+
+/// Process-wide metric registry. Get* registers on first use and returns a
+/// stable reference; subsequent lookups of the same name return the same
+/// object (a histogram's bounds are fixed by the first registration).
+class MetricRegistry {
+ public:
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name, std::vector<uint64_t> bounds,
+                          std::string_view unit = "");
+  StageStats& GetStage(std::string_view name);
+
+  /// Merges every shard of every metric into one consistent-enough view.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (registrations stay).
+  void Reset();
+
+ private:
+  MetricRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace alp::obs
+
+#endif  // ALP_OBS_METRICS_H_

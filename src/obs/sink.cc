@@ -1,0 +1,178 @@
+#include "obs/sink.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace alp::obs {
+
+namespace {
+
+// Fixed-precision double formatting that is locale-independent (std::ostream
+// honours the global locale; snprintf with "%.*f" plus the "C" default here
+// keeps JSON valid everywhere).
+std::string FormatDouble(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendUintArray(std::string& out, const std::vector<uint64_t>& values) {
+  out += '[';
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string TraceSink::ToJson(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  out += "{\"enabled\":";
+  out += snapshot.enabled ? "true" : "false";
+
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i) out += ',';
+    AppendJsonString(out, snapshot.counters[i].name);
+    out += ':';
+    out += std::to_string(snapshot.counters[i].value);
+  }
+  out += '}';
+
+  out += ",\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i) out += ',';
+    AppendJsonString(out, snapshot.gauges[i].name);
+    out += ':';
+    out += std::to_string(snapshot.gauges[i].value);
+  }
+  out += '}';
+
+  out += ",\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i) out += ',';
+    AppendJsonString(out, h.name);
+    out += ":{\"unit\":";
+    AppendJsonString(out, h.unit);
+    out += ",\"bounds\":";
+    AppendUintArray(out, h.bounds);
+    out += ",\"counts\":";
+    AppendUintArray(out, h.counts);
+    out += ",\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"mean\":" + FormatDouble(h.Mean());
+    out += '}';
+  }
+  out += '}';
+
+  out += ",\"stages\":{";
+  for (size_t i = 0; i < snapshot.stages.size(); ++i) {
+    const auto& s = snapshot.stages[i];
+    if (i) out += ',';
+    AppendJsonString(out, s.name);
+    out += ":{\"calls\":" + std::to_string(s.calls);
+    out += ",\"cycles\":" + std::to_string(s.cycles);
+    out += ",\"items\":" + std::to_string(s.items);
+    out += ",\"cycles_per_call\":" + FormatDouble(s.CyclesPerCall(), 1);
+    out += ",\"cycles_per_item\":" + FormatDouble(s.CyclesPerItem());
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string TraceSink::ToText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "== metrics (" << (snapshot.enabled ? "enabled" : "disabled")
+      << ") ==\n";
+
+  if (!snapshot.counters.empty()) {
+    out << "counters:\n";
+    size_t width = 0;
+    for (const auto& c : snapshot.counters) width = std::max(width, c.name.size());
+    for (const auto& c : snapshot.counters) {
+      out << "  " << c.name << std::string(width - c.name.size() + 2, ' ')
+          << c.value << "\n";
+    }
+  }
+
+  if (!snapshot.gauges.empty()) {
+    out << "gauges:\n";
+    size_t width = 0;
+    for (const auto& g : snapshot.gauges) width = std::max(width, g.name.size());
+    for (const auto& g : snapshot.gauges) {
+      out << "  " << g.name << std::string(width - g.name.size() + 2, ' ')
+          << g.value << "\n";
+    }
+  }
+
+  for (const auto& h : snapshot.histograms) {
+    out << "histogram " << h.name;
+    if (!h.unit.empty()) out << " (" << h.unit << ")";
+    out << ": count=" << h.count << " mean=" << FormatDouble(h.Mean()) << "\n";
+    if (h.count == 0) continue;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      if (h.counts[i] == 0) continue;
+      const double pct =
+          100.0 * static_cast<double>(h.counts[i]) / static_cast<double>(h.count);
+      out << "    ";
+      if (i < h.bounds.size()) {
+        out << "<= " << h.bounds[i];
+      } else {
+        out << " > " << h.bounds.back();
+      }
+      out << "  " << h.counts[i] << "  (" << FormatDouble(pct, 1) << "%)\n";
+    }
+  }
+
+  if (!snapshot.stages.empty()) {
+    out << "stages:\n";
+    size_t width = 0;
+    for (const auto& s : snapshot.stages) width = std::max(width, s.name.size());
+    for (const auto& s : snapshot.stages) {
+      out << "  " << s.name << std::string(width - s.name.size() + 2, ' ')
+          << "calls=" << s.calls << " cycles=" << s.cycles
+          << " items=" << s.items
+          << " cyc/item=" << FormatDouble(s.CyclesPerItem()) << "\n";
+    }
+  }
+  return out.str();
+}
+
+void TraceSink::Emit(const MetricsSnapshot& snapshot, bool json,
+                     std::ostream& out) {
+  if (json) {
+    out << ToJson(snapshot) << "\n";
+  } else {
+    out << ToText(snapshot);
+  }
+}
+
+}  // namespace alp::obs

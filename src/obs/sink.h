@@ -1,0 +1,36 @@
+#ifndef ALP_OBS_SINK_H_
+#define ALP_OBS_SINK_H_
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+/// \file sink.h
+/// Rendering for MetricsSnapshot: machine-readable JSON (one object, stable
+/// key order — names come out of the registry sorted) and a pretty text
+/// table for terminals. Both renderings are pure functions of the snapshot,
+/// so taking a snapshot once and emitting it in both formats is consistent.
+
+namespace alp::obs {
+
+class TraceSink {
+ public:
+  /// Serializes the snapshot as a single JSON object:
+  /// {"enabled":…, "counters":{name:value,…}, "gauges":{…},
+  ///  "histograms":{name:{unit,bounds,counts,count,sum,mean},…},
+  ///  "stages":{name:{calls,cycles,items,cycles_per_call,cycles_per_item},…}}
+  static std::string ToJson(const MetricsSnapshot& snapshot);
+
+  /// Human-oriented rendering: aligned per-section tables, histograms as
+  /// bucket rows with percentages.
+  static std::string ToText(const MetricsSnapshot& snapshot);
+
+  /// Convenience: render (json=true → ToJson, else ToText) and write to out.
+  static void Emit(const MetricsSnapshot& snapshot, bool json,
+                   std::ostream& out);
+};
+
+}  // namespace alp::obs
+
+#endif  // ALP_OBS_SINK_H_

@@ -1,0 +1,94 @@
+#ifndef ALP_OBS_TRACE_H_
+#define ALP_OBS_TRACE_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "util/cycle_clock.h"
+
+/// \file trace.h
+/// Per-stage span tracing over the RDTSC cycle clock. A span attributes a
+/// region's cycles (and the number of items it processed) to a named
+/// pipeline stage in the global MetricRegistry:
+///
+/// ```cpp
+/// {
+///   ALP_OBS_SPAN(span, "compress.encode", vector_length);
+///   EncodeVector(...);
+/// }  // span destructor records cycles + items into stage "compress.encode"
+/// ```
+///
+/// The macros expand to nothing when the library is configured with
+/// `-DALP_OBS=OFF`, so the disabled build carries zero instrumentation code;
+/// when compiled in, a span on a disabled registry is one relaxed load at
+/// construction and one at destruction.
+
+namespace alp::obs {
+
+/// RAII cycle-span. Captures CycleNow() only while recording is enabled so
+/// the disabled path never touches RDTSC.
+class ScopedTimer {
+ public:
+  ScopedTimer(StageStats& stage, uint64_t items)
+      : stage_(stage), items_(items) {
+    if (Enabled()) {
+      armed_ = true;
+      start_ = ::alp::CycleNow();
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Adjusts the item count after construction (e.g. when the span covers a
+  /// loop whose trip count is only known at the end).
+  void SetItems(uint64_t items) { items_ = items; }
+
+  ~ScopedTimer() {
+    if (armed_ && Enabled()) {
+      stage_.Record(::alp::CycleNow() - start_, items_);
+    }
+  }
+
+ private:
+  StageStats& stage_;
+  uint64_t items_;
+  uint64_t start_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace alp::obs
+
+// ---------------------------------------------------------------------------
+// Instrumentation-site macros — the only telemetry constructs allowed on hot
+// paths. Both compile to nothing when ALP_OBS == 0.
+// ---------------------------------------------------------------------------
+
+#if ALP_OBS
+
+/// Compiles its arguments only in observability builds. Use for counter /
+/// histogram recording sites:
+///   ALP_OBS_ONLY({
+///     static auto& c = alp::obs::MetricRegistry::Global()
+///                          .GetCounter("sampler.scheme.alp");
+///     c.Increment();
+///   });
+#define ALP_OBS_ONLY(...) __VA_ARGS__
+
+/// Declares a ScopedTimer named `var` attributing the enclosing scope's
+/// cycles and `items` items to pipeline stage `stage` (a string literal).
+#define ALP_OBS_SPAN(var, stage, items)                              \
+  static ::alp::obs::StageStats& var##_stage =                       \
+      ::alp::obs::MetricRegistry::Global().GetStage(stage);          \
+  ::alp::obs::ScopedTimer var(var##_stage, (items))
+
+#else  // !ALP_OBS
+
+#define ALP_OBS_ONLY(...)
+#define ALP_OBS_SPAN(var, stage, items) \
+  do {                                  \
+  } while (false)
+
+#endif  // ALP_OBS
+
+#endif  // ALP_OBS_TRACE_H_

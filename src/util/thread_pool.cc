@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/trace.h"
+#include "util/cycle_clock.h"
+
 namespace alp {
+
+namespace {
+// Worker attribution for telemetry: set once per worker thread, -1 on
+// threads that do not belong to a pool.
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+int ThreadPool::CurrentWorkerIndex() { return tl_worker_index; }
 
 unsigned ThreadPool::DefaultThreadCount() {
   if (const char* env = std::getenv("ALP_THREADS")) {
@@ -25,6 +36,9 @@ ThreadPool::ThreadPool(unsigned threads) {
   for (unsigned i = 0; i < count; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+  ALP_OBS_ONLY({
+    obs::MetricRegistry::Global().GetGauge("pool.workers").Set(count);
+  });
 }
 
 ThreadPool::~ThreadPool() {
@@ -41,6 +55,15 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     queues_[next_queue_].push_back(std::move(task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+    ALP_OBS_ONLY({
+      static obs::Counter& submits =
+          obs::MetricRegistry::Global().GetCounter("pool.submits");
+      static obs::Gauge& depth =
+          obs::MetricRegistry::Global().GetGauge("pool.queue_depth_max");
+      submits.Increment();
+      depth.UpdateMax(static_cast<int64_t>(queued_));
+    });
   }
   work_cv_.notify_one();
 }
@@ -49,6 +72,7 @@ bool ThreadPool::TryTake(unsigned self, std::function<void()>* task) {
   if (!queues_[self].empty()) {
     *task = std::move(queues_[self].back());  // Own queue: LIFO.
     queues_[self].pop_back();
+    --queued_;
     return true;
   }
   const unsigned n = static_cast<unsigned>(queues_.size());
@@ -57,6 +81,12 @@ bool ThreadPool::TryTake(unsigned self, std::function<void()>* task) {
     if (!victim.empty()) {
       *task = std::move(victim.front());  // Steal: FIFO.
       victim.pop_front();
+      --queued_;
+      ALP_OBS_ONLY({
+        static obs::Counter& steals =
+            obs::MetricRegistry::Global().GetCounter("pool.steals");
+        steals.Increment();
+      });
       return true;
     }
   }
@@ -64,17 +94,38 @@ bool ThreadPool::TryTake(unsigned self, std::function<void()>* task) {
 }
 
 void ThreadPool::WorkerLoop(unsigned index) {
+  tl_worker_index = static_cast<int>(index);
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       // Drain-before-exit: take work even when shutting down, so queued
       // tasks (and the TaskGroups waiting on them) always complete.
+#if ALP_OBS
+      const bool timing = obs::Enabled();
+      const uint64_t idle_start = timing ? CycleNow() : 0;
+#endif
       work_cv_.wait(lock, [&] { return TryTake(index, &task) || shutdown_; });
+#if ALP_OBS
+      if (timing) {
+        static obs::Counter& idle =
+            obs::MetricRegistry::Global().GetCounter("pool.idle_cycles");
+        idle.Add(CycleNow() - idle_start);
+      }
+#endif
       if (!task) return;  // Shutdown with all queues drained.
     }
+    ALP_OBS_ONLY({
+      static obs::Counter& tasks =
+          obs::MetricRegistry::Global().GetCounter("pool.tasks");
+      tasks.Increment();
+    });
     task();
   }
+}
+
+void ThreadPool::Run(const std::function<void(unsigned)>& fn) {
+  ParallelFor(this, size(), [&fn](size_t i) { fn(static_cast<unsigned>(i)); });
 }
 
 void TaskGroup::Submit(std::function<void()> task) {
@@ -104,4 +155,3 @@ void TaskGroup::Wait() {
 }
 
 }  // namespace alp
-

@@ -52,6 +52,18 @@ class ThreadPool {
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// SPMD fork-join entry point (the engine's query operators use this):
+  /// runs fn(worker_index) once for every index in [0, size()), fanned out
+  /// over the pool, and returns when all invocations are done. Indexes are
+  /// unique per call, so callers can give each invocation a private slot in
+  /// a partials array; which OS thread runs which index is unspecified.
+  void Run(const std::function<void(unsigned)>& fn);
+
+  /// Index of the calling pool-worker thread within its pool, or -1 when
+  /// called from a thread that is not a pool worker. Used for worker
+  /// attribution in telemetry.
+  static int CurrentWorkerIndex();
+
   /// Worker count from ALP_THREADS (when set and positive), else
   /// std::thread::hardware_concurrency(), never less than 1.
   static unsigned DefaultThreadCount();
@@ -78,6 +90,7 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::vector<std::deque<std::function<void()>>> queues_;
   size_t next_queue_ = 0;
+  size_t queued_ = 0;  ///< Outstanding tasks across all queues (telemetry).
   bool shutdown_ = false;
 };
 

@@ -1,0 +1,352 @@
+// Observability layer tests: registry semantics (find-or-create handles,
+// sorted snapshots), histogram bucket math, the runtime enable gate, exact
+// merge-on-snapshot under concurrent sharded writers (run under TSan in
+// CI), and the core contract that telemetry never changes encoded bytes.
+//
+// The registry is process-global, so every test uses its own metric names
+// ("test.<suite>.*") and restores the enabled flag it found.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alp/alp.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/trace.h"
+#include "test_fixtures.h"
+#include "util/thread_pool.h"
+
+namespace alp::obs {
+namespace {
+
+// Turns recording on for the duration of a test and restores the previous
+// state afterwards, so suites (and the golden tests in the same ctest run)
+// never see each other's toggle.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = Enabled();
+    SetEnabled(true);
+  }
+  void TearDown() override { SetEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_ = false;
+};
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  Counter& c = MetricRegistry::Global().GetCounter("test.counter.basic");
+  const uint64_t before = c.Total();
+  c.Add(5);
+  c.Increment();
+  EXPECT_EQ(c.Total(), before + 6);
+  c.Reset();
+  EXPECT_EQ(c.Total(), 0u);
+}
+
+TEST_F(ObsTest, RegistryReturnsSameHandleForSameName) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  EXPECT_EQ(&reg.GetCounter("test.handle.counter"),
+            &reg.GetCounter("test.handle.counter"));
+  EXPECT_EQ(&reg.GetGauge("test.handle.gauge"), &reg.GetGauge("test.handle.gauge"));
+  EXPECT_EQ(&reg.GetHistogram("test.handle.histogram", {1, 2}, "u"),
+            &reg.GetHistogram("test.handle.histogram", {9, 99}, "ignored"));
+  EXPECT_EQ(&reg.GetStage("test.handle.stage"), &reg.GetStage("test.handle.stage"));
+  // Distinct names are distinct objects.
+  EXPECT_NE(&reg.GetCounter("test.handle.counter"),
+            &reg.GetCounter("test.handle.counter2"));
+}
+
+TEST_F(ObsTest, DisabledRecordingIsANoOp) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  Counter& c = reg.GetCounter("test.disabled.counter");
+  Gauge& g = reg.GetGauge("test.disabled.gauge");
+  Histogram& h = reg.GetHistogram("test.disabled.histogram", {10}, "u");
+  c.Reset();
+  g.Reset();
+  h.Reset();
+
+  SetEnabled(false);
+  c.Add(100);
+  g.Set(42);
+  g.UpdateMax(42);
+  h.Record(3);
+  EXPECT_EQ(c.Total(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.TotalCount(), 0u);
+
+  SetEnabled(true);
+  c.Add(1);
+  g.Set(7);
+  h.Record(3);
+  EXPECT_EQ(c.Total(), 1u);
+  EXPECT_EQ(g.Value(), 7);
+  EXPECT_EQ(h.TotalCount(), 1u);
+}
+
+TEST_F(ObsTest, GaugeSetAndUpdateMax) {
+  Gauge& g = MetricRegistry::Global().GetGauge("test.gauge.maxima");
+  g.Reset();
+  g.Set(10);
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(5);  // Smaller: no change.
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(25);
+  EXPECT_EQ(g.Value(), 25);
+  g.Set(3);  // Set always overwrites.
+  EXPECT_EQ(g.Value(), 3);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  // Bucket i counts values <= bounds[i]; above the last bound -> overflow.
+  Histogram& h =
+      MetricRegistry::Global().GetHistogram("test.histogram.bounds", {10, 20}, "u");
+  h.Reset();
+  h.Record(0);    // bucket 0
+  h.Record(10);   // bucket 0 (inclusive upper bound)
+  h.Record(11);   // bucket 1
+  h.Record(20);   // bucket 1
+  h.Record(21);   // overflow
+  h.Record(1000); // overflow
+
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(h.TotalCount(), 6u);
+  EXPECT_EQ(h.TotalSum(), 0u + 10 + 11 + 20 + 21 + 1000);
+
+  h.Reset();
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.TotalSum(), 0u);
+  for (uint64_t c : h.BucketCounts()) EXPECT_EQ(c, 0u);
+}
+
+TEST_F(ObsTest, ScopedTimerFeedsStageStats) {
+  StageStats& stage = MetricRegistry::Global().GetStage("test.stage.timer");
+  stage.Reset();
+  {
+    ScopedTimer t(stage, 128);
+  }
+  {
+    ScopedTimer t(stage, 0);
+    t.SetItems(512);
+  }
+  EXPECT_EQ(stage.Calls(), 2u);
+  EXPECT_EQ(stage.Items(), 640u);
+  EXPECT_GT(stage.Cycles(), 0u);
+}
+
+TEST_F(ObsTest, ScopedTimerArmedAtConstructionOnly) {
+  // A timer built while recording is disabled must not record, even if
+  // recording is enabled before it is destroyed.
+  StageStats& stage = MetricRegistry::Global().GetStage("test.stage.arming");
+  stage.Reset();
+  SetEnabled(false);
+  {
+    ScopedTimer t(stage, 7);
+    SetEnabled(true);
+  }
+  EXPECT_EQ(stage.Calls(), 0u);
+}
+
+TEST_F(ObsTest, SnapshotContainsSortedNames) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("test.snapshot.zz").Add(2);
+  reg.GetCounter("test.snapshot.aa").Add(1);
+  reg.GetHistogram("test.snapshot.h", {4}, "things").Record(3);
+  reg.GetStage("test.snapshot.stage").Record(100, 10);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.enabled);
+
+  // Globally sorted by name.
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+
+  int64_t aa = -1, zz = -1;
+  for (const auto& c : snap.counters) {
+    if (c.name == "test.snapshot.aa") aa = static_cast<int64_t>(c.value);
+    if (c.name == "test.snapshot.zz") zz = static_cast<int64_t>(c.value);
+  }
+  EXPECT_EQ(aa, 1);
+  EXPECT_EQ(zz, 2);
+
+  bool found_histogram = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name != "test.snapshot.h") continue;
+    found_histogram = true;
+    EXPECT_EQ(h.unit, "things");
+    ASSERT_EQ(h.bounds.size(), 1u);
+    ASSERT_EQ(h.counts.size(), 2u);
+    EXPECT_EQ(h.count, 1u);
+    EXPECT_EQ(h.sum, 3u);
+    EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  }
+  EXPECT_TRUE(found_histogram);
+
+  bool found_stage = false;
+  for (const auto& s : snap.stages) {
+    if (s.name != "test.snapshot.stage") continue;
+    found_stage = true;
+    EXPECT_EQ(s.calls, 1u);
+    EXPECT_DOUBLE_EQ(s.CyclesPerCall(), 100.0);
+    EXPECT_DOUBLE_EQ(s.CyclesPerItem(), 10.0);
+  }
+  EXPECT_TRUE(found_stage);
+}
+
+// The MergeFrom-style exactness contract: sharded relaxed writers merged on
+// snapshot lose nothing. 8 writers hammer one counter and one histogram;
+// totals must be exact. This is the test TSan watches in CI.
+TEST_F(ObsTest, MergeOnSnapshotIsExactUnderConcurrentWriters) {
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50'000;
+
+  MetricRegistry& reg = MetricRegistry::Global();
+  Counter& c = reg.GetCounter("test.concurrent.counter");
+  Histogram& h = reg.GetHistogram("test.concurrent.histogram", {2, 5, 8}, "u");
+  c.Reset();
+  h.Reset();
+
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&c, &h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        h.Record((static_cast<uint64_t>(t) + i) % 10);
+      }
+    });
+  }
+  // Snapshots taken mid-flight must be readable (not torn / crashing);
+  // values are monotonically growing but otherwise unasserted here.
+  for (int i = 0; i < 8; ++i) {
+    const MetricsSnapshot mid = reg.Snapshot();
+    EXPECT_LE(mid.counters.size(), reg.Snapshot().counters.size());
+  }
+  for (auto& w : writers) w.join();
+
+  constexpr uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(c.Total(), kTotal);
+  EXPECT_EQ(h.TotalCount(), kTotal);
+  // Each thread records (t + i) % 10 for i in [0, kPerThread); kPerThread is
+  // a multiple of 10, so every residue appears exactly kPerThread / 10 times
+  // regardless of t: sum = kTotal / 10 * (0 + 1 + ... + 9).
+  EXPECT_EQ(h.TotalSum(), kTotal / 10 * 45);
+  const std::vector<uint64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], kTotal / 10 * 3);  // 0,1,2
+  EXPECT_EQ(counts[1], kTotal / 10 * 3);  // 3,4,5
+  EXPECT_EQ(counts[2], kTotal / 10 * 3);  // 6,7,8
+  EXPECT_EQ(counts[3], kTotal / 10 * 1);  // 9
+}
+
+TEST_F(ObsTest, ResetZeroesEverythingButKeepsRegistrations) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  Counter& c = reg.GetCounter("test.reset.counter");
+  c.Add(9);
+  reg.Reset();
+  EXPECT_EQ(c.Total(), 0u);
+  EXPECT_EQ(&c, &reg.GetCounter("test.reset.counter"));
+}
+
+TEST_F(ObsTest, SinkEmitsParsableShapes) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("test.sink.counter\"quoted\"").Add(3);
+  reg.GetHistogram("test.sink.histogram", {1, 2}, "bits").Record(2);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  const std::string json = TraceSink::ToJson(snap);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("test.sink.counter\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  // Balanced braces is a cheap well-formedness proxy without a JSON parser.
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char ch = json[i];
+    if (in_string) {
+      if (ch == '\\') ++i;
+      else if (ch == '"') in_string = false;
+    } else if (ch == '"') {
+      in_string = true;
+    } else if (ch == '{') {
+      ++depth;
+    } else if (ch == '}') {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+
+  const std::string text = TraceSink::ToText(snap);
+  EXPECT_NE(text.find("test.sink.histogram"), std::string::npos);
+}
+
+// The core observability contract: recording telemetry never changes the
+// encoded bytes, serial or parallel, at any worker count. (The disabled
+// ALP_OBS=OFF build is additionally pinned against the golden files by
+// test_golden in the obs-off CI job.)
+TEST_F(ObsTest, TelemetryNeverChangesEncodedBytes) {
+  const std::vector<double>& values = testutil::TwoRowgroups().values;
+
+  SetEnabled(false);
+  const std::vector<uint8_t> quiet =
+      CompressColumn(values.data(), values.size());
+
+  SetEnabled(true);
+  MetricRegistry::Global().Reset();
+  const std::vector<uint8_t> measured =
+      CompressColumn(values.data(), values.size());
+  EXPECT_EQ(quiet, measured);
+
+  ThreadPool pool(4);
+  const std::vector<uint8_t> measured_parallel =
+      CompressColumnParallel(values.data(), values.size(), {}, nullptr, &pool);
+  EXPECT_EQ(quiet, measured_parallel);
+
+#if ALP_OBS
+  // The instrumented build must actually have recorded pipeline activity.
+  const MetricsSnapshot snap = MetricRegistry::Global().Snapshot();
+  bool saw_rowgroup_stage = false;
+  for (const auto& s : snap.stages) {
+    if (s.name == "compress.rowgroup") saw_rowgroup_stage = s.calls > 0;
+  }
+  EXPECT_TRUE(saw_rowgroup_stage);
+#endif
+}
+
+// Compiled-out builds must still satisfy the API (no-op) so callers need no
+// conditionals; this also keeps the OFF configuration compiling the test.
+TEST_F(ObsTest, SpanMacroCompilesInBothConfigurations) {
+  StageStats& stage = MetricRegistry::Global().GetStage("test.macro.stage");
+  stage.Reset();
+  {
+    ALP_OBS_SPAN(span, "test.macro.span", 16);
+    ALP_OBS_ONLY(MetricRegistry::Global().GetCounter("test.macro.counter").Add(1));
+  }
+#if ALP_OBS
+  bool found = false;
+  for (const auto& s : MetricRegistry::Global().Snapshot().stages) {
+    if (s.name == "test.macro.span" && s.calls == 1 && s.items == 16) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(MetricRegistry::Global().GetCounter("test.macro.counter").Total(), 1u);
+#else
+  // Nothing recorded, nothing registered: the macros expand to nothing.
+  for (const auto& s : MetricRegistry::Global().Snapshot().stages) {
+    EXPECT_NE(s.name, "test.macro.span");
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace alp::obs

@@ -5,6 +5,7 @@
 //   alp inspect    <in.alp>                      header, schemes, ratios
 //   alp [--threads=N] verify <in.alp> <original> bit-exactness check
 //   alp bench      <in.bin|in.csv>               compare all schemes on a file
+//   alp [--threads=N] stats <in.bin|in.csv>      pipeline telemetry profile
 //   alp gen        <dataset> <count> <out>       emit a surrogate dataset
 //   alp datasets                                 list surrogate names
 //
@@ -15,16 +16,24 @@
 // count for the parallel rowgroup pipeline; the default is the hardware
 // concurrency. The compressed output is byte-identical at every thread
 // count — see README "Threading & determinism".
+//
+// --metrics=json|text enables the observability registry for the run and
+// prints its snapshot (per-stage cycle spans, scheme decisions, exception
+// histograms — see docs/OBSERVABILITY.md) after the command completes.
+// Telemetry never changes the compressed bytes.
 
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "alp/alp.h"
 #include "codecs/codec.h"
 #include "data/datasets.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "util/cycle_clock.h"
 #include "util/file_io.h"
 #include "util/thread_pool.h"
@@ -34,6 +43,9 @@ namespace {
 /// Worker count for the parallel rowgroup pipeline: --threads=N wins, then
 /// ALP_THREADS, then hardware concurrency (ThreadPool::DefaultThreadCount).
 unsigned g_threads = 0;
+
+/// --metrics mode: 0 = off, 1 = text, 2 = json.
+int g_metrics = 0;
 
 alp::ThreadPool& Pool() {
   static alp::ThreadPool pool(g_threads == 0 ? alp::ThreadPool::DefaultThreadCount()
@@ -49,11 +61,14 @@ int Usage() {
                "  alp inspect    <in.alp>\n"
                "  alp [--threads=N] verify <in.alp> <original.bin|original.csv>\n"
                "  alp bench      <in.bin|in.csv>\n"
+               "  alp [--threads=N] stats <in.bin|in.csv>\n"
                "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
                "  alp datasets\n"
                "\n"
                "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
-               "output bytes are identical at every thread count.\n");
+               "output bytes are identical at every thread count.\n"
+               "--metrics=json|text prints the telemetry registry snapshot\n"
+               "after the command (see docs/OBSERVABILITY.md).\n");
   return 2;
 }
 
@@ -213,6 +228,49 @@ int CmdBench(const std::string& in_path) {
   return 0;
 }
 
+/// Full-pipeline telemetry profile of one file: compress + decode + verify
+/// in memory with the registry enabled, then dump the snapshot. This is the
+/// quickest way to see where a dataset's cycles go and how the sampler
+/// behaved, without writing any output file.
+int CmdStats(const std::string& in_path) {
+  const auto values = alp::ReadDoublesFileEx(in_path);
+  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
+
+  alp::obs::SetEnabled(true);
+  alp::obs::MetricRegistry::Global().Reset();
+
+  alp::CompressionInfo info;
+  const auto buffer =
+      alp::CompressColumnParallel(values->data(), values->size(), {}, &info, &Pool());
+  auto reader = alp::ColumnReader<double>::OpenParallel(buffer.data(),
+                                                        buffer.size(), &Pool());
+  if (!reader.ok()) {
+    return Fail("round-trip open failed", reader.status().ToString());
+  }
+  std::vector<double> restored(reader->value_count());
+  const alp::Status decode = reader->TryDecodeAllParallel(restored.data(), &Pool());
+  if (!decode.ok()) return Fail("round-trip decode failed", decode.ToString());
+  for (size_t i = 0; i < restored.size(); ++i) {
+    if (alp::BitsOf(restored[i]) != alp::BitsOf((*values)[i])) {
+      return Fail("round-trip mismatch");
+    }
+  }
+
+  const auto snapshot = alp::obs::MetricRegistry::Global().Snapshot();
+  const bool json = g_metrics == 2;
+  if (!json) {
+    std::printf("%zu values | %.2f bits/value | %zu rowgroups (%zu ALP_rd) | "
+                "%u threads\n",
+                values->size(),
+                alp::BitsPerValue<double>(buffer, values->size()),
+                info.rowgroups, info.rowgroups_rd, Pool().size());
+  }
+  alp::obs::TraceSink::Emit(snapshot, json, std::cout);
+  // The command already printed the registry; suppress the end-of-run dump.
+  g_metrics = 0;
+  return 0;
+}
+
 int CmdGen(const std::string& name, const std::string& count_str,
            const std::string& out_path) {
   const auto* spec = alp::data::FindDataset(name);
@@ -241,13 +299,20 @@ int CmdDatasets() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Global options come before the command; only --threads=N so far.
+  // Global options come before the command: --threads=N and --metrics=....
   int arg = 1;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strncmp(argv[arg], "--threads=", 10) == 0) {
       const long v = std::atol(argv[arg] + 10);
       if (v <= 0) return Fail("bad --threads value", argv[arg]);
       g_threads = static_cast<unsigned>(v);
+    } else if (std::strcmp(argv[arg], "--metrics=text") == 0) {
+      g_metrics = 1;
+    } else if (std::strcmp(argv[arg], "--metrics=json") == 0) {
+      g_metrics = 2;
+    } else if (std::strncmp(argv[arg], "--metrics", 9) == 0) {
+      return Fail("bad --metrics value (use --metrics=json or --metrics=text)",
+                  argv[arg]);
     } else {
       return Usage();
     }
@@ -256,13 +321,23 @@ int main(int argc, char** argv) {
   argc -= arg - 1;
   argv += arg - 1;
   if (argc < 2) return Usage();
+  if (g_metrics != 0) alp::obs::SetEnabled(true);
+
   const std::string command = argv[1];
-  if (command == "compress" && argc == 4) return CmdCompress(argv[2], argv[3]);
-  if (command == "decompress" && argc == 4) return CmdDecompress(argv[2], argv[3]);
-  if (command == "inspect" && argc == 3) return CmdInspect(argv[2]);
-  if (command == "verify" && argc == 4) return CmdVerify(argv[2], argv[3]);
-  if (command == "bench" && argc == 3) return CmdBench(argv[2]);
-  if (command == "gen" && argc == 5) return CmdGen(argv[2], argv[3], argv[4]);
-  if (command == "datasets" && argc == 2) return CmdDatasets();
-  return Usage();
+  int rc = -1;
+  if (command == "compress" && argc == 4) rc = CmdCompress(argv[2], argv[3]);
+  else if (command == "decompress" && argc == 4) rc = CmdDecompress(argv[2], argv[3]);
+  else if (command == "inspect" && argc == 3) rc = CmdInspect(argv[2]);
+  else if (command == "verify" && argc == 4) rc = CmdVerify(argv[2], argv[3]);
+  else if (command == "bench" && argc == 3) rc = CmdBench(argv[2]);
+  else if (command == "stats" && argc == 3) rc = CmdStats(argv[2]);
+  else if (command == "gen" && argc == 5) rc = CmdGen(argv[2], argv[3], argv[4]);
+  else if (command == "datasets" && argc == 2) rc = CmdDatasets();
+  if (rc < 0) return Usage();
+
+  if (g_metrics != 0) {
+    alp::obs::TraceSink::Emit(alp::obs::MetricRegistry::Global().Snapshot(),
+                              g_metrics == 2, std::cout);
+  }
+  return rc;
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validate bench JSON reports against the alp-bench-v1 schema.
+
+Usage: validate_bench_json.py <report.json>...
+
+Checks the rules documented in docs/BENCH_SCHEMA.md and exits non-zero if
+any file fails. Standard library only, so CI can run it on a bare runner.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_STR = ("dataset", "scheme", "metric", "unit")
+ALLOWED_FIELDS = set(REQUIRED_STR) | {"value", "threads"}
+
+
+def fail(path, msg):
+    print(f"{path}: FAIL: {msg}")
+    return False
+
+
+def validate_record(path, i, rec):
+    where = f"records[{i}]"
+    if not isinstance(rec, dict):
+        return fail(path, f"{where} is not an object")
+    unknown = set(rec) - ALLOWED_FIELDS
+    if unknown:
+        return fail(path, f"{where} has unknown fields {sorted(unknown)}")
+    for field in REQUIRED_STR:
+        if not isinstance(rec.get(field), str) or not rec[field]:
+            return fail(path, f"{where}.{field} missing or not a non-empty string")
+    value = rec.get("value")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return fail(path, f"{where}.value missing or not a number")
+    if not math.isfinite(value):
+        return fail(path, f"{where}.value is not finite")
+    if "threads" in rec:
+        threads = rec["threads"]
+        if isinstance(threads, bool) or not isinstance(threads, int) or threads < 1:
+            return fail(path, f"{where}.threads must be an integer >= 1")
+    return True
+
+
+def validate_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"cannot parse: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != "alp-bench-v1":
+        return fail(path, f"schema is {doc.get('schema')!r}, want 'alp-bench-v1'")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        return fail(path, "bench missing or not a non-empty string")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        return fail(path, "records missing, not an array, or empty")
+    for i, rec in enumerate(records):
+        if not validate_record(path, i, rec):
+            return False
+    print(f"{path}: OK ({doc['bench']}, {len(records)} records)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    ok = all([validate_file(p) for p in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
