@@ -35,7 +35,8 @@ Outcome Run(const std::vector<double>& data, bool with_delta) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t n = alp::bench::ValuesPerDataset(512 * 1024);
 
   // Sorted: exact cent grid, strictly increasing.

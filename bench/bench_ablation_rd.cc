@@ -92,7 +92,8 @@ void Sweep(const char* name, const std::vector<T>& data) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t n = alp::bench::ValuesPerDataset(256 * 1024);
 
   const auto poi = alp::data::Generate(*alp::data::FindDataset("POI-lat"), n);

@@ -33,7 +33,8 @@ Outcome Run(const std::vector<double>& data, const alp::SamplerConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t n = alp::bench::ValuesPerDataset(512 * 1024);
   const char* kDatasets[] = {"CMS/1", "City-Temp", "Stocks-USA"};
 

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "alp/alp.h"
+#include "obs/sink.h"
+#include "obs/trace_buffer.h"
 #include "util/cycle_clock.h"
 
 /// \file bench_common.h
@@ -147,20 +149,68 @@ class JsonReport {
   }
 
  private:
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    out += '"';
-    return out;
-  }
+  /// Full JSON escaping via the shared library escaper — dataset and file
+  /// names with quotes, backslashes or control characters can't break the
+  /// report (the old private escaper missed control characters).
+  static std::string Quote(const std::string& s) { return obs::JsonQuote(s); }
 
   std::string bench_;
   std::string path_;
   std::vector<std::string> records_;
   bool written_ = false;
+};
+
+/// Scoped trace capture shared by every bench binary: scans argv for
+/// --trace=<path> and, when present, records every instrumented span for
+/// the binary's lifetime, writing Chrome/Perfetto trace_event JSON at
+/// destruction (load it in https://ui.perfetto.dev). Without the flag every
+/// call is a no-op, and builds with -DALP_OBS=OFF write a valid empty
+/// trace. Construct it first thing in main() so setup spans are captured:
+///
+///   int main(int argc, char** argv) {
+///     auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
+///     auto report = alp::bench::JsonReport::FromArgs(argc, argv, "...");
+///     ...
+class TraceSession {
+ public:
+  static TraceSession FromArgs(int argc, char** argv) {
+    TraceSession session;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--trace=", 8) == 0 && a[8] != '\0') {
+        session.path_ = a + 8;
+      }
+    }
+    if (session.enabled()) obs::StartTracing();
+    return session;
+  }
+
+  TraceSession() = default;
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+  TraceSession(TraceSession&& other) noexcept { *this = std::move(other); }
+  TraceSession& operator=(TraceSession&& other) noexcept {
+    path_ = std::move(other.path_);
+    other.path_.clear();
+    return *this;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  ~TraceSession() {
+    if (!enabled()) return;
+    obs::StopTracing();
+    const Status s = obs::WriteTraceFile(path_);
+    if (!s.ok()) {
+      std::fprintf(stderr, "bench: cannot write trace %s: %s\n", path_.c_str(),
+                   s.ToString().c_str());
+      return;
+    }
+    std::fprintf(stderr, "bench: trace written to %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
 };
 
 }  // namespace alp::bench

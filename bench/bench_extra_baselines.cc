@@ -13,7 +13,8 @@
 #include "data/datasets.h"
 #include "engine/operators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t n = alp::bench::ValuesPerDataset(128 * 1024);
   auto fpc = alp::codecs::MakeFpc();
   auto gorilla = alp::codecs::MakeGorilla();

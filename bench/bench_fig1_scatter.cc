@@ -16,6 +16,7 @@
 #include "data/datasets.h"
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig1_scatter");
   const size_t n = alp::bench::ValuesPerDataset(128 * 1024);
   constexpr uint64_t kBudget = 3'000'000;  // Cycles per speed measurement.

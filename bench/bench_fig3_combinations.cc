@@ -12,6 +12,7 @@
 #include "data/datasets.h"
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig3_combinations");
   const size_t n = alp::bench::ValuesPerDataset(128 * 1024);
   std::printf("Figure 3: best (e,f) combinations per dataset (%zu values each)\n\n", n);

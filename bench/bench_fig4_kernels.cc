@@ -15,6 +15,7 @@
 #include "data/datasets.h"
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig4_kernels");
   constexpr uint64_t kBudget = 8'000'000;
   std::printf("Figure 4: fused decode kernel flavours, tuples per cycle\n");

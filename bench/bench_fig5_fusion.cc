@@ -38,6 +38,7 @@ FusionResult Measure(const alp::bench::AlpMicroVector& vec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig5_fusion");
   std::printf("Figure 5 (top): fused vs unfused ALP+FFOR decode per dataset\n\n");
   std::printf("%-14s %10s %10s %10s\n", "Dataset", "fused t/c", "unfused", "speedup");

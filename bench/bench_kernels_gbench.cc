@@ -5,10 +5,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <random>
 #include <vector>
 
 #include "alp/encoder.h"
+#include "bench_common.h"
 #include "fastlanes/bitpack.h"
 #include "fastlanes/ffor.h"
 
@@ -103,4 +105,19 @@ BENCHMARK(BM_AlpEncodeVector);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so --trace=<path> can be handled here: google
+// benchmark rejects flags it does not know, so the trace flag is consumed
+// (and the session started) before Initialize sees argv.
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) != 0) argv[kept++] = argv[i];
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,7 +46,8 @@ double BestSeconds(const Fn& fn, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t per_dataset = alp::bench::ValuesPerDataset(2 * alp::kRowgroupSize);
   unsigned max_threads = 8;
   if (const char* env = std::getenv("ALP_BENCH_MAX_THREADS")) {

@@ -14,7 +14,8 @@
 #include "data/datasets.h"
 #include "engine/operators.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t n = alp::bench::ValuesPerDataset(2 * 1024 * 1024);
   // Clustered values: a slowly drifting series, so value ranges correlate
   // with position and zone maps have discriminating power (the common case

@@ -12,7 +12,8 @@
 #include "bench_common.h"
 #include "data/datasets.h"
 
-int main() {
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   const size_t n = alp::bench::ValuesPerDataset(256 * 1024);
 
   uint64_t vectors_total = 0;

@@ -11,6 +11,7 @@
 #include "data/datasets.h"
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table2_metrics");
   const size_t n = alp::bench::ValuesPerDataset();
   std::printf("Table 2: dataset metrics over %zu values per surrogate\n\n", n);

@@ -25,6 +25,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table4_ratio");
   const size_t n = alp::bench::ValuesPerDataset();
   auto codecs = alp::codecs::AllDoubleCodecs();

@@ -25,6 +25,7 @@ constexpr uint64_t kMinCycles = 20'000'000;
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table5_speed");
   const auto& datasets = alp::data::AllDatasets();
   std::map<std::string, std::pair<double, double>> totals;  // name -> (comp, dec).

@@ -38,6 +38,7 @@ std::vector<unsigned> ThreadCounts() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table6_endtoend");
   const size_t n = alp::bench::ValuesPerDataset(4 * 1024 * 1024);
   const auto threads = ThreadCounts();

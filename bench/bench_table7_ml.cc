@@ -17,6 +17,7 @@
 #include "util/bits.h"
 
 int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table7_ml");
   const size_t cap = alp::bench::ValuesPerDataset(1024 * 1024);
 

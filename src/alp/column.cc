@@ -1163,6 +1163,199 @@ void DecompressColumn(const std::vector<uint8_t>& buffer, T* out) {
   reader.DecodeAll(out);
 }
 
+// ---------------------------------------------------------------------------
+// ColumnMetaCursor
+// ---------------------------------------------------------------------------
+
+template <typename T>
+StatusOr<ColumnMetaCursor<T>> ColumnMetaCursor<T>::Open(const uint8_t* data,
+                                                        size_t size) {
+  StatusOr<ColumnReader<T>> reader = ColumnReader<T>::Open(data, size);
+  if (!reader.ok()) return reader.status();
+  ColumnMetaCursor<T> cursor(std::move(reader).value());
+
+  // Belt and braces for the byte accounting: the validator guarantees every
+  // read stays in bounds, but the accounting additionally needs the
+  // rowgroups to tile the payload region — first rowgroup right after the
+  // index sections, offsets ascending. A buffer that passes validation yet
+  // breaks the tiling would silently unbalance the explain report, so it is
+  // rejected here instead.
+  const ColumnReader<T>& r = cursor.reader_;
+  const IndexLayout layout = ComputeIndexLayout(
+      r.version_, static_cast<uint32_t>(r.rowgroups_.size()), r.vector_count_);
+  if (!r.rowgroups_.empty() &&
+      r.rowgroups_.front().byte_offset != layout.payload_begin) {
+    return Status::Corrupt("first rowgroup does not start at payload begin",
+                           r.rowgroups_.front().byte_offset);
+  }
+  if (r.rowgroups_.empty() && layout.payload_begin != size) {
+    return Status::Corrupt("empty column with trailing bytes",
+                           layout.payload_begin);
+  }
+  for (size_t rg = 0; rg + 1 < r.rowgroups_.size(); ++rg) {
+    if (r.rowgroups_[rg + 1].byte_offset <= r.rowgroups_[rg].byte_offset) {
+      return Status::Corrupt("rowgroup offsets not strictly ascending",
+                             r.rowgroups_[rg + 1].byte_offset);
+    }
+  }
+  return cursor;
+}
+
+template <typename T>
+size_t ColumnMetaCursor<T>::column_header_bytes() const {
+  return sizeof(ColumnHeader);
+}
+
+template <typename T>
+size_t ColumnMetaCursor<T>::rowgroup_index_bytes() const {
+  return reader_.rowgroups_.size() * sizeof(uint64_t);
+}
+
+template <typename T>
+size_t ColumnMetaCursor<T>::checksum_bytes() const {
+  if (reader_.format_version() < 3) return 0;
+  return reader_.rowgroups_.size() * sizeof(uint64_t) + sizeof(uint64_t);
+}
+
+template <typename T>
+size_t ColumnMetaCursor<T>::zone_map_bytes() const {
+  return reader_.vector_count_ * sizeof(VectorStats);
+}
+
+template <typename T>
+size_t ColumnMetaCursor<T>::RowgroupExtent(size_t rg) const {
+  const auto& rowgroups = reader_.rowgroups_;
+  const size_t end = rg + 1 < rowgroups.size() ? rowgroups[rg + 1].byte_offset
+                                               : reader_.size_;
+  return end - rowgroups[rg].byte_offset;
+}
+
+template <typename T>
+StatusOr<RowgroupMeta> ColumnMetaCursor<T>::Rowgroup(size_t rg) const {
+  if (rg >= reader_.rowgroups_.size()) {
+    return Status::Corrupt("rowgroup index out of range");
+  }
+  const auto& info = reader_.rowgroups_[rg];
+  RowgroupMeta meta;
+  meta.index = rg;
+  meta.byte_offset = info.byte_offset;
+  meta.byte_extent = RowgroupExtent(rg);
+  meta.scheme = info.scheme;
+  meta.vector_count = info.vector_count;
+  meta.first_vector = info.first_vector;
+  // Everything before the first vector is rowgroup-level header: the
+  // RowgroupHeader, the RdHeader when present, the vector offset index and
+  // its alignment pad. The 0-vector rowgroup of an empty column is all
+  // header.
+  meta.header_bytes =
+      info.vector_count > 0 ? info.vector_offsets[0] : meta.byte_extent;
+  if (meta.header_bytes > meta.byte_extent) {
+    return Status::Corrupt("rowgroup header overruns rowgroup extent",
+                           info.byte_offset);
+  }
+  if (info.scheme == Scheme::kAlpRd) {
+    meta.rd_right_bits = info.rd.right_bits;
+    meta.rd_dict_width = info.rd.dict_width;
+    meta.rd_dict_size = info.rd.dict_size;
+  }
+  return meta;
+}
+
+template <typename T>
+StatusOr<VectorMeta> ColumnMetaCursor<T>::Vector(size_t v) const {
+  using Uint = typename AlpTraits<T>::Uint;
+  if (v >= reader_.vector_count_) {
+    return Status::Corrupt("vector index out of range");
+  }
+  const size_t rg = v / kRowgroupVectors;
+  const auto& info = reader_.rowgroups_[rg];
+  const size_t local_v = v - info.first_vector;
+  const size_t rg_extent = RowgroupExtent(rg);
+  const uint32_t vec_off = info.vector_offsets[local_v];
+  const size_t vec_end = local_v + 1 < info.vector_count
+                             ? info.vector_offsets[local_v + 1]
+                             : rg_extent;
+  if (vec_end < vec_off || vec_end > rg_extent) {
+    return Status::Corrupt("vector offsets not ascending within rowgroup",
+                           info.byte_offset + vec_off);
+  }
+
+  VectorMeta meta;
+  meta.index = v;
+  meta.rowgroup = rg;
+  meta.scheme = info.scheme;
+  meta.n = reader_.VectorLength(v);
+  meta.byte_offset = info.byte_offset + vec_off;
+  meta.byte_extent = vec_end - vec_off;
+
+  ByteReader reader(reader_.data_, reader_.size_);
+  reader.SeekTo(meta.byte_offset);
+  if (info.scheme == Scheme::kAlpRd) {
+    const auto header = reader.Read<RdVectorHeader>();
+    if (reader.failed()) {
+      return Status::Corrupt("vector header out of bounds", meta.byte_offset);
+    }
+    meta.bit_width = static_cast<unsigned>(info.rd.right_bits) + info.rd.dict_width;
+    meta.exc_count = header.exc_count;
+    meta.header_bytes = sizeof(RdVectorHeader);
+    meta.packed_bytes = static_cast<size_t>(meta.bit_width) *
+                        fastlanes::kLanes<Uint> * sizeof(Uint);
+    // Exception left parts (u16) + positions (u16).
+    meta.exception_bytes = static_cast<size_t>(header.exc_count) * 4;
+  } else {
+    const auto header = reader.Read<AlpVectorHeader>();
+    if (reader.failed()) {
+      return Status::Corrupt("vector header out of bounds", meta.byte_offset);
+    }
+    meta.e = header.e;
+    meta.f = header.f;
+    meta.int_encoding = header.int_encoding;
+    meta.base = header.base;
+    meta.bit_width = header.width;
+    meta.exc_count = header.exc_count;
+    meta.header_bytes = sizeof(AlpVectorHeader);
+    meta.packed_bytes = static_cast<size_t>(header.width) *
+                        fastlanes::kLanes<Uint> * sizeof(Uint);
+    // Exception value bits (sizeof(T)) + positions (u16).
+    meta.exception_bytes =
+        static_cast<size_t>(header.exc_count) * (sizeof(T) + 2);
+  }
+
+  const size_t used = meta.header_bytes + meta.packed_bytes + meta.exception_bytes;
+  if (used > meta.byte_extent) {
+    return Status::Corrupt("vector streams overrun vector extent",
+                           meta.byte_offset);
+  }
+  meta.padding_bytes = meta.byte_extent - used;
+  if (meta.padding_bytes >= 8) {
+    // Streams are 8-aligned with at most 7 pad bytes; more means the offset
+    // index left a hole the accounting cannot attribute.
+    return Status::Corrupt("unaccounted gap after vector streams",
+                           meta.byte_offset + used);
+  }
+  return meta;
+}
+
+template <typename T>
+Status ColumnMetaCursor<T>::ReadExceptionPositions(
+    const VectorMeta& vm, std::vector<uint16_t>* out) const {
+  out->clear();
+  if (vm.exc_count == 0) return Status::Ok();
+  // Positions are the trailing stream of the exception section.
+  const size_t positions_at = vm.byte_offset + vm.header_bytes +
+                              vm.packed_bytes + vm.exception_bytes -
+                              static_cast<size_t>(vm.exc_count) * 2;
+  ByteReader reader(reader_.data_, reader_.size_);
+  reader.SeekTo(positions_at);
+  out->resize(vm.exc_count);
+  reader.ReadArray(out->data(), out->size());
+  if (reader.failed()) {
+    out->clear();
+    return Status::Corrupt("exception positions out of bounds", positions_at);
+  }
+  return Status::Ok();
+}
+
 template std::vector<uint8_t> CompressColumn<double>(const double*, size_t,
                                                      const SamplerConfig&,
                                                      CompressionInfo*);
@@ -1179,6 +1372,8 @@ template std::vector<uint8_t> CompressColumnParallel<float>(const float*, size_t
                                                             ThreadPool*);
 template class ColumnReader<double>;
 template class ColumnReader<float>;
+template class ColumnMetaCursor<double>;
+template class ColumnMetaCursor<float>;
 template Status ValidateColumnEx<double>(const uint8_t*, size_t);
 template Status ValidateColumnEx<float>(const uint8_t*, size_t);
 template Status ValidateColumnParallelEx<double>(const uint8_t*, size_t, ThreadPool*);

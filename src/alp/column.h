@@ -194,6 +194,9 @@ class ColumnReader {
   Status TryDecodeAllParallel(T* out, ThreadPool* pool = &ThreadPool::Shared()) const;
 
  private:
+  template <typename U>
+  friend class ColumnMetaCursor;
+
   struct RowgroupInfo {
     size_t byte_offset = 0;          ///< Absolute offset in the buffer.
     Scheme scheme = Scheme::kAlp;
@@ -218,6 +221,115 @@ class ColumnReader {
   bool ok_ = false;
   std::vector<RowgroupInfo> rowgroups_;
   std::vector<VectorStats> stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Metadata cursor — the explain engine's window into a column file.
+// ---------------------------------------------------------------------------
+
+/// Physical metadata of one encoded vector, read from its header without
+/// decoding any values. Byte stream fields partition the vector's extent
+/// exactly: header_bytes + packed_bytes + exception_bytes + padding_bytes
+/// == byte_extent.
+struct VectorMeta {
+  size_t index = 0;         ///< Global vector index.
+  size_t rowgroup = 0;      ///< Owning rowgroup index.
+  Scheme scheme = Scheme::kAlp;
+  unsigned n = 0;           ///< Logical values in the vector.
+  size_t byte_offset = 0;   ///< Absolute offset of the vector header.
+  size_t byte_extent = 0;   ///< Bytes to the next vector / rowgroup end.
+
+  // ALP scheme parameters (valid when scheme == kAlp).
+  uint8_t e = 0;              ///< Exponent of the (e, f) combination.
+  uint8_t f = 0;              ///< Factor of the (e, f) combination.
+  uint8_t int_encoding = 0;   ///< 0 = FFOR, 1 = Delta (+ zig-zag).
+  uint64_t base = 0;          ///< FOR base / first delta value.
+
+  /// Packed integer bit width: the FFOR/Delta width for ALP vectors, or
+  /// right_bits + dict_width for ALP_rd vectors (total packed bits/value).
+  unsigned bit_width = 0;
+
+  uint16_t exc_count = 0;   ///< Exceptions patched after decode.
+
+  // Per-stream byte accounting within [byte_offset, byte_offset+byte_extent).
+  size_t header_bytes = 0;     ///< AlpVectorHeader / RdVectorHeader.
+  size_t packed_bytes = 0;     ///< Bit-packed integer words.
+  size_t exception_bytes = 0;  ///< Exception values + positions.
+  size_t padding_bytes = 0;    ///< 8-byte alignment tail.
+};
+
+/// Physical metadata of one rowgroup.
+struct RowgroupMeta {
+  size_t index = 0;
+  size_t byte_offset = 0;   ///< Absolute offset of the rowgroup header.
+  size_t byte_extent = 0;   ///< Bytes to the next rowgroup / file end.
+  Scheme scheme = Scheme::kAlp;
+  uint32_t vector_count = 0;
+  size_t first_vector = 0;  ///< Global index of its first vector.
+
+  /// Rowgroup-level header bytes: RowgroupHeader, the ALP_rd parameter
+  /// block (when present), the per-vector offset index and its alignment
+  /// pad — everything before the first vector.
+  size_t header_bytes = 0;
+
+  // ALP_rd parameters (valid when scheme == kAlpRd).
+  uint8_t rd_right_bits = 0;
+  uint8_t rd_dict_width = 0;
+  uint8_t rd_dict_size = 0;
+};
+
+/// Read-only cursor over a column buffer's physical metadata: headers,
+/// indexes and per-vector layout, surfaced without decoding any values.
+/// This is the substrate of the X-Ray explain engine (src/obs/xray.h) —
+/// everything `alp_cli explain` prints comes through here.
+///
+/// Open validates the buffer first (ValidateColumnEx, including v3
+/// checksums), then walks trusted headers; the cursor additionally
+/// cross-checks each vector's declared streams against its extent so the
+/// per-stream byte accounting always sums exactly, or Open/Vector report
+/// kCorrupt. The buffer must outlive the cursor.
+template <typename T>
+class ColumnMetaCursor {
+ public:
+  /// Validates \p data and builds the cursor.
+  static StatusOr<ColumnMetaCursor<T>> Open(const uint8_t* data, size_t size);
+
+  uint8_t format_version() const { return reader_.format_version(); }
+  size_t value_count() const { return reader_.value_count(); }
+  size_t vector_count() const { return reader_.vector_count(); }
+  size_t rowgroup_count() const { return reader_.rowgroups_.size(); }
+  size_t file_size() const { return reader_.size_; }
+
+  /// Fixed-layout section sizes (bytes). Together with the rowgroup
+  /// extents these partition the file:
+  ///   column_header + rowgroup_index + checksums + zone_map
+  ///     + sum(rowgroup extents) == file_size().
+  size_t column_header_bytes() const;
+  size_t rowgroup_index_bytes() const;  ///< Rowgroup offset index.
+  size_t checksum_bytes() const;        ///< v3 rowgroup + header checksums; 0 for v2.
+  size_t zone_map_bytes() const;        ///< VectorStats entries.
+
+  /// Zone map entry for vector \p v.
+  const VectorStats& Stats(size_t v) const { return reader_.Stats(v); }
+
+  StatusOr<RowgroupMeta> Rowgroup(size_t rg) const;
+  StatusOr<VectorMeta> Vector(size_t v) const;
+
+  /// Reads vector \p vm's exception position array (vm.exc_count entries,
+  /// each in [0, n)) without decoding values — feeds the explain engine's
+  /// exception-position histogram.
+  Status ReadExceptionPositions(const VectorMeta& vm,
+                                std::vector<uint16_t>* out) const;
+
+ private:
+  explicit ColumnMetaCursor(ColumnReader<T> reader)
+      : reader_(std::move(reader)) {}
+
+  /// Extent of rowgroup \p rg: distance to the next rowgroup's offset, or
+  /// to the end of the file for the last one.
+  size_t RowgroupExtent(size_t rg) const;
+
+  ColumnReader<T> reader_;
 };
 
 /// Full structural validation of a compressed column buffer: magic,

@@ -20,22 +20,7 @@ std::string FormatDouble(double v, int precision = 3) {
 
 void AppendJsonString(std::string& out, const std::string& s) {
   out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
+  out += JsonEscape(s);
   out += '"';
 }
 
@@ -49,6 +34,36 @@ void AppendUintArray(std::string& out, const std::vector<uint64_t>& values) {
 }
 
 }  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out = "\"";
+  out += JsonEscape(s);
+  out += '"';
+  return out;
+}
 
 std::string TraceSink::ToJson(const MetricsSnapshot& snapshot) {
   std::string out;

@@ -3,6 +3,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.h"
 
@@ -13,6 +14,16 @@
 /// so taking a snapshot once and emitting it in both formats is consistent.
 
 namespace alp::obs {
+
+/// Escapes \p s for embedding in a JSON string literal: quotes, backslashes
+/// and control characters (\uXXXX for the unprintable ones). This is the one
+/// JSON escaper in the repository — TraceSink, ColumnXRay, the trace-event
+/// exporter and the bench harness's JsonReport all share it, so dataset and
+/// metric names with quotes or newlines can never break a report.
+std::string JsonEscape(std::string_view s);
+
+/// JsonEscape plus the surrounding quotes: `"…"`.
+std::string JsonQuote(std::string_view s);
 
 class TraceSink {
  public:

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "obs/metrics.h"
+#include "obs/trace_buffer.h"
 #include "util/cycle_clock.h"
 
 /// \file trace.h
@@ -25,13 +26,17 @@
 
 namespace alp::obs {
 
-/// RAII cycle-span. Captures CycleNow() only while recording is enabled so
-/// the disabled path never touches RDTSC.
+/// RAII cycle-span. Captures CycleNow() only while metric recording or span
+/// tracing is enabled, so the fully disabled path never touches RDTSC. One
+/// span feeds both consumers: aggregate StageStats in the registry (when
+/// Enabled()) and an individual trace event in the per-thread ring (when
+/// TraceEnabled()). \p name must have static storage duration — the trace
+/// ring stores the pointer (ALP_OBS_SPAN passes its stage literal).
 class ScopedTimer {
  public:
-  ScopedTimer(StageStats& stage, uint64_t items)
-      : stage_(stage), items_(items) {
-    if (Enabled()) {
+  ScopedTimer(StageStats& stage, const char* name, uint64_t items)
+      : stage_(stage), name_(name), items_(items) {
+    if (Enabled() || TraceEnabled()) {
       armed_ = true;
       start_ = ::alp::CycleNow();
     }
@@ -45,13 +50,18 @@ class ScopedTimer {
   void SetItems(uint64_t items) { items_ = items; }
 
   ~ScopedTimer() {
-    if (armed_ && Enabled()) {
-      stage_.Record(::alp::CycleNow() - start_, items_);
-    }
+    if (!armed_) return;
+    const bool metrics = Enabled();
+    const bool trace = TraceEnabled();
+    if (!metrics && !trace) return;
+    const uint64_t end = ::alp::CycleNow();
+    if (metrics) stage_.Record(end - start_, items_);
+    if (trace) TraceRecordSpan(name_, start_, end, items_);
   }
 
  private:
   StageStats& stage_;
+  const char* name_;
   uint64_t items_;
   uint64_t start_ = 0;
   bool armed_ = false;
@@ -80,7 +90,7 @@ class ScopedTimer {
 #define ALP_OBS_SPAN(var, stage, items)                              \
   static ::alp::obs::StageStats& var##_stage =                       \
       ::alp::obs::MetricRegistry::Global().GetStage(stage);          \
-  ::alp::obs::ScopedTimer var(var##_stage, (items))
+  ::alp::obs::ScopedTimer var(var##_stage, (stage), (items))
 
 #else  // !ALP_OBS
 

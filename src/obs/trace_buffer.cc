@@ -1,0 +1,268 @@
+#include "obs/trace_buffer.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/sink.h"
+#include "util/cycle_clock.h"
+#include "util/thread_pool.h"
+
+namespace alp::obs {
+
+namespace internal {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace internal
+
+#if ALP_OBS
+
+namespace {
+
+/// Raw ring slot: the name pointer (static storage, from ALP_OBS_SPAN
+/// literals) is stored as-is; resolution to std::string happens at collect.
+struct SlotSpan {
+  const char* name;
+  uint64_t begin_cycles;
+  uint64_t end_cycles;
+  uint64_t items;
+};
+
+/// Single-writer ring. Only the owning thread stores slots and advances
+/// head_; collectors read under the registry mutex with acquire loads, so a
+/// slot's contents are visible before the head that publishes it.
+struct ThreadRing {
+  int tid = 0;
+  std::array<SlotSpan, kTraceRingCapacity> slots;
+  /// Total spans ever pushed; slot index = head % capacity. Publishing with
+  /// release order makes the just-written slot visible to any collector
+  /// that acquires the new head value.
+  std::atomic<uint64_t> head{0};
+
+  void Push(const char* name, uint64_t begin, uint64_t end, uint64_t items) {
+    const uint64_t h = head.load(std::memory_order_relaxed);
+    SlotSpan& slot = slots[h & (kTraceRingCapacity - 1)];
+    slot.name = name;
+    slot.begin_cycles = begin;
+    slot.end_cycles = end;
+    slot.items = items;
+    head.store(h + 1, std::memory_order_release);
+  }
+};
+
+/// Calibration anchor: a (cycles, wall time) pair taken at StartTracing so
+/// export can convert cycle stamps to microseconds with a scale measured
+/// over the actual traced interval.
+struct CalibrationAnchor {
+  uint64_t cycles = 0;
+  std::chrono::steady_clock::time_point wall{};
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  /// Owned rings in registration order. Leaked on purpose (like the metric
+  /// registry): worker threads may outlive any scope that could free them.
+  std::vector<ThreadRing*> rings;
+  int next_synthetic_tid = kSyntheticTidBase;
+  std::atomic<uint64_t> dropped{0};
+  CalibrationAnchor anchor;
+};
+
+TraceRegistry& Registry() {
+  static TraceRegistry* r = new TraceRegistry();
+  return *r;
+}
+
+ThreadRing& LocalRing() {
+  thread_local ThreadRing* ring = nullptr;
+  if (ring == nullptr) {
+    ring = new ThreadRing();
+    TraceRegistry& reg = Registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const int worker = ThreadPool::CurrentWorkerIndex();
+    ring->tid = worker >= 0 ? worker : reg.next_synthetic_tid++;
+    reg.rings.push_back(ring);
+  }
+  return *ring;
+}
+
+/// Microseconds per cycle measured between the StartTracing anchor and now.
+/// Falls back to a nominal 1 GHz when the elapsed window is too small to
+/// divide (e.g. trace started and exported within the same microsecond).
+double MicrosPerCycle() {
+  TraceRegistry& reg = Registry();
+  const uint64_t cycles_now = ::alp::CycleNow();
+  const auto wall_now = std::chrono::steady_clock::now();
+  const uint64_t dc = cycles_now - reg.anchor.cycles;
+  const double us =
+      std::chrono::duration<double, std::micro>(wall_now - reg.anchor.wall)
+          .count();
+  if (reg.anchor.cycles == 0 || dc == 0 || us <= 0.0) return 1e-3;
+  return us / static_cast<double>(dc);
+}
+
+std::string FormatMicros(double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us < 0.0 ? 0.0 : us);
+  return buf;
+}
+
+}  // namespace
+
+void StartTracing() {
+  TraceRegistry& reg = Registry();
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (ThreadRing* ring : reg.rings) {
+      ring->head.store(0, std::memory_order_relaxed);
+    }
+    reg.dropped.store(0, std::memory_order_relaxed);
+    reg.anchor.cycles = ::alp::CycleNow();
+    reg.anchor.wall = std::chrono::steady_clock::now();
+  }
+  internal::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ResetTrace() {
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (ThreadRing* ring : reg.rings) {
+    ring->head.store(0, std::memory_order_relaxed);
+  }
+  reg.dropped.store(0, std::memory_order_relaxed);
+}
+
+void TraceRecordSpan(const char* name, uint64_t begin_cycles,
+                     uint64_t end_cycles, uint64_t items) {
+  // ScopedTimer checks the gate before timing, but direct callers may not:
+  // spans must never land in the rings while tracing is stopped.
+  if (!TraceEnabled()) return;
+  ThreadRing& ring = LocalRing();
+  const uint64_t h = ring.head.load(std::memory_order_relaxed);
+  if (h >= kTraceRingCapacity) {
+    // Overwriting the oldest retained span.
+    Registry().dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+  ring.Push(name, begin_cycles, end_cycles, items);
+}
+
+std::vector<TraceSpan> CollectTraceSpans() {
+  std::vector<TraceSpan> out;
+  TraceRegistry& reg = Registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const ThreadRing* ring : reg.rings) {
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t count = std::min<uint64_t>(head, kTraceRingCapacity);
+    const uint64_t first = head - count;  // Oldest retained span.
+    for (uint64_t i = first; i < head; ++i) {
+      const SlotSpan& slot = ring->slots[i & (kTraceRingCapacity - 1)];
+      TraceSpan span;
+      span.name = slot.name != nullptr ? slot.name : "";
+      span.begin_cycles = slot.begin_cycles;
+      span.end_cycles = slot.end_cycles;
+      span.items = slot.items;
+      span.tid = ring->tid;
+      out.push_back(std::move(span));
+    }
+  }
+  return out;
+}
+
+uint64_t TraceDroppedSpans() {
+  return Registry().dropped.load(std::memory_order_relaxed);
+}
+
+std::string TraceToJson() {
+  const std::vector<TraceSpan> spans = CollectTraceSpans();
+  const double us_per_cycle = MicrosPerCycle();
+  const uint64_t anchor_cycles = Registry().anchor.cycles;
+
+  // Thread-name metadata first, one per distinct tid.
+  std::vector<int> tids;
+  for (const TraceSpan& s : spans) {
+    if (std::find(tids.begin(), tids.end(), s.tid) == tids.end()) {
+      tids.push_back(s.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+
+  std::string out;
+  out.reserve(128 + spans.size() * 96);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (int tid : tids) {
+    if (!first) out += ',';
+    first = false;
+    const std::string name = tid >= kSyntheticTidBase
+                                 ? (tid == kSyntheticTidBase
+                                        ? std::string("main")
+                                        : "thread-" + std::to_string(tid))
+                                 : "worker-" + std::to_string(tid);
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid);
+    out += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    out += JsonQuote(name);
+    out += "}}";
+  }
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    // Cycles before the anchor (spans begun before StartTracing) clamp to 0.
+    const double ts =
+        s.begin_cycles >= anchor_cycles
+            ? static_cast<double>(s.begin_cycles - anchor_cycles) * us_per_cycle
+            : 0.0;
+    const double dur = s.end_cycles >= s.begin_cycles
+                           ? static_cast<double>(s.end_cycles - s.begin_cycles) *
+                                 us_per_cycle
+                           : 0.0;
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(s.tid);
+    out += ",\"name\":";
+    out += JsonQuote(s.name);
+    out += ",\"ts\":" + FormatMicros(ts);
+    out += ",\"dur\":" + FormatMicros(dur);
+    out += ",\"args\":{\"items\":" + std::to_string(s.items) + "}}";
+  }
+  out += "],\"otherData\":{\"dropped_spans\":";
+  out += std::to_string(TraceDroppedSpans());
+  out += "}}";
+  return out;
+}
+
+#else  // !ALP_OBS
+
+// Disabled builds keep the API (callers need no conditional code) but never
+// record: StartTracing does not set the flag, so TraceEnabled() stays false
+// and exports are valid empty traces.
+void StartTracing() {}
+void StopTracing() {}
+void ResetTrace() {}
+void TraceRecordSpan(const char*, uint64_t, uint64_t, uint64_t) {}
+std::vector<TraceSpan> CollectTraceSpans() { return {}; }
+uint64_t TraceDroppedSpans() { return 0; }
+std::string TraceToJson() {
+  return "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[],"
+         "\"otherData\":{\"dropped_spans\":0}}";
+}
+
+#endif  // ALP_OBS
+
+Status WriteTraceFile(const std::string& path) {
+  const std::string json = TraceToJson();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Io("cannot open trace file for writing: " + path);
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != json.size() || close_rc != 0) {
+    return Status::Io("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace alp::obs

@@ -1,0 +1,121 @@
+#ifndef ALP_OBS_TRACE_BUFFER_H_
+#define ALP_OBS_TRACE_BUFFER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"  // ALP_OBS default + the enabled-gate idiom.
+#include "util/status.h"
+
+/// \file trace_buffer.h
+/// Per-thread trace-event ring buffers behind the existing ALP_OBS gates.
+///
+/// Where the MetricRegistry (metrics.h) aggregates — total cycles per stage,
+/// merged across the run — tracing keeps *individual* spans with their
+/// begin/end timestamps, so a run can be replayed on a timeline: which
+/// worker compressed which rowgroup when, how sampling overlapped encoding,
+/// where the pool sat idle. The already-instrumented ALP_OBS_SPAN sites are
+/// the producers; no extra instrumentation is needed to capture a trace.
+///
+/// Design:
+///  - One fixed-capacity ring per thread (registered on first span, reused
+///    for the thread's lifetime). The recording path is lock-free and
+///    wait-free: the owning thread writes a slot and publishes it with one
+///    release store; no CAS, no shared counters. When a ring wraps, the
+///    oldest spans are overwritten and counted as dropped (recent activity
+///    is what a timeline viewer needs).
+///  - Worker attribution reuses ThreadPool::CurrentWorkerIndex(): spans on
+///    pool workers carry tid == worker index; other threads get synthetic
+///    tids starting at kSyntheticTidBase (the process main thread first).
+///  - Recording is gated on a dedicated relaxed atomic (TraceEnabled()),
+///    independent of the metrics gate, and the whole subsystem compiles to
+///    no-ops under -DALP_OBS=OFF: the macros in trace.h vanish, so no ring
+///    is ever allocated and no span is ever recorded. The API below still
+///    exists so the CLI and bench harness need no conditional code; exports
+///    from an OFF build are valid, empty traces.
+///  - Timestamps are RDTSC cycles (util/cycle_clock.h) at record time and
+///    are converted to microseconds at export using a wall-clock anchor
+///    taken by StartTracing() (re-measured at export, so the scale improves
+///    as the traced interval grows).
+///
+/// Export is Chrome trace_event JSON ("X" complete events inside a
+/// {"traceEvents": [...]} object), loadable in Perfetto
+/// (https://ui.perfetto.dev) and chrome://tracing. The CLI exposes it as
+/// `alp --trace=<path> <command>` and every bench binary as
+/// `--trace=<path>` (see bench/bench_common.h TraceSession).
+///
+/// Collecting (CollectTraceSpans / TraceToJson) is intended for quiescent
+/// moments — after the traced pipeline ran, before the next one. It is safe
+/// to call while writers are active (slots are published with release
+/// stores and read with acquire loads), but spans recorded concurrently
+/// with the collection may or may not be included.
+
+namespace alp::obs {
+
+/// First synthetic tid handed to non-pool threads, keeping them visually
+/// apart from worker indexes (0..15ish) on the trace timeline.
+inline constexpr int kSyntheticTidBase = 1000;
+
+/// Spans each thread ring retains; older spans are dropped on wrap.
+inline constexpr size_t kTraceRingCapacity = size_t{1} << 14;
+
+namespace internal {
+extern std::atomic<bool> g_trace_enabled;
+}  // namespace internal
+
+/// Whether span tracing is recording (relaxed read; hot-path safe).
+inline bool TraceEnabled() {
+#if ALP_OBS
+  return internal::g_trace_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Clears every thread ring and the dropped-span count, re-anchors the
+/// cycle→time calibration, and enables recording. Call while the pipeline
+/// is idle. No-op (recording never starts) under -DALP_OBS=OFF.
+void StartTracing();
+
+/// Disables recording; the captured spans stay collectable.
+void StopTracing();
+
+/// Clears captured spans without touching the enabled flag.
+void ResetTrace();
+
+/// One captured span, resolved for export.
+struct TraceSpan {
+  std::string name;       ///< Stage name (the ALP_OBS_SPAN literal).
+  uint64_t begin_cycles;  ///< CycleNow() at scope entry.
+  uint64_t end_cycles;    ///< CycleNow() at scope exit; >= begin_cycles.
+  uint64_t items;         ///< Items processed (the span's throughput unit).
+  int tid;                ///< Worker index, or a synthetic id (>= 1000).
+};
+
+/// Records one completed span on the calling thread's ring. Called by
+/// obs::ScopedTimer when TraceEnabled(); \p name must be a string with
+/// static storage duration (the ring stores the pointer).
+void TraceRecordSpan(const char* name, uint64_t begin_cycles,
+                     uint64_t end_cycles, uint64_t items);
+
+/// Every retained span across all thread rings, in per-thread recording
+/// order (threads ordered by registration).
+std::vector<TraceSpan> CollectTraceSpans();
+
+/// Spans lost to ring overflow since StartTracing().
+uint64_t TraceDroppedSpans();
+
+/// The capture as Chrome trace_event JSON: {"traceEvents": [...]} with one
+/// "X" (complete) event per span — ts/dur in microseconds, pid 1, tid the
+/// span's thread — plus "M" metadata events naming each thread. Valid (an
+/// empty traceEvents array) even when nothing was recorded.
+std::string TraceToJson();
+
+/// Writes TraceToJson() to \p path. kIo on filesystem failure.
+Status WriteTraceFile(const std::string& path);
+
+}  // namespace alp::obs
+
+#endif  // ALP_OBS_TRACE_BUFFER_H_

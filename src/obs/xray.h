@@ -1,0 +1,122 @@
+#ifndef ALP_OBS_XRAY_H_
+#define ALP_OBS_XRAY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alp/column.h"
+#include "util/status.h"
+
+/// \file xray.h
+/// The explain engine: a structural decomposition of one compressed column
+/// file, produced from headers and indexes alone — no vector is ever
+/// decoded. It answers the questions the aggregate counters (metrics.h)
+/// cannot: *which* rowgroup fell back to ALP_rd, *which* vectors carry the
+/// fat bit widths or the exception pile-ups, and *where* every byte of the
+/// file went.
+///
+/// The per-stream byte accounting is exact by construction: Analyze sums
+/// the stream totals and fails with kCorrupt if they do not equal the file
+/// size, so a report that renders is proof that every byte is attributed
+/// (tests/test_xray.cc holds this invariant over the golden files).
+///
+/// Surfaced as `alp_cli explain <file> [--json] [--top=N]` and as this
+/// library API. Report schema: docs/OBSERVABILITY.md.
+
+namespace alp::obs {
+
+/// Where every byte of the file went. The fields partition the file:
+/// Total() == file_size for any report Analyze returns.
+struct XRayStreams {
+  uint64_t column_header = 0;     ///< Fixed 24-byte ColumnHeader.
+  uint64_t rowgroup_index = 0;    ///< Rowgroup offset index (u64 each).
+  uint64_t checksums = 0;         ///< v3 rowgroup + header checksums; 0 on v2.
+  uint64_t zone_map = 0;          ///< Per-vector VectorStats entries.
+  uint64_t rowgroup_headers = 0;  ///< Rowgroup headers + vector offset indexes.
+  uint64_t vector_headers = 0;    ///< Per-vector ALP / RD headers.
+  uint64_t packed_data = 0;       ///< Bit-packed integer words.
+  uint64_t exceptions = 0;        ///< Exception values + positions.
+  uint64_t padding = 0;           ///< 8-byte alignment tails.
+
+  uint64_t Total() const {
+    return column_header + rowgroup_index + checksums + zone_map +
+           rowgroup_headers + vector_headers + packed_data + exceptions +
+           padding;
+  }
+};
+
+/// Number of buckets in the exception-position histogram; each bucket
+/// covers kVectorSize / kXRayPositionBuckets = 64 consecutive positions.
+inline constexpr size_t kXRayPositionBuckets = 16;
+
+/// Full structural report over one column file.
+struct XRayReport {
+  std::string type;            ///< "double" or "float".
+  uint8_t format_version = 0;  ///< 2 or 3.
+  uint64_t file_size = 0;
+  uint64_t value_count = 0;
+  size_t vector_count = 0;
+  size_t rowgroup_count = 0;
+
+  size_t vectors_alp = 0;  ///< Vectors in ALP-scheme rowgroups.
+  size_t vectors_rd = 0;   ///< Vectors in ALP_rd-scheme rowgroups.
+
+  uint64_t exception_count = 0;  ///< Total exceptions across all vectors.
+  /// Exception positions folded into kXRayPositionBuckets buckets of 64
+  /// positions each — a skew here (e.g. everything in the last bucket)
+  /// points at tail-of-vector effects rather than value distribution.
+  std::array<uint64_t, kXRayPositionBuckets> exception_position_histogram{};
+
+  /// Count of vectors per packed bit width (index = bits per value, the
+  /// FFOR/Delta width for ALP, right_bits + dict_width for ALP_rd).
+  std::array<uint64_t, 65> bit_width_histogram{};
+
+  XRayStreams streams;                  ///< Sums exactly to file_size.
+  std::vector<RowgroupMeta> rowgroups;  ///< One entry per rowgroup.
+  std::vector<VectorMeta> vectors;      ///< One entry per vector.
+
+  double BitsPerValue() const {
+    return value_count == 0
+               ? 0.0
+               : static_cast<double>(file_size) * 8.0 /
+                     static_cast<double>(value_count);
+  }
+  double ExceptionsPerVector() const {
+    return vector_count == 0
+               ? 0.0
+               : static_cast<double>(exception_count) /
+                     static_cast<double>(vector_count);
+  }
+};
+
+/// Compressed-size cost of one vector in bits per logical value — the
+/// ranking key for the report's "top outliers" view.
+double XRayVectorBitsPerValue(const VectorMeta& vm);
+
+class ColumnXRay {
+ public:
+  /// Analyzes a column buffer of element type T.
+  template <typename T>
+  static StatusOr<XRayReport> AnalyzeAs(const uint8_t* data, size_t size);
+
+  /// Analyzes a column buffer, trying double first and falling back to
+  /// float (the header's type tag decides which one opens). The double
+  /// error is reported when both fail.
+  static StatusOr<XRayReport> Analyze(const uint8_t* data, size_t size);
+
+  /// Renders the report as one JSON object (schema: docs/OBSERVABILITY.md).
+  /// \p top_n bounds the per-vector "outliers" array (vectors ranked by
+  /// bits per value, descending); 0 means include every vector.
+  static std::string ToJson(const XRayReport& report, size_t top_n = 0);
+
+  /// Human-oriented rendering: summary block, stream table with
+  /// percentages, scheme/width/exception breakdowns, per-rowgroup lines and
+  /// the top \p top_n outlier vectors.
+  static std::string ToText(const XRayReport& report, size_t top_n = 5);
+};
+
+}  // namespace alp::obs
+
+#endif  // ALP_OBS_XRAY_H_

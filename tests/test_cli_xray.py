@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""End-to-end CLI checks for the X-ray / observability surface.
+
+Run as: test_cli_xray.py <path-to-alp-binary>
+
+Covers the satellite paths a unit test can't: the explain command's text
+and JSON renderings on a real file, --metrics=json|text emission,
+--trace capture producing parseable Chrome trace_event JSON, and the
+float32 compress/inspect/explain fallback. Registered in
+tests/CMakeLists.txt so it runs under ctest in both ALP_OBS builds (the
+OFF build must yield identical explain output and a valid empty trace).
+
+Standard library only; exits nonzero on the first failure.
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import os
+
+
+def run(cli, args, expect_rc=0):
+    proc = subprocess.run([cli] + args, capture_output=True, text=True)
+    if proc.returncode != expect_rc:
+        sys.exit(
+            f"FAIL: alp {' '.join(args)} exited {proc.returncode} "
+            f"(wanted {expect_rc})\nstdout:\n{proc.stdout}\n"
+            f"stderr:\n{proc.stderr}")
+    return proc
+
+
+def check(cond, what):
+    if not cond:
+        sys.exit(f"FAIL: {what}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit("usage: test_cli_xray.py <path-to-alp-binary>")
+    cli = sys.argv[1]
+
+    with tempfile.TemporaryDirectory(prefix="alp_cli_xray.") as tmp:
+        raw = os.path.join(tmp, "data.bin")
+        col = os.path.join(tmp, "data.alp")
+        col32 = os.path.join(tmp, "data32.alp")
+        back = os.path.join(tmp, "back.bin")
+        trace = os.path.join(tmp, "trace.json")
+
+        # A deterministic surrogate dataset, large enough for 2+ vectors.
+        run(cli, ["gen", "City-Temp", "4096", raw])
+
+        # --- compress with metrics + trace active ------------------------
+        proc = run(cli, ["--threads=2", f"--trace={trace}",
+                         "--metrics=json", "compress", raw, col])
+        check(os.path.exists(col), "compress produced no output file")
+
+        # The metrics snapshot is the last stdout line and must be JSON.
+        metrics_line = proc.stdout.strip().splitlines()[-1]
+        metrics = json.loads(metrics_line)
+        check("counters" in metrics and "stages" in metrics,
+              "--metrics=json snapshot missing sections")
+
+        # The trace must parse as Chrome trace_event JSON. With ALP_OBS
+        # compiled in it carries complete events; an OFF build writes a
+        # valid empty capture — both are acceptable here, the OBS-ON CI
+        # lane asserts non-emptiness via the bench smoke job.
+        with open(trace, "r", encoding="utf-8") as f:
+            tdoc = json.load(f)
+        check(isinstance(tdoc.get("traceEvents"), list),
+              "trace file has no traceEvents array")
+        for event in tdoc["traceEvents"]:
+            check(event.get("ph") in ("X", "M"), f"bad trace event {event}")
+            if event["ph"] == "X":
+                check(event["ts"] >= 0 and event["dur"] >= 0,
+                      f"negative timing in {event}")
+
+        # --- metrics text mode -------------------------------------------
+        proc = run(cli, ["--metrics=text", "inspect", col])
+        check("== metrics" in proc.stdout, "--metrics=text emitted no table")
+        check(re.search(r"type:\s+float64", proc.stdout),
+              "inspect lost the type line")
+
+        # --- explain: text and JSON --------------------------------------
+        proc = run(cli, ["explain", col])
+        text = proc.stdout
+        for needle in ("alp x-ray", "100.0%", "rowgroup", "bits/value"):
+            check(needle in text, f"explain text missing {needle!r}")
+
+        proc = run(cli, ["explain", col, "--json", "--top=3"])
+        xdoc = json.loads(proc.stdout)
+        check(xdoc.get("alp_xray") == 1, "explain JSON missing schema marker")
+        file_size = os.path.getsize(col)
+        check(xdoc["file_size"] == file_size, "explain file_size mismatch")
+        check(xdoc["streams"]["total"] == file_size,
+              "stream accounting does not sum to the file size")
+        check(xdoc["value_count"] == 4096, "explain value_count mismatch")
+        check(len(xdoc["outliers"]) <= 3, "--top=3 not honored")
+
+        # --top=0 lists every vector.
+        proc = run(cli, ["explain", col, "--json", "--top=0"])
+        xdoc = json.loads(proc.stdout)
+        check(len(xdoc["outliers"]) == xdoc["vector_count"],
+              "--top=0 should list every vector")
+
+        # --- float32 fallback --------------------------------------------
+        run(cli, ["--float32", "compress", raw, col32])
+        proc = run(cli, ["inspect", col32])
+        check(re.search(r"type:\s+float32", proc.stdout),
+              "float32 inspect fallback broken")
+        proc = run(cli, ["explain", col32, "--json"])
+        check(json.loads(proc.stdout)["type"] == "float",
+              "float32 explain fallback broken")
+        run(cli, ["decompress", col32, back])
+        check(os.path.getsize(back) == 4096 * 8,
+              "float32 decompress wrote wrong value count")
+
+        # --- error paths stay errors -------------------------------------
+        run(cli, ["explain", raw], expect_rc=1)  # Not a column file.
+        run(cli, ["explain", os.path.join(tmp, "missing.alp")], expect_rc=1)
+
+    print("cli x-ray: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

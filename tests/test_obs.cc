@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -131,10 +132,10 @@ TEST_F(ObsTest, ScopedTimerFeedsStageStats) {
   StageStats& stage = MetricRegistry::Global().GetStage("test.stage.timer");
   stage.Reset();
   {
-    ScopedTimer t(stage, 128);
+    ScopedTimer t(stage, "test.stage.timer", 128);
   }
   {
-    ScopedTimer t(stage, 0);
+    ScopedTimer t(stage, "test.stage.timer", 0);
     t.SetItems(512);
   }
   EXPECT_EQ(stage.Calls(), 2u);
@@ -149,7 +150,7 @@ TEST_F(ObsTest, ScopedTimerArmedAtConstructionOnly) {
   stage.Reset();
   SetEnabled(false);
   {
-    ScopedTimer t(stage, 7);
+    ScopedTimer t(stage, "test.stage.arming", 7);
     SetEnabled(true);
   }
   EXPECT_EQ(stage.Calls(), 0u);
@@ -289,6 +290,66 @@ TEST_F(ObsTest, SinkEmitsParsableShapes) {
 
   const std::string text = TraceSink::ToText(snap);
   EXPECT_NE(text.find("test.sink.histogram"), std::string::npos);
+}
+
+TEST_F(ObsTest, SinkTextRendersEverySection) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("test.text.counter").Add(41);
+  reg.GetGauge("test.text.gauge").Set(17);
+  Histogram& h = reg.GetHistogram("test.text.histogram", {4, 8}, "bits");
+  h.Record(3);
+  h.Record(100);  // Overflow bucket: exercises the "> bound" row.
+  StageStats& stage = reg.GetStage("test.text.stage");
+  stage.Record(/*cycles=*/1000, /*items=*/250);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  const std::string text = TraceSink::ToText(snap);
+  EXPECT_NE(text.find("== metrics (enabled) =="), std::string::npos);
+  EXPECT_NE(text.find("counters:"), std::string::npos);
+  EXPECT_NE(text.find("test.text.counter"), std::string::npos);
+  EXPECT_NE(text.find("41"), std::string::npos);
+  EXPECT_NE(text.find("gauges:"), std::string::npos);
+  EXPECT_NE(text.find("test.text.gauge"), std::string::npos);
+  EXPECT_NE(text.find("histogram test.text.histogram (bits)"), std::string::npos);
+  EXPECT_NE(text.find("count=2"), std::string::npos);
+  EXPECT_NE(text.find("<= 4"), std::string::npos) << "bucket row missing";
+  EXPECT_NE(text.find("> 8"), std::string::npos) << "overflow row missing";
+  EXPECT_NE(text.find("(50"), std::string::npos) << "bucket percentage missing";
+  EXPECT_NE(text.find("stages:"), std::string::npos);
+  EXPECT_NE(text.find("test.text.stage"), std::string::npos);
+
+  // A disabled snapshot renders as such (rendering stays a pure function
+  // of the snapshot, not of the live gate).
+  MetricsSnapshot disabled = snap;
+  disabled.enabled = false;
+  EXPECT_NE(TraceSink::ToText(disabled).find("== metrics (disabled) =="),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, EmitMatchesTheDirectRenderers) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  reg.GetCounter("test.emit.counter").Add(5);
+  const MetricsSnapshot snap = reg.Snapshot();
+
+  std::ostringstream as_json;
+  TraceSink::Emit(snap, /*json=*/true, as_json);
+  EXPECT_EQ(as_json.str(), TraceSink::ToJson(snap) + "\n");
+
+  std::ostringstream as_text;
+  TraceSink::Emit(snap, /*json=*/false, as_text);
+  EXPECT_EQ(as_text.str(), TraceSink::ToText(snap));
+  EXPECT_NE(as_json.str(), as_text.str());
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab\rret"), "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  EXPECT_EQ(JsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  // UTF-8 multibyte sequences pass through untouched.
+  EXPECT_EQ(JsonEscape("µs"), "µs");
 }
 
 // The core observability contract: recording telemetry never changes the

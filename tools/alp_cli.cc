@@ -3,6 +3,7 @@
 //   alp [--threads=N] compress   <in.bin|in.csv> <out.alp>   compress doubles
 //   alp [--threads=N] decompress <in.alp> <out.bin|out.csv>  restore doubles
 //   alp inspect    <in.alp>                      header, schemes, ratios
+//   alp explain    <in.alp> [--json] [--top=N]   per-vector x-ray report
 //   alp [--threads=N] verify <in.alp> <original> bit-exactness check
 //   alp bench      <in.bin|in.csv>               compare all schemes on a file
 //   alp [--threads=N] stats <in.bin|in.csv>      pipeline telemetry profile
@@ -10,7 +11,9 @@
 //   alp datasets                                 list surrogate names
 //
 // Binary files are raw host-endian float64; ".csv"/".txt" files hold one
-// value per line.
+// value per line. `compress --float32` narrows the input to float before
+// encoding, producing a float32 column; `inspect`, `explain` and
+// `decompress` detect the column's element type automatically.
 //
 // --threads=N (or the ALP_THREADS environment variable) sets the worker
 // count for the parallel rowgroup pipeline; the default is the hardware
@@ -20,7 +23,9 @@
 // --metrics=json|text enables the observability registry for the run and
 // prints its snapshot (per-stage cycle spans, scheme decisions, exception
 // histograms — see docs/OBSERVABILITY.md) after the command completes.
-// Telemetry never changes the compressed bytes.
+// --trace=<path> records every instrumented span during the command and
+// writes a Chrome/Perfetto trace_event JSON file (open in
+// https://ui.perfetto.dev). Telemetry never changes the compressed bytes.
 
 #include <cinttypes>
 #include <cstdio>
@@ -34,6 +39,8 @@
 #include "data/datasets.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
+#include "obs/trace_buffer.h"
+#include "obs/xray.h"
 #include "util/cycle_clock.h"
 #include "util/file_io.h"
 #include "util/thread_pool.h"
@@ -47,6 +54,12 @@ unsigned g_threads = 0;
 /// --metrics mode: 0 = off, 1 = text, 2 = json.
 int g_metrics = 0;
 
+/// --trace output path; empty = tracing off.
+std::string g_trace_path;
+
+/// --float32: compress narrows the input to float before encoding.
+bool g_float32 = false;
+
 alp::ThreadPool& Pool() {
   static alp::ThreadPool pool(g_threads == 0 ? alp::ThreadPool::DefaultThreadCount()
                                              : g_threads);
@@ -56,9 +69,10 @@ alp::ThreadPool& Pool() {
 int Usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  alp [--threads=N] compress   <in.bin|in.csv> <out.alp>\n"
+               "  alp [--threads=N] [--float32] compress <in.bin|in.csv> <out.alp>\n"
                "  alp [--threads=N] decompress <in.alp> <out.bin|out.csv>\n"
                "  alp inspect    <in.alp>\n"
+               "  alp explain    <in.alp> [--json] [--top=N]\n"
                "  alp [--threads=N] verify <in.alp> <original.bin|original.csv>\n"
                "  alp bench      <in.bin|in.csv>\n"
                "  alp [--threads=N] stats <in.bin|in.csv>\n"
@@ -68,7 +82,9 @@ int Usage() {
                "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
                "output bytes are identical at every thread count.\n"
                "--metrics=json|text prints the telemetry registry snapshot\n"
-               "after the command (see docs/OBSERVABILITY.md).\n");
+               "after the command (see docs/OBSERVABILITY.md).\n"
+               "--trace=<path> writes a Chrome/Perfetto trace_event JSON\n"
+               "capture of the command's instrumented spans.\n");
   return 2;
 }
 
@@ -78,26 +94,61 @@ int Fail(const char* message, const std::string& detail = "") {
   return 1;
 }
 
-int CmdCompress(const std::string& in_path, const std::string& out_path) {
-  const auto values = alp::ReadDoublesFileEx(in_path);
-  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
-
+template <typename T>
+int CompressValues(const std::vector<T>& values, const std::string& out_path) {
   alp::CompressionInfo info;
   const uint64_t t0 = alp::CycleNow();
   const auto buffer =
-      alp::CompressColumnParallel(values->data(), values->size(), {}, &info, &Pool());
+      alp::CompressColumnParallel(values.data(), values.size(), {}, &info, &Pool());
   const uint64_t cycles = alp::CycleNow() - t0;
 
   if (!alp::WriteFileBytes(out_path, buffer.data(), buffer.size())) {
     return Fail("cannot write output", out_path);
   }
-  std::printf("%zu values -> %zu bytes (%.2f bits/value, %.2fx)\n", values->size(),
-              buffer.size(), alp::BitsPerValue<double>(buffer, values->size()),
-              values->size() * 8.0 / buffer.size());
+  std::printf("%zu values -> %zu bytes (%.2f bits/value, %.2fx)\n", values.size(),
+              buffer.size(), alp::BitsPerValue<T>(buffer, values.size()),
+              values.size() * sizeof(T) / static_cast<double>(buffer.size()));
   std::printf("rowgroups: %zu (%zu ALP_rd) | exceptions/vector: %.2f | "
               "%.3f tuples/cycle | %u threads\n",
               info.rowgroups, info.rowgroups_rd, info.ExceptionsPerVector(),
-              cycles == 0 ? 0.0 : static_cast<double>(values->size()) / cycles,
+              cycles == 0 ? 0.0 : static_cast<double>(values.size()) / cycles,
+              Pool().size());
+  return 0;
+}
+
+int CmdCompress(const std::string& in_path, const std::string& out_path) {
+  const auto values = alp::ReadDoublesFileEx(in_path);
+  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
+  if (g_float32) {
+    std::vector<float> narrowed(values->begin(), values->end());
+    return CompressValues(narrowed, out_path);
+  }
+  return CompressValues(*values, out_path);
+}
+
+template <typename T>
+int DecompressAs(const std::vector<uint8_t>& buffer, const std::string& out_path,
+                 const alp::Status& open_error) {
+  auto reader =
+      alp::ColumnReader<T>::OpenParallel(buffer.data(), buffer.size(), &Pool());
+  if (!reader.ok()) {
+    // The double error names the real problem when both types fail.
+    return Fail("not a valid ALP column",
+                (open_error.ok() ? reader.status() : open_error).ToString());
+  }
+  std::vector<T> values(reader->value_count());
+  const uint64_t t0 = alp::CycleNow();
+  const alp::Status decode = reader->TryDecodeAllParallel(values.data(), &Pool());
+  const uint64_t cycles = alp::CycleNow() - t0;
+  if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
+  // Output files are always float64; float32 columns are widened (lossless).
+  const std::vector<double> wide(values.begin(), values.end());
+  if (!alp::WriteDoublesFile(out_path, wide.data(), wide.size())) {
+    return Fail("cannot write output", out_path);
+  }
+  std::printf("%zu values restored (%.3f tuples/cycle, %u threads)\n",
+              values.size(),
+              cycles == 0 ? 0.0 : static_cast<double>(values.size()) / cycles,
               Pool().size());
   return 0;
 }
@@ -108,51 +159,66 @@ int CmdDecompress(const std::string& in_path, const std::string& out_path) {
   auto reader = alp::ColumnReader<double>::OpenParallel(buffer->data(),
                                                         buffer->size(), &Pool());
   if (!reader.ok()) {
-    return Fail("not a valid ALP column", reader.status().ToString());
+    // The header's type tag decides which reader opens; fall back to float32.
+    return DecompressAs<float>(*buffer, out_path, reader.status());
   }
-  std::vector<double> values(reader->value_count());
-  const uint64_t t0 = alp::CycleNow();
-  const alp::Status decode = reader->TryDecodeAllParallel(values.data(), &Pool());
-  const uint64_t cycles = alp::CycleNow() - t0;
-  if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
-  if (!alp::WriteDoublesFile(out_path, values.data(), values.size())) {
-    return Fail("cannot write output", out_path);
+  return DecompressAs<double>(*buffer, out_path, alp::Status::Ok());
+}
+
+template <typename T>
+int InspectAs(const std::string& in_path, const std::vector<uint8_t>& buffer,
+              const alp::ColumnReader<T>& reader) {
+  std::printf("file:        %s (%zu bytes)\n", in_path.c_str(), buffer.size());
+  std::printf("type:        %s\n", sizeof(T) == 8 ? "float64" : "float32");
+  std::printf("format:      v%u%s\n", reader.format_version(),
+              reader.format_version() >= 3 ? " (checksummed)" : "");
+  std::printf("values:      %zu\n", reader.value_count());
+  std::printf("vectors:     %zu\n", reader.vector_count());
+  std::printf("bits/value:  %.2f\n",
+              alp::BitsPerValue<T>(buffer, reader.value_count()));
+
+  size_t rd_vectors = 0;
+  double global_min = std::numeric_limits<double>::infinity();
+  double global_max = -global_min;
+  for (size_t v = 0; v < reader.vector_count(); ++v) {
+    rd_vectors += reader.VectorScheme(v) == alp::Scheme::kAlpRd;
+    global_min = std::min(global_min, reader.Stats(v).min);
+    global_max = std::max(global_max, reader.Stats(v).max);
   }
-  std::printf("%zu values restored (%.3f tuples/cycle, %u threads)\n",
-              values.size(),
-              cycles == 0 ? 0.0 : static_cast<double>(values.size()) / cycles,
-              Pool().size());
+  std::printf("schemes:     %zu ALP vectors, %zu ALP_rd vectors\n",
+              reader.vector_count() - rd_vectors, rd_vectors);
+  if (reader.vector_count() > 0) {
+    std::printf("value range: [%g, %g]\n", global_min, global_max);
+  }
   return 0;
 }
 
 int CmdInspect(const std::string& in_path) {
   const auto buffer = alp::ReadFileBytes(in_path);
   if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  // The header's type tag decides which reader opens: try float64, then
+  // fall back to float32. When both fail, the float64 error names the real
+  // problem (a float32 column is not "corrupt", just narrower).
   auto reader = alp::ColumnReader<double>::Open(buffer->data(), buffer->size());
-  if (!reader.ok()) {
-    return Fail("not a valid ALP column", reader.status().ToString());
-  }
+  if (reader.ok()) return InspectAs<double>(in_path, *buffer, *reader);
+  auto reader32 = alp::ColumnReader<float>::Open(buffer->data(), buffer->size());
+  if (reader32.ok()) return InspectAs<float>(in_path, *buffer, *reader32);
+  return Fail("not a valid ALP column", reader.status().ToString());
+}
 
-  std::printf("file:        %s (%zu bytes)\n", in_path.c_str(), buffer->size());
-  std::printf("format:      v%u%s\n", reader->format_version(),
-              reader->format_version() >= 3 ? " (checksummed)" : "");
-  std::printf("values:      %zu\n", reader->value_count());
-  std::printf("vectors:     %zu\n", reader->vector_count());
-  std::printf("bits/value:  %.2f\n",
-              alp::BitsPerValue<double>(*buffer, reader->value_count()));
-
-  size_t rd_vectors = 0;
-  double global_min = std::numeric_limits<double>::infinity();
-  double global_max = -global_min;
-  for (size_t v = 0; v < reader->vector_count(); ++v) {
-    rd_vectors += reader->VectorScheme(v) == alp::Scheme::kAlpRd;
-    global_min = std::min(global_min, reader->Stats(v).min);
-    global_max = std::max(global_max, reader->Stats(v).max);
+int CmdExplain(const std::string& in_path, bool json, size_t top_n) {
+  const auto buffer = alp::ReadFileBytes(in_path);
+  if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  const auto report = alp::obs::ColumnXRay::Analyze(buffer->data(), buffer->size());
+  if (!report.ok()) {
+    return Fail("not a valid ALP column", report.status().ToString());
   }
-  std::printf("schemes:     %zu ALP vectors, %zu ALP_rd vectors\n",
-              reader->vector_count() - rd_vectors, rd_vectors);
-  if (reader->vector_count() > 0) {
-    std::printf("value range: [%g, %g]\n", global_min, global_max);
+  if (json) {
+    std::printf("%s\n",
+                alp::obs::ColumnXRay::ToJson(*report, top_n).c_str());
+  } else {
+    std::printf("file: %s\n%s", in_path.c_str(),
+                alp::obs::ColumnXRay::ToText(*report, top_n).c_str());
   }
   return 0;
 }
@@ -299,7 +365,8 @@ int CmdDatasets() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Global options come before the command: --threads=N and --metrics=....
+  // Global options come before the command: --threads=N, --metrics=...,
+  // --trace=<path> and --float32.
   int arg = 1;
   while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
     if (std::strncmp(argv[arg], "--threads=", 10) == 0) {
@@ -313,6 +380,11 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[arg], "--metrics", 9) == 0) {
       return Fail("bad --metrics value (use --metrics=json or --metrics=text)",
                   argv[arg]);
+    } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
+      g_trace_path = argv[arg] + 8;
+      if (g_trace_path.empty()) return Fail("bad --trace value", argv[arg]);
+    } else if (std::strcmp(argv[arg], "--float32") == 0) {
+      g_float32 = true;
     } else {
       return Usage();
     }
@@ -322,12 +394,34 @@ int main(int argc, char** argv) {
   argv += arg - 1;
   if (argc < 2) return Usage();
   if (g_metrics != 0) alp::obs::SetEnabled(true);
+  if (!g_trace_path.empty()) alp::obs::StartTracing();
 
   const std::string command = argv[1];
   int rc = -1;
   if (command == "compress" && argc == 4) rc = CmdCompress(argv[2], argv[3]);
   else if (command == "decompress" && argc == 4) rc = CmdDecompress(argv[2], argv[3]);
   else if (command == "inspect" && argc == 3) rc = CmdInspect(argv[2]);
+  else if (command == "explain" && argc >= 3 && argc <= 5) {
+    // Trailing command options: [--json] [--top=N], any order.
+    bool json = false;
+    size_t top = SIZE_MAX;  // Sentinel: per-format default.
+    bool bad = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
+      } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+        const long v = std::atol(argv[i] + 6);
+        if (v < 0) return Fail("bad --top value", argv[i]);
+        top = static_cast<size_t>(v);  // 0 = every vector.
+      } else {
+        bad = true;
+      }
+    }
+    if (!bad) {
+      if (top == SIZE_MAX) top = json ? 16 : 5;
+      rc = CmdExplain(argv[2], json, top);
+    }
+  }
   else if (command == "verify" && argc == 4) rc = CmdVerify(argv[2], argv[3]);
   else if (command == "bench" && argc == 3) rc = CmdBench(argv[2]);
   else if (command == "stats" && argc == 3) rc = CmdStats(argv[2]);
@@ -338,6 +432,14 @@ int main(int argc, char** argv) {
   if (g_metrics != 0) {
     alp::obs::TraceSink::Emit(alp::obs::MetricRegistry::Global().Snapshot(),
                               g_metrics == 2, std::cout);
+  }
+  if (!g_trace_path.empty()) {
+    alp::obs::StopTracing();
+    const alp::Status ts = alp::obs::WriteTraceFile(g_trace_path);
+    if (!ts.ok()) return Fail("cannot write trace", ts.ToString());
+    std::fprintf(stderr, "trace written to %s (%zu spans)\n",
+                 g_trace_path.c_str(),
+                 alp::obs::CollectTraceSpans().size());
   }
   return rc;
 }
