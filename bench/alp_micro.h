@@ -46,9 +46,10 @@ inline void AlpMicroCompress(const double* vec, const AlpMicroState& state,
   fastlanes::FforEncode(out->enc.encoded, out->packed, out->ffor);
 }
 
-/// Measured decompression kernel: fused unFFOR+ALP_dec + patching.
+/// Measured decompression kernel: fused unFFOR+ALP_dec + patching, through
+/// the runtime-dispatched kernel tier (honors ALP_FORCE_KERNEL).
 inline void AlpMicroDecompress(const AlpMicroVector& v, double* out) {
-  DecodeVectorFused<double>(v.packed, v.ffor, v.enc.combination, out);
+  kernels::DecodeAlpFused<double>(v.packed, v.ffor, v.enc.combination, out);
   PatchExceptions(out, v.enc.exceptions, v.enc.exc_positions, v.enc.exc_count);
 }
 

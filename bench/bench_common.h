@@ -108,10 +108,13 @@ class JsonReport {
 
   bool enabled() const { return !path_.empty(); }
 
-  /// Appends one measurement record; \p threads < 0 omits the field.
+  /// Appends one measurement record; \p threads < 0 omits the field and an
+  /// empty \p kernel_tier omits that field. Pass the tier only on records
+  /// whose speed depends on the dispatched decode kernel (ALP decompress
+  /// measurements), so per-tier baselines never compare across tiers.
   void Add(const std::string& dataset, const std::string& scheme,
            const std::string& metric, double value, const std::string& unit,
-           int threads = -1) {
+           int threads = -1, const std::string& kernel_tier = std::string()) {
     if (!enabled()) return;
     std::string rec = "    {\"dataset\": " + Quote(dataset) +
                       ", \"scheme\": " + Quote(scheme) +
@@ -122,6 +125,9 @@ class JsonReport {
     rec += ", \"unit\": " + Quote(unit);
     if (threads >= 0) {
       rec += ", \"threads\": " + std::to_string(threads);
+    }
+    if (!kernel_tier.empty()) {
+      rec += ", \"kernel_tier\": " + Quote(kernel_tier);
     }
     rec += "}";
     records_.push_back(std::move(rec));
@@ -136,8 +142,11 @@ class JsonReport {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"schema\": \"alp-bench-v1\",\n  \"bench\": %s,\n"
-                 "  \"records\": [\n", Quote(bench_).c_str());
+    std::fprintf(f,
+                 "{\n  \"schema\": \"alp-bench-v1\",\n  \"bench\": %s,\n"
+                 "  \"kernel_tier\": %s,\n  \"records\": [\n",
+                 Quote(bench_).c_str(),
+                 Quote(kernels::ActiveTierName()).c_str());
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "%s%s\n", records_[i].c_str(),
                    i + 1 < records_.size() ? "," : "");

@@ -43,19 +43,23 @@ int main(int argc, char** argv) {
     const double alp_comp = TuplesPerCycle(
         [&] { alp::bench::AlpMicroCompress(data.data(), state, &compressed_vec); },
         alp::kVectorSize, kMinCycles);
-    double out[alp::kVectorSize];
+    alignas(64) double out[alp::kVectorSize];
     const double alp_dec = TuplesPerCycle(
         [&] { alp::bench::AlpMicroDecompress(compressed_vec, out); },
         alp::kVectorSize, kMinCycles);
     totals["ALP"].first += alp_comp;
     totals["ALP"].second += alp_dec;
     const std::string ds(spec.name);
+    // Decompression rides the dispatched kernel tier; tag those records so
+    // baseline comparisons (tools/bench_diff.py) stay within one tier.
+    const std::string tier = alp::kernels::ActiveTierName();
     json.Add(ds, "ALP", "compress_tuples_per_cycle", alp_comp, "tuples/cycle");
-    json.Add(ds, "ALP", "decompress_tuples_per_cycle", alp_dec, "tuples/cycle");
+    json.Add(ds, "ALP", "decompress_tuples_per_cycle", alp_dec, "tuples/cycle",
+             -1, tier);
     json.Add(ds, "ALP", "compress_cycles_per_value",
              alp_comp == 0 ? 0.0 : 1.0 / alp_comp, "cycles/value");
     json.Add(ds, "ALP", "decompress_cycles_per_value",
-             alp_dec == 0 ? 0.0 : 1.0 / alp_dec, "cycles/value");
+             alp_dec == 0 ? 0.0 : 1.0 / alp_dec, "cycles/value", -1, tier);
 
     // --- Baselines: one vector per call (Zstd: one rowgroup per call). ---
     for (const auto& codec : alp::codecs::AllDoubleCodecs()) {

@@ -18,6 +18,7 @@
 #include "alp/column.h"
 #include "alp/constants.h"
 #include "alp/encoder.h"
+#include "alp/kernel_dispatch.h"
 #include "alp/rd.h"
 #include "alp/sampler.h"
 

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "alp/encoder.h"
+#include "alp/kernel_dispatch.h"
 #include "fastlanes/bitpack.h"
 #include "fastlanes/delta.h"
 #include "fastlanes/ffor.h"
@@ -488,6 +489,7 @@ ColumnReader<T>::ColumnReader(const uint8_t* data, size_t size)
       info.rd.dict_width = rd_header.dict_width;
       info.rd.dict_size = rd_header.dict_size;
       std::memcpy(info.rd.dict, rd_header.dict, sizeof(info.rd.dict));
+      RdDictShifted(info.rd, info.rd_dict_shifted);
     }
     info.vector_offsets.resize(rg_header.vector_count);
     reader.ReadArray(info.vector_offsets.data(), info.vector_offsets.size());
@@ -560,13 +562,13 @@ void ColumnReader<T>::DecodeAlpVector(const RowgroupInfo& rg, size_t local_v,
     fastlanes::FforParams ffor;
     ffor.base = header.base;
     ffor.width = header.width;
-    DecodeVectorFused<T>(packed, ffor, c, dst);
+    kernels::DecodeAlpFused<T>(packed, ffor, c, dst);
   };
 
   if (header.n == kVectorSize) {
     decode_full(out);
   } else {
-    T full[kVectorSize];
+    alignas(64) T full[kVectorSize];
     decode_full(full);
     std::memcpy(out, full, header.n * sizeof(T));
   }
@@ -578,9 +580,7 @@ void ColumnReader<T>::DecodeAlpVector(const RowgroupInfo& rg, size_t local_v,
   uint16_t exc_pos[kVectorSize];
   reader.ReadArray(exc_bits, header.exc_count);
   reader.ReadArray(exc_pos, header.exc_count);
-  for (unsigned i = 0; i < header.exc_count; ++i) {
-    out[exc_pos[i]] = std::bit_cast<T>(exc_bits[i]);
-  }
+  kernels::PatchExceptionBits<T>(out, exc_bits, exc_pos, header.exc_count);
 }
 
 template <typename T>
@@ -592,28 +592,30 @@ void ColumnReader<T>::DecodeRdVector(const RowgroupInfo& rg, size_t local_v,
   reader.SeekTo(rg.byte_offset + rg.vector_offsets[local_v]);
   const auto header = reader.Read<RdVectorHeader>();
 
-  RdEncodedVector<T> enc;
   const Uint* packed_right = reinterpret_cast<const Uint*>(reader.Here());
-  fastlanes::Unpack(packed_right, enc.right_parts, rg.rd.right_bits);
   reader.Skip(static_cast<size_t>(rg.rd.right_bits) * kLanes * sizeof(Uint));
-
   const Uint* packed_codes = reinterpret_cast<const Uint*>(reader.Here());
-  Uint codes[kVectorSize];
-  fastlanes::Unpack(packed_codes, codes, rg.rd.dict_width);
   reader.Skip(static_cast<size_t>(rg.rd.dict_width) * kLanes * sizeof(Uint));
-  for (unsigned i = 0; i < kVectorSize; ++i) {
-    enc.left_codes[i] = static_cast<uint16_t>(codes[i]);
-  }
 
-  enc.exc_count = header.exc_count;
-  reader.ReadArray(enc.exceptions, header.exc_count);
-  reader.ReadArray(enc.exc_positions, header.exc_count);
+  uint16_t exceptions[kVectorSize];
+  uint16_t exc_positions[kVectorSize];
+  reader.ReadArray(exceptions, header.exc_count);
+  reader.ReadArray(exc_positions, header.exc_count);
+
+  // Fused unpack-right || unpack-codes || dictionary-OR through the
+  // dispatched kernel tier, then the (rare) left-part exception patches.
+  const auto decode_full = [&](T* dst) {
+    kernels::RdDecodeFused<T>(packed_right, packed_codes, rg.rd.right_bits,
+                              rg.rd.dict_width, rg.rd_dict_shifted, dst);
+    RdPatchExceptions(dst, exceptions, exc_positions, header.exc_count,
+                      rg.rd.right_bits);
+  };
 
   if (header.n == kVectorSize) {
-    RdDecodeVector(enc, rg.rd, out);
+    decode_full(out);
   } else {
-    T full[kVectorSize];
-    RdDecodeVector(enc, rg.rd, full);
+    alignas(64) T full[kVectorSize];
+    decode_full(full);
     std::memcpy(out, full, header.n * sizeof(T));
   }
 }
@@ -675,7 +677,7 @@ Status ColumnReader<T>::TryDecodeAlpVector(const RowgroupInfo& rg, size_t local_
   reader.Skip(packed_bytes);
 
   const Combination c{header.e, header.f};
-  T full[kVectorSize];
+  alignas(64) T full[kVectorSize];
   if (header.int_encoding == kIntDelta) {
     if constexpr (sizeof(T) == 8) {
       fastlanes::DeltaParams delta;
@@ -689,7 +691,7 @@ Status ColumnReader<T>::TryDecodeAlpVector(const RowgroupInfo& rg, size_t local_
     fastlanes::FforParams ffor;
     ffor.base = header.base;
     ffor.width = header.width;
-    DecodeVectorFused<T>(packed, ffor, c, full);
+    kernels::DecodeAlpFused<T>(packed, ffor, c, full);
   }
 
   Uint exc_bits[kVectorSize];
@@ -700,8 +702,8 @@ Status ColumnReader<T>::TryDecodeAlpVector(const RowgroupInfo& rg, size_t local_
     if (exc_pos[i] >= header.n) {
       return Status::Corrupt("ALP exception position out of range", vec_at);
     }
-    full[exc_pos[i]] = std::bit_cast<T>(exc_bits[i]);
   }
+  kernels::PatchExceptionBits<T>(full, exc_bits, exc_pos, header.exc_count);
   std::memcpy(out, full, expect_n * sizeof(T));
   return Status::Ok();
 }
@@ -741,30 +743,26 @@ Status ColumnReader<T>::TryDecodeRdVector(const RowgroupInfo& rg, size_t local_v
     return Status::Truncated("ALP_rd vector payload", vec_at);
   }
 
-  RdEncodedVector<T> enc;
   const Uint* packed_right = reinterpret_cast<const Uint*>(reader.Here());
-  fastlanes::Unpack(packed_right, enc.right_parts, rg.rd.right_bits);
   reader.Skip(size_t{rg.rd.right_bits} * kLanes * sizeof(Uint));
-
   const Uint* packed_codes = reinterpret_cast<const Uint*>(reader.Here());
-  Uint codes[kVectorSize];
-  fastlanes::Unpack(packed_codes, codes, rg.rd.dict_width);
   reader.Skip(size_t{rg.rd.dict_width} * kLanes * sizeof(Uint));
-  for (unsigned i = 0; i < kVectorSize; ++i) {
-    enc.left_codes[i] = static_cast<uint16_t>(codes[i]);
-  }
 
-  enc.exc_count = header.exc_count;
-  reader.ReadArray(enc.exceptions, header.exc_count);
-  reader.ReadArray(enc.exc_positions, header.exc_count);
+  uint16_t exceptions[kVectorSize];
+  uint16_t exc_positions[kVectorSize];
+  reader.ReadArray(exceptions, header.exc_count);
+  reader.ReadArray(exc_positions, header.exc_count);
   for (unsigned i = 0; i < header.exc_count; ++i) {
-    if (enc.exc_positions[i] >= header.n) {
+    if (exc_positions[i] >= header.n) {
       return Status::Corrupt("ALP_rd exception position out of range", vec_at);
     }
   }
 
-  T full[kVectorSize];
-  RdDecodeVector(enc, rg.rd, full);
+  alignas(64) T full[kVectorSize];
+  kernels::RdDecodeFused<T>(packed_right, packed_codes, rg.rd.right_bits,
+                            rg.rd.dict_width, rg.rd_dict_shifted, full);
+  RdPatchExceptions(full, exceptions, exc_positions, header.exc_count,
+                    rg.rd.right_bits);
   std::memcpy(out, full, expect_n * sizeof(T));
   return Status::Ok();
 }

@@ -201,6 +201,9 @@ class ColumnReader {
     size_t byte_offset = 0;          ///< Absolute offset in the buffer.
     Scheme scheme = Scheme::kAlp;
     RdParams<T> rd;                  ///< Valid when scheme == kAlpRd.
+    /// rd.dict pre-shifted by rd.right_bits, the form the dispatched glue
+    /// kernel consumes (computed once at parse, see RdDictShifted).
+    typename AlpTraits<T>::Uint rd_dict_shifted[8] = {};
     std::vector<uint32_t> vector_offsets;  ///< Relative to rowgroup start.
     size_t first_vector = 0;         ///< Global index of its first vector.
     uint32_t vector_count = 0;

@@ -14,8 +14,9 @@
 ///     compiled at -O3 (the compiler vectorizes it). This is ALP's default.
 ///   - *Scalar*: the identical source compiled in a separate translation
 ///     unit with -fno-tree-vectorize -fno-tree-slp-vectorize.
-///   - *SIMDized*: an explicit AVX-512 intrinsics kernel (falls back to the
-///     generic code on hosts without AVX-512DQ).
+///   - *SIMDized*: the explicit-intrinsics kernel selected by the runtime
+///     dispatcher (alp/kernel_dispatch.h) — AVX-512DQ, AVX2 or NEON
+///     depending on the host, scalar only as the last resort.
 
 namespace alp::scalar {
 
@@ -27,12 +28,18 @@ void DecodeAlpFused(const uint64_t* packed, const fastlanes::FforParams& ffor,
 
 namespace alp::simd {
 
-/// Fused decode with explicit SIMD intrinsics.
+/// Fused decode with explicit SIMD intrinsics: delegates to the kernel
+/// tier the runtime dispatcher selected (alp/kernel_dispatch.h).
 void DecodeAlpFused(const uint64_t* packed, const fastlanes::FforParams& ffor,
                     Combination c, double* out);
 
-/// Whether the explicit-SIMD path (AVX-512DQ) was compiled in.
+/// Whether the dispatched kernel actually uses SIMD intrinsics (i.e. the
+/// selected tier is not scalar).
 bool Available();
+
+/// Name of the dispatched kernel tier ("avx512", "avx2", "neon", "scalar")
+/// — what benchmark reports should print instead of assuming AVX-512.
+const char* KernelName();
 
 }  // namespace alp::simd
 

@@ -1,49 +1,24 @@
-// The "SIMDized" series of Figure 4: an explicit AVX-512 intrinsics kernel.
-// On hosts without AVX-512DQ the generic scalar loop is used instead and
-// Available() reports false.
+// The "SIMDized" series of Figure 4, now backed by the runtime dispatcher:
+// the kernel is whatever tier kernel_dispatch.h selected for this host
+// (AVX-512DQ, AVX2, NEON, or scalar as the last resort), not a compile-
+// time __AVX512F__ gate. This fixes two seed bugs at the root: a generic
+// build no longer silently runs scalar while claiming SIMD, and the
+// dispatched kernels pick aligned vs unaligned stores per destination
+// instead of hardcoding storeu.
 
 #include "alp/decode_kernels.h"
 
-#include "fastlanes/bitpack.h"
-
-#if defined(__AVX512F__) && defined(__AVX512DQ__)
-#include <immintrin.h>
-#define ALP_SIMD_AVX512 1
-#endif
+#include "alp/kernel_dispatch.h"
 
 namespace alp::simd {
 
-bool Available() {
-#ifdef ALP_SIMD_AVX512
-  return true;
-#else
-  return false;
-#endif
-}
+bool Available() { return kernels::ActiveTier() != kernels::Tier::kScalar; }
+
+const char* KernelName() { return kernels::ActiveTierName(); }
 
 void DecodeAlpFused(const uint64_t* packed, const fastlanes::FforParams& ffor,
                     Combination c, double* out) {
-  alignas(64) uint64_t tmp[kVectorSize];
-  fastlanes::Unpack(packed, tmp, ffor.width);
-  const double f10_f = AlpTraits<double>::kF10[c.f];
-  const double if10_e = AlpTraits<double>::kIF10[c.e];
-
-#ifdef ALP_SIMD_AVX512
-  const __m512i base = _mm512_set1_epi64(static_cast<int64_t>(ffor.base));
-  const __m512d ff = _mm512_set1_pd(f10_f);
-  const __m512d ife = _mm512_set1_pd(if10_e);
-  for (unsigned i = 0; i < kVectorSize; i += 8) {
-    const __m512i v =
-        _mm512_add_epi64(_mm512_load_si512(reinterpret_cast<const void*>(tmp + i)), base);
-    const __m512d d = _mm512_cvtepi64_pd(v);
-    _mm512_storeu_pd(out + i, _mm512_mul_pd(_mm512_mul_pd(d, ff), ife));
-  }
-#else
-  const uint64_t base = ffor.base;
-  for (unsigned i = 0; i < kVectorSize; ++i) {
-    out[i] = static_cast<double>(static_cast<int64_t>(tmp[i] + base)) * f10_f * if10_e;
-  }
-#endif
+  kernels::DecodeAlpFused<double>(packed, ffor, c, out);
 }
 
 }  // namespace alp::simd

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "alp/kernel_dispatch.h"
 #include "obs/trace.h"
 #include "util/bits.h"
 
@@ -155,7 +156,13 @@ void DecodeVectorUnfused(const uint64_t* packed, const fastlanes::FforParams& ff
 template <typename T>
 void PatchExceptions(T* out, const T* exceptions, const uint16_t* positions,
                      unsigned count) {
-  for (unsigned i = 0; i < count; ++i) out[positions[i]] = exceptions[i];
+  // Route through the dispatched patch kernel (scatter stores on AVX-512).
+  // The kernel consumes the storage-format bit patterns, so view the raw
+  // values through BitsOf first.
+  using Uint = typename AlpTraits<T>::Uint;
+  alignas(64) Uint bits[kVectorSize];
+  for (unsigned i = 0; i < count; ++i) bits[i] = BitsOf(exceptions[i]);
+  kernels::PatchExceptionBits<T>(out, bits, positions, count);
 }
 
 template <typename T>

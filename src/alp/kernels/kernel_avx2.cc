@@ -1,0 +1,168 @@
+// AVX2 dispatch tier. Compiled with -mavx2 (see src/CMakeLists.txt); on
+// builds without the flag the TU degenerates to a nullptr getter and the
+// dispatcher never offers the tier.
+//
+// AVX2 has no int64->double instruction, so the conversion uses the
+// magic-constant split: the low 32 bits are blended into a double with a
+// 2^52 exponent, the high 32 bits (sign-flipped via xor) into one with a
+// 2^84 exponent, and one subtract + one add reassemble the value. Both
+// halves are exact and the final add rounds once, so the result is the
+// correctly-rounded double(v) for the *full* int64 range — required
+// because the width sweep in tests/test_kernels.cc drives values far
+// outside ALP's |d| < 2^51 encode invariant, and bit-exactness with the
+// scalar tier must hold even there.
+
+#include "alp/kernels/kernel_tiers.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <utility>
+
+#include "fastlanes/bitpack.h"
+
+namespace alp::kernels {
+namespace {
+
+constexpr Tier kSelfTier = Tier::kAvx2;
+
+inline __m256d Int64ToDouble(__m256i v) {
+  const __m256i magic_lo = _mm256_set1_epi64x(0x4330000000000000);  // 2^52
+  const __m256i magic_hi = _mm256_set1_epi64x(0x4530000080000000);  // 2^84+2^63
+  const __m256d magic_all =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x4530000080100000));  // +2^52
+  const __m256i lo = _mm256_blend_epi32(magic_lo, v, 0x55);
+  const __m256i hi = _mm256_xor_si256(_mm256_srli_epi64(v, 32), magic_hi);
+  const __m256d hi_d = _mm256_sub_pd(_mm256_castsi256_pd(hi), magic_all);
+  return _mm256_add_pd(hi_d, _mm256_castsi256_pd(lo));
+}
+
+template <bool Aligned>
+inline void StorePd(double* p, __m256d v) {
+  if constexpr (Aligned) {
+    _mm256_store_pd(p, v);
+  } else {
+    _mm256_storeu_pd(p, v);
+  }
+}
+
+template <bool Aligned>
+void ConvertMul64Impl(const uint64_t* vals, uint64_t base, double f10_f,
+                      double if10_e, double* out) {
+  const __m256i b = _mm256_set1_epi64x(static_cast<long long>(base));
+  const __m256d ff = _mm256_set1_pd(f10_f);
+  const __m256d ife = _mm256_set1_pd(if10_e);
+  for (unsigned i = 0; i < kVectorSize; i += 4) {
+    const __m256i v = _mm256_add_epi64(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(vals + i)), b);
+    const __m256d d = Int64ToDouble(v);
+    StorePd<Aligned>(out + i, _mm256_mul_pd(_mm256_mul_pd(d, ff), ife));
+  }
+}
+
+void ConvertMul64(const uint64_t* vals, uint64_t base, double f10_f,
+                  double if10_e, double* out) {
+  if ((reinterpret_cast<uintptr_t>(out) & 31) == 0) {
+    ConvertMul64Impl<true>(vals, base, f10_f, if10_e, out);
+  } else {
+    ConvertMul64Impl<false>(vals, base, f10_f, if10_e, out);
+  }
+}
+
+template <bool Aligned>
+void ConvertMul32Impl(const uint32_t* vals, uint32_t base, double f10_f,
+                      double if10_e, float* out) {
+  const __m256i b = _mm256_set1_epi32(static_cast<int>(base));
+  const __m256d ff = _mm256_set1_pd(f10_f);
+  const __m256d ife = _mm256_set1_pd(if10_e);
+  for (unsigned i = 0; i < kVectorSize; i += 8) {
+    const __m256i v = _mm256_add_epi32(
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(vals + i)), b);
+    const __m256d lo = _mm256_cvtepi32_pd(_mm256_castsi256_si128(v));
+    const __m256d hi = _mm256_cvtepi32_pd(_mm256_extracti128_si256(v, 1));
+    const __m128 flo =
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(lo, ff), ife));
+    const __m128 fhi =
+        _mm256_cvtpd_ps(_mm256_mul_pd(_mm256_mul_pd(hi, ff), ife));
+    const __m256 packed = _mm256_set_m128(fhi, flo);
+    if constexpr (Aligned) {
+      _mm256_store_ps(out + i, packed);
+    } else {
+      _mm256_storeu_ps(out + i, packed);
+    }
+  }
+}
+
+void ConvertMul32(const uint32_t* vals, uint32_t base, double f10_f,
+                  double if10_e, float* out) {
+  if ((reinterpret_cast<uintptr_t>(out) & 31) == 0) {
+    ConvertMul32Impl<true>(vals, base, f10_f, if10_e, out);
+  } else {
+    ConvertMul32Impl<false>(vals, base, f10_f, if10_e, out);
+  }
+}
+
+// ALP_rd glue: the left part comes from an 8-entry pre-shifted dictionary,
+// fetched in-register with a gather (64-bit) / lane permute (32-bit).
+void GlueJoin64(const uint64_t* codes, const uint64_t* right,
+                const uint64_t* dict_shifted, double* out) {
+  for (unsigned i = 0; i < kVectorSize; i += 4) {
+    const __m256i c =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m256i left = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(dict_shifted), c, 8);
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(right + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(left, r));
+  }
+}
+
+void GlueJoin32(const uint32_t* codes, const uint32_t* right,
+                const uint32_t* dict_shifted, float* out) {
+  const __m256i dict =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dict_shifted));
+  for (unsigned i = 0; i < kVectorSize; i += 8) {
+    const __m256i c =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(codes + i));
+    const __m256i left = _mm256_permutevar8x32_epi32(dict, c);
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(right + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                        _mm256_or_si256(left, r));
+  }
+}
+
+// Exception patching stays scalar on AVX2 (no scatter instruction);
+// exceptions average ~2% of a vector so this is off the critical path.
+void Patch64(double* out, const uint64_t* bits, const uint16_t* pos,
+             unsigned count) {
+  for (unsigned i = 0; i < count; ++i) out[pos[i]] = std::bit_cast<double>(bits[i]);
+}
+
+void Patch32(float* out, const uint32_t* bits, const uint16_t* pos,
+             unsigned count) {
+  for (unsigned i = 0; i < count; ++i) out[pos[i]] = std::bit_cast<float>(bits[i]);
+}
+
+#include "alp/kernels/kernel_body.inc"
+
+}  // namespace
+
+const DecodeKernels* GetAvx2Kernels() { return &kKernels; }
+
+}  // namespace alp::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace alp::kernels {
+
+const DecodeKernels* GetAvx2Kernels() { return nullptr; }
+
+}  // namespace alp::kernels
+
+#endif

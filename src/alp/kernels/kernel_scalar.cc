@@ -1,0 +1,132 @@
+// The scalar dispatch tier: portable C++ compiled with the build's base
+// target flags (the compiler may auto-vectorize it for the baseline ISA,
+// e.g. SSE2 on x86-64). Always available; every SIMD tier is tested
+// bit-exact against it. Unlike the .inc-based tiers this one fuses the
+// unpack emit with the arithmetic directly — the same single-pass shape as
+// DecodeVectorFused in alp/encoder.cc, whose output bytes it must (and
+// does) reproduce exactly.
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "alp/kernels/kernel_tiers.h"
+#include "fastlanes/bitpack.h"
+
+namespace alp::kernels {
+namespace {
+
+template <typename T, typename U, unsigned W>
+void AlpFusedImpl(const U* packed, U base, double f10_f, double if10_e, T* out) {
+  using Int = std::make_signed_t<U>;
+  fastlanes::detail::UnpackBlockImpl<U, W>(packed, [&](unsigned i, U v) {
+    out[i] = static_cast<T>(
+        static_cast<double>(static_cast<Int>(v + base)) * f10_f * if10_e);
+  });
+}
+
+template <typename T, typename U, unsigned... W>
+constexpr auto MakeAlpTable(std::integer_sequence<unsigned, W...>) {
+  using Fn = void (*)(const U*, U, double, double, T*);
+  return std::array<Fn, sizeof...(W)>{&AlpFusedImpl<T, U, W>...};
+}
+
+constexpr auto kAlp64 =
+    MakeAlpTable<double, uint64_t>(std::make_integer_sequence<unsigned, 65>{});
+constexpr auto kAlp32 =
+    MakeAlpTable<float, uint32_t>(std::make_integer_sequence<unsigned, 33>{});
+
+void AlpFused64(const uint64_t* packed, uint64_t base, unsigned width,
+                double f10_f, double if10_e, double* out) {
+  kAlp64[width](packed, base, f10_f, if10_e, out);
+}
+
+void AlpFused32(const uint32_t* packed, uint32_t base, unsigned width,
+                double f10_f, double if10_e, float* out) {
+  kAlp32[width](packed, base, f10_f, if10_e, out);
+}
+
+void Patch64(double* out, const uint64_t* bits, const uint16_t* pos,
+             unsigned count) {
+  for (unsigned i = 0; i < count; ++i) out[pos[i]] = std::bit_cast<double>(bits[i]);
+}
+
+void Patch32(float* out, const uint32_t* bits, const uint16_t* pos,
+             unsigned count) {
+  for (unsigned i = 0; i < count; ++i) out[pos[i]] = std::bit_cast<float>(bits[i]);
+}
+
+// ALP_rd: unpack right parts and codes into scratch, then a branch-free
+// glue loop over the pre-shifted dictionary.
+template <typename T, typename U, unsigned W>
+void UnpackImpl(const U* __restrict packed, U* __restrict out) {
+  fastlanes::detail::UnpackBlockImpl<U, W>(packed,
+                                           [out](unsigned i, U v) { out[i] = v; });
+}
+
+template <typename T, typename U, unsigned... W>
+constexpr auto MakeUnpackTable(std::integer_sequence<unsigned, W...>) {
+  using Fn = void (*)(const U* __restrict, U* __restrict);
+  return std::array<Fn, sizeof...(W)>{&UnpackImpl<T, U, W>...};
+}
+
+constexpr auto kUnpack64 = MakeUnpackTable<double, uint64_t>(
+    std::make_integer_sequence<unsigned, 65>{});
+constexpr auto kUnpack32 = MakeUnpackTable<float, uint32_t>(
+    std::make_integer_sequence<unsigned, 33>{});
+
+template <typename T, typename U>
+void RdFusedImpl(const U* packed_right, const U* packed_codes,
+                 unsigned right_bits, unsigned dict_width,
+                 const U* dict_shifted, T* out,
+                 const std::array<void (*)(const U* __restrict, U* __restrict),
+                                  sizeof(U) * 8 + 1>& unpack) {
+  alignas(64) U right[kVectorSize];
+  alignas(64) U codes[kVectorSize];
+  unpack[right_bits](packed_right, right);
+  unpack[dict_width](packed_codes, codes);
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    out[i] = std::bit_cast<T>(static_cast<U>(dict_shifted[codes[i]] | right[i]));
+  }
+}
+
+void RdFused64(const uint64_t* packed_right, const uint64_t* packed_codes,
+               unsigned right_bits, unsigned dict_width,
+               const uint64_t* dict_shifted, double* out) {
+  RdFusedImpl(packed_right, packed_codes, right_bits, dict_width, dict_shifted,
+              out, kUnpack64);
+}
+
+void RdFused32(const uint32_t* packed_right, const uint32_t* packed_codes,
+               unsigned right_bits, unsigned dict_width,
+               const uint32_t* dict_shifted, float* out) {
+  RdFusedImpl(packed_right, packed_codes, right_bits, dict_width, dict_shifted,
+              out, kUnpack32);
+}
+
+void RdGlue64(const uint16_t* codes, const uint64_t* right_parts,
+              const uint64_t* dict_shifted, double* out) {
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    out[i] = std::bit_cast<double>(dict_shifted[codes[i]] | right_parts[i]);
+  }
+}
+
+void RdGlue32(const uint16_t* codes, const uint32_t* right_parts,
+              const uint32_t* dict_shifted, float* out) {
+  for (unsigned i = 0; i < kVectorSize; ++i) {
+    out[i] = std::bit_cast<float>(dict_shifted[codes[i]] | right_parts[i]);
+  }
+}
+
+constexpr DecodeKernels kKernels = {
+    Tier::kScalar, AlpFused64, AlpFused32, Patch64,  Patch32,
+    RdFused64,     RdFused32,  RdGlue64,   RdGlue32,
+};
+
+}  // namespace
+
+const DecodeKernels* GetScalarKernels() { return &kKernels; }
+
+}  // namespace alp::kernels

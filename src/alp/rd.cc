@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "alp/kernel_dispatch.h"
 #include "obs/trace.h"
 #include "util/bits.h"
 
@@ -156,25 +157,42 @@ void RdEncodeVector(const T* in, unsigned n, const RdParams<T>& params,
 }
 
 template <typename T>
-void RdDecodeVector(const RdEncodedVector<T>& enc, const RdParams<T>& params, T* out) {
+void RdDictShifted(const RdParams<T>& params, typename AlpTraits<T>::Uint* out) {
   using Uint = typename AlpTraits<T>::Uint;
   const unsigned p = params.right_bits;
-
-  // Glue loop: dictionary load + shift + OR, no control flow.
-  for (unsigned i = 0; i < kVectorSize; ++i) {
-    const Uint left = params.dict[enc.left_codes[i]];
-    const Uint glued = (left << p) | enc.right_parts[i];
-    out[i] = std::bit_cast<T>(glued);
+  for (unsigned i = 0; i < kRdMaxDictSize; ++i) {
+    out[i] = p < AlpTraits<T>::kValueBits
+                 ? static_cast<Uint>(static_cast<Uint>(params.dict[i]) << p)
+                 : Uint{0};
   }
+}
 
-  // Exception patching: overwrite the left part of the affected positions.
+template <typename T>
+void RdPatchExceptions(T* out, const uint16_t* exceptions, const uint16_t* positions,
+                       unsigned count, unsigned right_bits) {
+  using Uint = typename AlpTraits<T>::Uint;
   const Uint right_mask = static_cast<Uint>(
-      p >= AlpTraits<T>::kValueBits ? ~Uint{0} : ((Uint{1} << p) - 1));
-  for (unsigned i = 0; i < enc.exc_count; ++i) {
-    const unsigned pos = enc.exc_positions[i];
+      right_bits >= AlpTraits<T>::kValueBits ? ~Uint{0}
+                                             : ((Uint{1} << right_bits) - 1));
+  for (unsigned i = 0; i < count; ++i) {
+    const unsigned pos = positions[i];
     const Uint right = BitsOf(out[pos]) & right_mask;
-    out[pos] = std::bit_cast<T>((static_cast<Uint>(enc.exceptions[i]) << p) | right);
+    out[pos] = std::bit_cast<T>(
+        (static_cast<Uint>(exceptions[i]) << right_bits) | right);
   }
+}
+
+template <typename T>
+void RdDecodeVector(const RdEncodedVector<T>& enc, const RdParams<T>& params, T* out) {
+  using Uint = typename AlpTraits<T>::Uint;
+
+  // Glue (dictionary load + shift + OR, no control flow) through the
+  // dispatched kernel tier; exceptions overwrite their left parts after.
+  Uint dict_shifted[kRdMaxDictSize];
+  RdDictShifted(params, dict_shifted);
+  kernels::RdGlue<T>(enc.left_codes, enc.right_parts, dict_shifted, out);
+  RdPatchExceptions(out, enc.exceptions, enc.exc_positions, enc.exc_count,
+                    params.right_bits);
 }
 
 template <typename T>
@@ -205,6 +223,12 @@ template void RdDecodeVector<double>(const RdEncodedVector<double>&,
                                      const RdParams<double>&, double*);
 template void RdDecodeVector<float>(const RdEncodedVector<float>&, const RdParams<float>&,
                                     float*);
+template void RdDictShifted<double>(const RdParams<double>&, uint64_t*);
+template void RdDictShifted<float>(const RdParams<float>&, uint32_t*);
+template void RdPatchExceptions<double>(double*, const uint16_t*, const uint16_t*,
+                                        unsigned, unsigned);
+template void RdPatchExceptions<float>(float*, const uint16_t*, const uint16_t*,
+                                       unsigned, unsigned);
 template double RdEstimateBitsPerValue<double>(const double*, unsigned,
                                                const RdParams<double>&);
 template double RdEstimateBitsPerValue<float>(const float*, unsigned,

@@ -78,6 +78,19 @@ void RdEncodeVector(const T* in, unsigned n, const RdParams<T>& params,
 template <typename T>
 void RdDecodeVector(const RdEncodedVector<T>& enc, const RdParams<T>& params, T* out);
 
+/// Fills \p out (kRdMaxDictSize entries) with the dictionary entries
+/// pre-shifted left by right_bits — the form the dispatched glue kernels
+/// (alp/kernel_dispatch.h) consume. Out-of-range right_bits (possible only
+/// on unvalidated input) yields zeros instead of an undefined shift.
+template <typename T>
+void RdDictShifted(const RdParams<T>& params, typename AlpTraits<T>::Uint* out);
+
+/// Overwrites the left part of each exception position of a glued \p out
+/// vector: out[pos] = (exception << right_bits) | right_part(out[pos]).
+template <typename T>
+void RdPatchExceptions(T* out, const uint16_t* exceptions, const uint16_t* positions,
+                       unsigned count, unsigned right_bits);
+
 /// Estimated bits/value for the chosen params on a sample; exposed for the
 /// rowgroup scheme decision and for tests.
 template <typename T>

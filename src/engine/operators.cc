@@ -5,6 +5,7 @@
 #include <limits>
 #include <vector>
 
+#include "util/aligned_buffer.h"
 #include "util/cycle_clock.h"
 
 namespace alp::engine {
@@ -23,8 +24,10 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
   pool.Run([&](unsigned worker) {
     double local = 0.0;
     // Each worker gets a private decode buffer (vector-at-a-time consumers
-    // in Tectorwise own their vector chunk).
-    std::vector<double> buffer(kRowgroupSize);
+    // in Tectorwise own their vector chunk). Cache-line aligned so the
+    // dispatched decode kernels take their aligned-store path: every
+    // vector lands at a multiple of 1024 values from the aligned start.
+    AlignedBuffer<double> buffer(kRowgroupSize);
     while (true) {
       const size_t rg = next.fetch_add(1, std::memory_order_relaxed);
       if (rg >= rowgroups) break;

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "alp/constants.h"
+#include "alp/kernel_dispatch.h"
 #include "obs/sink.h"
 
 namespace alp::obs {
@@ -165,6 +166,10 @@ std::string ColumnXRay::ToJson(const XRayReport& report, size_t top_n) {
   out += "{\"alp_xray\":1,\"type\":";
   out += JsonQuote(report.type);
   out += ",\"format_version\":" + std::to_string(report.format_version);
+  // Environment fact, not a file property: which decode kernel tier this
+  // process dispatches to (determines decode speed, never decoded bytes).
+  out += ",\"kernel_tier\":";
+  out += JsonQuote(kernels::ActiveTierName());
   out += ",\"file_size\":" + std::to_string(report.file_size);
   out += ",\"value_count\":" + std::to_string(report.value_count);
   out += ",\"vector_count\":" + std::to_string(report.vector_count);
@@ -251,6 +256,8 @@ std::string ColumnXRay::ToText(const XRayReport& report, size_t top_n) {
       << Fixed(report.BitsPerValue(), 2) << " bits/value)\n";
   out << "schemes: alp " << report.vectors_alp << "  alp_rd "
       << report.vectors_rd << "\n";
+  out << "decode kernel tier: " << kernels::ActiveTierName()
+      << " (runtime dispatch; bytes identical on every tier)\n";
 
   out << "streams:\n";
   const auto stream_line = [&](const char* name, uint64_t bytes) {

@@ -20,6 +20,12 @@
 // concurrency. The compressed output is byte-identical at every thread
 // count — see README "Threading & determinism".
 //
+// --kernel=scalar|avx2|avx512|neon|auto forces the decode kernel tier for
+// the run (see src/alp/kernel_dispatch.h). Decoded bytes are identical on
+// every tier; only speed differs. Requesting a tier this host or build
+// cannot run is a hard error (the ALP_FORCE_KERNEL environment variable
+// offers the same control with warn-and-fall-back semantics instead).
+//
 // --metrics=json|text enables the observability registry for the run and
 // prints its snapshot (per-stage cycle spans, scheme decisions, exception
 // histograms — see docs/OBSERVABILITY.md) after the command completes.
@@ -81,6 +87,11 @@ int Usage() {
                "\n"
                "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
                "output bytes are identical at every thread count.\n"
+               "--kernel=scalar|avx2|avx512|neon|auto forces the decode\n"
+               "kernel tier (default: best tier the CPU supports; decoded\n"
+               "bytes are identical on every tier). Unavailable tiers are a\n"
+               "hard error; the ALP_FORCE_KERNEL env var does the same with\n"
+               "warn-and-fall-back semantics.\n"
                "--metrics=json|text prints the telemetry registry snapshot\n"
                "after the command (see docs/OBSERVABILITY.md).\n"
                "--trace=<path> writes a Chrome/Perfetto trace_event JSON\n"
@@ -326,10 +337,11 @@ int CmdStats(const std::string& in_path) {
   const bool json = g_metrics == 2;
   if (!json) {
     std::printf("%zu values | %.2f bits/value | %zu rowgroups (%zu ALP_rd) | "
-                "%u threads\n",
+                "%u threads | kernel tier: %s\n",
                 values->size(),
                 alp::BitsPerValue<double>(buffer, values->size()),
-                info.rowgroups, info.rowgroups_rd, Pool().size());
+                info.rowgroups, info.rowgroups_rd, Pool().size(),
+                alp::kernels::ActiveTierName());
   }
   alp::obs::TraceSink::Emit(snapshot, json, std::cout);
   // The command already printed the registry; suppress the end-of-run dump.
@@ -385,6 +397,16 @@ int main(int argc, char** argv) {
       if (g_trace_path.empty()) return Fail("bad --trace value", argv[arg]);
     } else if (std::strcmp(argv[arg], "--float32") == 0) {
       g_float32 = true;
+    } else if (std::strncmp(argv[arg], "--kernel=", 9) == 0) {
+      // Unlike the ALP_FORCE_KERNEL env (warn + fall back), an explicit
+      // flag the user typed is a hard error when it cannot be honored.
+      const char* name = argv[arg] + 9;
+      if (!alp::kernels::ForceTierByName(name)) {
+        return Fail(
+            "bad --kernel value (want scalar|avx2|avx512|neon|auto, and the "
+            "tier must be available on this host/build)",
+            argv[arg]);
+      }
     } else {
       return Usage();
     }

@@ -18,6 +18,11 @@ compression_ratio and *tuples_per_cycle* higher is better. A joined pair
 whose worse-direction delta exceeds the metric class's threshold is a
 regression; improvements and unknown metrics are reported but never fail.
 
+Joined pairs whose records carry *different* `kernel_tier` tags (the decode
+kernel the measurement rode on, see docs/BENCH_SCHEMA.md) are listed as
+`tier-mismatch` and never gate: comparing a scalar-tier baseline against an
+avx512 run measures the dispatcher, not a regression.
+
 Output is a markdown table (stdout, and --markdown-out when given). Exit
 status: 0 = no regressions, 1 = at least one regression, 2 = bad input.
 Standard library only, so CI can run it on a bare runner.
@@ -69,7 +74,7 @@ def load_records(path):
         )
         if None in key[:3] or not isinstance(rec.get("value"), (int, float)):
             continue
-        out[key] = float(rec["value"])
+        out[key] = (float(rec["value"]), rec.get("kernel_tier"))
     if not out:
         print(f"bench_diff: {path} has no usable records", file=sys.stderr)
         return None
@@ -129,9 +134,10 @@ def main(argv):
     rows = []
     regressions = 0
     improvements = 0
+    tier_mismatches = 0
     for key in joined:
         dataset, scheme, metric, threads = key
-        base, cur = baseline[key], current[key]
+        (base, base_tier), (cur, cur_tier) = baseline[key], current[key]
         kind, lower_better = metric_class(metric)
         if base == 0.0:
             delta_pct = 0.0 if cur == 0.0 else float("inf")
@@ -140,7 +146,11 @@ def main(argv):
         worse = delta_pct > 0 if lower_better else delta_pct < 0
         threshold = thresholds[kind]
         status = "ok"
-        if worse and threshold is not None and abs(delta_pct) > threshold:
+        if base_tier != cur_tier and None not in (base_tier, cur_tier):
+            # Different decode kernel tiers: informational, never a gate.
+            status = f"tier-mismatch ({base_tier}→{cur_tier})"
+            tier_mismatches += 1
+        elif worse and threshold is not None and abs(delta_pct) > threshold:
             status = "REGRESSION"
             regressions += 1
         elif not worse and delta_pct != 0.0:
@@ -170,8 +180,10 @@ def main(argv):
             lines.append(f"| {name} | {metric} | {base:.6g} | {cur:.6g} "
                          f"| {delta} | {status} |")
         lines.append("")
-    lines.append(f"**{regressions} regression(s), {improvements} "
-                 f"improvement(s).**")
+    summary = f"**{regressions} regression(s), {improvements} improvement(s)"
+    if tier_mismatches:
+        summary += f", {tier_mismatches} kernel-tier mismatch(es) not gated"
+    lines.append(summary + ".**")
 
     report = "\n".join(lines) + "\n"
     sys.stdout.write(report)

@@ -12,7 +12,8 @@ import math
 import sys
 
 REQUIRED_STR = ("dataset", "scheme", "metric", "unit")
-ALLOWED_FIELDS = set(REQUIRED_STR) | {"value", "threads"}
+ALLOWED_FIELDS = set(REQUIRED_STR) | {"value", "threads", "kernel_tier"}
+KERNEL_TIERS = ("scalar", "neon", "avx2", "avx512")
 
 
 def fail(path, msg):
@@ -39,6 +40,12 @@ def validate_record(path, i, rec):
         threads = rec["threads"]
         if isinstance(threads, bool) or not isinstance(threads, int) or threads < 1:
             return fail(path, f"{where}.threads must be an integer >= 1")
+    if "kernel_tier" in rec and rec["kernel_tier"] not in KERNEL_TIERS:
+        return fail(
+            path,
+            f"{where}.kernel_tier must be one of {KERNEL_TIERS}, "
+            f"got {rec['kernel_tier']!r}",
+        )
     return True
 
 
@@ -54,6 +61,12 @@ def validate_file(path):
         return fail(path, f"schema is {doc.get('schema')!r}, want 'alp-bench-v1'")
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         return fail(path, "bench missing or not a non-empty string")
+    if "kernel_tier" in doc and doc["kernel_tier"] not in KERNEL_TIERS:
+        return fail(
+            path,
+            f"top-level kernel_tier must be one of {KERNEL_TIERS}, "
+            f"got {doc['kernel_tier']!r}",
+        )
     records = doc.get("records")
     if not isinstance(records, list) or not records:
         return fail(path, "records missing, not an array, or empty")
