@@ -1,0 +1,294 @@
+// Serving-layer load generator: open-loop arrivals against alp::server,
+// mixed query classes, tail-latency percentiles in alp-bench-v1 JSON.
+//
+// Open-loop means arrivals are scheduled on a clock, independent of
+// completions — the generator does not slow down when the server does, so
+// queueing delay shows up in the tail instead of being coordinated away
+// (the classic closed-loop omission bug). The workload mix is the
+// interactive-analytics shape the serving layer is tuned for: 60% point
+// lookups, 30% filtered aggregates, 10% full scans, by request index.
+//
+// Two modes:
+//   default   calibrates the sustainable rate (closed-loop warm-up), then
+//             drives ~50% of it and reports p50/p99/p999 per class. CI
+//             diffs the --json report against the committed baseline with
+//             tools/bench_diff.py --latency-threshold.
+//   --stress  drives 2x the sustainable rate with faults injected at the
+//             storage tier (1% I/O errors + occasional stalls) and asserts
+//             the degradation envelope: bounded queue depth, zero partial
+//             results, every rejection typed, accounting identity. Exits
+//             nonzero on any violation — this is the CI overload gate.
+//
+// Flags: --json=<path>, --stress, --requests=N (default 4000),
+//        --workers=N (default hardware), --queue=N (default 256).
+// ALP_BENCH_VALUES overrides the column size (default 1 rowgroup).
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alp/alp.h"
+#include "bench_common.h"
+#include "data/datasets.h"
+#include "server/server.h"
+#include "util/fault_injection.h"
+
+namespace {
+
+using alp::server::QueryClass;
+using alp::server::QueryClassName;
+using alp::server::Request;
+using alp::server::Response;
+using alp::server::Server;
+using alp::server::ServerConfig;
+using alp::server::ServerStats;
+
+constexpr size_t kClasses = alp::server::kQueryClassCount;
+
+/// The 60/30/10 mix by request index — deterministic, so baseline and
+/// current runs issue the identical request sequence.
+Request MixedRequest(size_t i, size_t vectors) {
+  Request request;
+  request.column = "col";
+  const size_t slot = i % 10;
+  if (slot < 6) {
+    request.query_class = QueryClass::kPointLookup;
+    request.vector_index = vectors == 0 ? 0 : i % vectors;
+  } else if (slot < 9) {
+    request.query_class = QueryClass::kAggregate;
+    request.has_filter = true;
+    // A moderately selective band that moves across the domain.
+    request.filter_lo = -1e18;
+    request.filter_hi = static_cast<double>(i % 97) * 1e15;
+  } else {
+    request.query_class = QueryClass::kScan;
+  }
+  return request;
+}
+
+double Percentile(std::vector<uint64_t>& sorted_ns, double p) {
+  if (sorted_ns.empty()) return 0.0;
+  const size_t idx = static_cast<size_t>(p * (sorted_ns.size() - 1));
+  return sorted_ns[idx] / 1e3;  // microseconds
+}
+
+struct RunOutcome {
+  std::vector<uint64_t> latency_ns[kClasses];  ///< Completed requests only.
+  uint64_t completed = 0;
+  uint64_t typed_errors = 0;   ///< kCancelled/kDeadline/kResourceExhausted/fault.
+  uint64_t untyped_errors = 0; ///< Anything else — always an envelope breach.
+  double wall_s = 0.0;
+};
+
+/// Drives `requests` arrivals at `rate_per_s` (open loop) and collects
+/// every future. Returns per-class completion latencies (queue + exec).
+RunOutcome DriveLoad(Server& server, size_t requests, double rate_per_s,
+                     size_t vectors) {
+  RunOutcome outcome;
+  std::vector<std::pair<QueryClass, std::future<Response>>> futures;
+  futures.reserve(requests);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const double ns_per_arrival = 1e9 / rate_per_s;
+  for (size_t i = 0; i < requests; ++i) {
+    const auto scheduled =
+        t0 + std::chrono::nanoseconds(
+                 static_cast<int64_t>(ns_per_arrival * static_cast<double>(i)));
+    // Open loop: sleep until the scheduled arrival; never wait for
+    // completions. If we are behind schedule this does not sleep at all.
+    std::this_thread::sleep_until(scheduled);
+    Request request = MixedRequest(i, vectors);
+    const QueryClass qc = request.query_class;
+    futures.emplace_back(qc, server.Submit(std::move(request)));
+  }
+  for (auto& [qc, future] : futures) {
+    const Response r = future.get();
+    if (r.status.ok()) {
+      ++outcome.completed;
+      outcome.latency_ns[static_cast<size_t>(qc)].push_back(r.queue_ns +
+                                                            r.exec_ns);
+    } else {
+      switch (r.status.code()) {
+        case alp::StatusCode::kCancelled:
+        case alp::StatusCode::kDeadlineExceeded:
+        case alp::StatusCode::kResourceExhausted:
+        case alp::StatusCode::kIo:  // The injected fault class in --stress.
+          ++outcome.typed_errors;
+          break;
+        default:
+          ++outcome.untyped_errors;
+          break;
+      }
+    }
+  }
+  outcome.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
+  auto report = alp::bench::JsonReport::FromArgs(argc, argv, "serving_load");
+
+  bool stress = false;
+  size_t requests = 4000;
+  unsigned workers = 0;
+  size_t queue_capacity = 256;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--stress") == 0) stress = true;
+    else if (std::strncmp(a, "--requests=", 11) == 0) {
+      requests = static_cast<size_t>(std::atoll(a + 11));
+    } else if (std::strncmp(a, "--workers=", 10) == 0) {
+      workers = static_cast<unsigned>(std::atol(a + 10));
+    } else if (std::strncmp(a, "--queue=", 8) == 0) {
+      queue_capacity = static_cast<size_t>(std::atoll(a + 8));
+    }
+  }
+
+  // One rowgroup of the City-Temp surrogate: large enough that scans cost
+  // real work, small enough that the calibration finishes in seconds.
+  const size_t n = alp::bench::ValuesPerDataset(alp::kRowgroupSize);
+  const auto values =
+      alp::data::Generate(*alp::data::FindDataset("City-Temp"), n);
+  const size_t vectors = (n + alp::kVectorSize - 1) / alp::kVectorSize;
+
+  ServerConfig config;
+  config.workers = workers;
+  config.queue_capacity = queue_capacity;
+  Server server(config);
+  if (!server.AddColumn("col", values.data(), values.size()).ok()) {
+    std::fprintf(stderr, "FAIL: cannot build serving column\n");
+    return 1;
+  }
+
+  // Calibration: closed-loop mixed requests measure the mean service time;
+  // sustainable throughput ~= workers / mean_service_s.
+  const size_t kCalibration = 60;
+  const auto c0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < kCalibration; ++i) {
+    const Response r = server.Execute(MixedRequest(i, vectors));
+    if (!r.status.ok()) {
+      std::fprintf(stderr, "FAIL: calibration request failed: %s\n",
+                   r.status.ToString().c_str());
+      return 1;
+    }
+  }
+  const double mean_service_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+          .count() /
+      static_cast<double>(kCalibration);
+  const double sustainable =
+      static_cast<double>(server.workers()) / mean_service_s;
+  const double rate = stress ? 2.0 * sustainable : 0.5 * sustainable;
+
+  std::printf("serving load: %zu values, %u workers, queue %zu\n", n,
+              server.workers(), queue_capacity);
+  std::printf("calibrated: %.0f req/s sustainable -> driving %.0f req/s%s\n",
+              sustainable, rate, stress ? " (2x overload + faults)" : "");
+
+  if (stress) {
+    // Storage-tier faults: 1% I/O errors and an occasional 2ms stall. The
+    // envelope below must hold even with these firing.
+    alp::fault::SetSeed(42);
+    alp::fault::FaultSpec io_error;
+    io_error.code = alp::StatusCode::kIo;
+    io_error.message = "injected storage fault";
+    io_error.probability = 0.01;
+    alp::fault::Arm("server.request_io", io_error);
+    alp::fault::FaultSpec stall;
+    stall.stall_us = 2000;
+    stall.stall_only = true;
+    stall.probability = 0.02;
+    alp::fault::Arm("column.decode_vector", stall);
+  }
+
+  RunOutcome outcome = DriveLoad(server, requests, rate, vectors);
+  server.Shutdown();  // Final: completion accounting is settled after this.
+  alp::fault::DisarmAll();
+  const ServerStats stats = server.stats();
+
+  std::printf("\n%-14s %8s %12s %12s %12s\n", "class", "ok", "p50 us",
+              "p99 us", "p999 us");
+  alp::bench::Rule('-', 62);
+  for (size_t c = 0; c < kClasses; ++c) {
+    auto& lat = outcome.latency_ns[c];
+    std::sort(lat.begin(), lat.end());
+    const char* name = QueryClassName(static_cast<QueryClass>(c));
+    const double p50 = Percentile(lat, 0.50);
+    const double p99 = Percentile(lat, 0.99);
+    const double p999 = Percentile(lat, 0.999);
+    std::printf("%-14s %8zu %12.1f %12.1f %12.1f\n", name, lat.size(), p50,
+                p99, p999);
+    if (!lat.empty() && !stress) {
+      // Tail-latency records for the CI gate; omitted in --stress mode
+      // (an overloaded tail is shed-policy output, not a regression
+      // signal) and for classes with no completions.
+      const int t = static_cast<int>(server.workers());
+      report.Add("serving-mix", name, "p50_latency_us", p50, "us", t);
+      report.Add("serving-mix", name, "p99_latency_us", p99, "us", t);
+      report.Add("serving-mix", name, "p999_latency_us", p999, "us", t);
+    }
+  }
+  const double throughput =
+      outcome.wall_s == 0.0 ? 0.0
+                            : static_cast<double>(outcome.completed) / outcome.wall_s;
+  std::printf("\n%" PRIu64 " completed (%.0f req/s), %" PRIu64
+              " typed errors, %" PRIu64 " untyped errors, %.2f s wall\n",
+              outcome.completed, throughput, outcome.typed_errors,
+              outcome.untyped_errors, outcome.wall_s);
+  std::printf("admitted %" PRIu64 "/%" PRIu64 " | shed %" PRIu64
+              " (queue_full %" PRIu64 ", class %" PRIu64 ", tenant %" PRIu64
+              ") | failed %" PRIu64 " | max_depth %" PRIu64 "/%zu\n",
+              stats.admitted, stats.submitted, stats.SheddedTotal(),
+              stats.shed_queue_full, stats.shed_class, stats.shed_tenant,
+              stats.failed, stats.max_queue_depth, queue_capacity);
+  if (!stress) {
+    report.Add("serving-mix", "all", "requests_per_second", throughput,
+               "req/s", static_cast<int>(server.workers()));
+  }
+
+  // --- degradation envelope (asserted in both modes; --stress is the CI
+  // overload job where violating any of these fails the build) -----------
+  int violations = 0;
+  const auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "ENVELOPE VIOLATION: %s\n", what);
+      ++violations;
+    }
+  };
+  // Every request resolved with OK or a typed, expected Status.
+  require(outcome.untyped_errors == 0, "untyped request failures");
+  // The queue never grew past its hard bound: overload shed at admission.
+  require(stats.max_queue_depth <= queue_capacity,
+          "queue depth exceeded capacity");
+  // Accounting identity: nothing was lost or double-counted.
+  require(stats.submitted == stats.completed + stats.failed + stats.cancelled +
+                                 stats.deadline_missed + stats.SheddedTotal() +
+                                 stats.not_found,
+          "stats accounting identity broken");
+  if (stress) {
+    // 2x overload must actually engage the shed path (rather than queueing
+    // unboundedly), and most traffic must still be served or typed-shed.
+    require(stats.SheddedTotal() > 0, "no load shedding under 2x overload");
+    require(outcome.completed > 0, "no requests completed under overload");
+  } else {
+    // At half the sustainable rate shedding should be the exception: the
+    // envelope allows transients but not systematic rejection.
+    require(stats.SheddedTotal() < stats.submitted / 2,
+            "shed more than half the traffic at sustainable load");
+  }
+  if (violations > 0) return 1;
+  std::printf("envelope: OK%s\n", stress ? " (overload + faults)" : "");
+  return 0;
+}

@@ -12,6 +12,7 @@
 #include "fastlanes/ffor.h"
 #include "obs/trace.h"
 #include "util/checksum.h"
+#include "util/fault_injection.h"
 #include "util/serialize.h"
 #include "util/thread_pool.h"
 
@@ -768,8 +769,14 @@ Status ColumnReader<T>::TryDecodeRdVector(const RowgroupInfo& rg, size_t local_v
 }
 
 template <typename T>
-Status ColumnReader<T>::TryDecodeVector(size_t v, T* out) const {
+Status ColumnReader<T>::TryDecodeVector(size_t v, T* out,
+                                        const OpContext* ctx) const {
   if (!ok_) return Status::Corrupt("column reader not initialized");
+  if (ctx != nullptr) {
+    Status cs = ctx->Check();
+    if (!cs.ok()) return cs;
+  }
+  ALP_FAULT("column.decode_vector");
   if (v >= vector_count_) {
     return Status::Corrupt("vector index out of range");
   }
@@ -793,12 +800,12 @@ Status ColumnReader<T>::TryDecodeVector(size_t v, T* out) const {
 }
 
 template <typename T>
-Status ColumnReader<T>::TryDecodeAll(T* out) const {
+Status ColumnReader<T>::TryDecodeAll(T* out, const OpContext* ctx) const {
   if (!ok_) return Status::Corrupt("column reader not initialized");
   ALP_OBS_SPAN(decode_span, "decompress.column", value_count_);
   for (size_t v = 0; v < vector_count_; ++v) {
     T vec[kVectorSize];
-    Status s = TryDecodeVector(v, vec);
+    Status s = TryDecodeVector(v, vec, ctx);
     if (!s.ok()) return s;
     std::memcpy(out + v * kVectorSize, vec, VectorLength(v) * sizeof(T));
   }
@@ -806,7 +813,8 @@ Status ColumnReader<T>::TryDecodeAll(T* out) const {
 }
 
 template <typename T>
-Status ColumnReader<T>::TryDecodeAllParallel(T* out, ThreadPool* pool) const {
+Status ColumnReader<T>::TryDecodeAllParallel(T* out, ThreadPool* pool,
+                                             const OpContext* ctx) const {
   if (!ok_) return Status::Corrupt("column reader not initialized");
   // Partition by rowgroup-sized blocks of *global vector indexes* — the
   // exact ranges the serial loop walks — so each task writes a disjoint
@@ -835,7 +843,7 @@ Status ColumnReader<T>::TryDecodeAllParallel(T* out, ThreadPool* pool) const {
     });
     for (size_t v = v_begin; v < v_end; ++v) {
       T vec[kVectorSize];
-      Status s = TryDecodeVector(v, vec);
+      Status s = TryDecodeVector(v, vec, ctx);
       if (!s.ok()) {
         results[b] = std::move(s);
         return;
@@ -1101,17 +1109,30 @@ Status ValidateRowgroupStructure(const uint8_t* data, size_t size,
 /// validator, and within a phase the lowest-indexed rowgroup's failure is
 /// reported, so serial and parallel return identical Statuses.
 template <typename T>
-Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool) {
+Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool,
+                          const OpContext* octx) {
   ValidationContext ctx;
   Status s = ValidateHeaderAndIndex<T>(data, size, &ctx);
   if (!s.ok()) return s;
 
+  // Cancellation checkpoints: once per rowgroup per phase (a rowgroup is
+  // the unit of work here, hundreds of microseconds). The checkpoint result
+  // shares the per-phase lowest-rowgroup-wins reduction with real failures.
   const size_t rowgroups = ctx.rg_offsets.size();
   if (ctx.header.version >= 3) {
     std::vector<Status> results(rowgroups);
     ParallelFor(pool, rowgroups, [&](size_t rg) {
       ALP_OBS_SPAN(checksum_span, "decompress.validate_checksum", 1);
-      results[rg] = ValidateRowgroupChecksum(data, size, ctx, rg);
+      if (octx != nullptr) {
+        Status cs = octx->Check();
+        if (!cs.ok()) {
+          results[rg] = std::move(cs);
+          return;
+        }
+      }
+      Status fs = fault::Check("column.validate_checksum");
+      results[rg] = fs.ok() ? ValidateRowgroupChecksum(data, size, ctx, rg)
+                            : std::move(fs);
     });
     for (Status& r : results) {
       if (!r.ok()) return std::move(r);
@@ -1124,6 +1145,13 @@ Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool) {
   std::vector<Status> results(rowgroups);
   ParallelFor(pool, rowgroups, [&](size_t rg) {
     ALP_OBS_SPAN(structure_span, "decompress.validate_structure", 1);
+    if (octx != nullptr) {
+      Status cs = octx->Check();
+      if (!cs.ok()) {
+        results[rg] = std::move(cs);
+        return;
+      }
+    }
     results[rg] = ValidateRowgroupStructure<T>(data, size, ctx, rg);
   });
   for (Status& r : results) {
@@ -1135,13 +1163,15 @@ Status ValidateColumnImpl(const uint8_t* data, size_t size, ThreadPool* pool) {
 }  // namespace
 
 template <typename T>
-Status ValidateColumnEx(const uint8_t* data, size_t size) {
-  return ValidateColumnImpl<T>(data, size, nullptr);
+Status ValidateColumnEx(const uint8_t* data, size_t size,
+                        const OpContext* ctx) {
+  return ValidateColumnImpl<T>(data, size, nullptr, ctx);
 }
 
 template <typename T>
-Status ValidateColumnParallelEx(const uint8_t* data, size_t size, ThreadPool* pool) {
-  return ValidateColumnImpl<T>(data, size, pool);
+Status ValidateColumnParallelEx(const uint8_t* data, size_t size,
+                                ThreadPool* pool, const OpContext* ctx) {
+  return ValidateColumnImpl<T>(data, size, pool, ctx);
 }
 
 template <typename T>
@@ -1372,10 +1402,14 @@ template class ColumnReader<double>;
 template class ColumnReader<float>;
 template class ColumnMetaCursor<double>;
 template class ColumnMetaCursor<float>;
-template Status ValidateColumnEx<double>(const uint8_t*, size_t);
-template Status ValidateColumnEx<float>(const uint8_t*, size_t);
-template Status ValidateColumnParallelEx<double>(const uint8_t*, size_t, ThreadPool*);
-template Status ValidateColumnParallelEx<float>(const uint8_t*, size_t, ThreadPool*);
+template Status ValidateColumnEx<double>(const uint8_t*, size_t,
+                                         const OpContext*);
+template Status ValidateColumnEx<float>(const uint8_t*, size_t,
+                                        const OpContext*);
+template Status ValidateColumnParallelEx<double>(const uint8_t*, size_t,
+                                                 ThreadPool*, const OpContext*);
+template Status ValidateColumnParallelEx<float>(const uint8_t*, size_t,
+                                                ThreadPool*, const OpContext*);
 template bool ValidateColumn<double>(const uint8_t*, size_t, std::string*);
 template bool ValidateColumn<float>(const uint8_t*, size_t, std::string*);
 template void DecompressColumn<double>(const std::vector<uint8_t>&, double*);

@@ -10,6 +10,7 @@
 #include "alp/constants.h"
 #include "alp/rd.h"
 #include "alp/sampler.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -181,17 +182,23 @@ class ColumnReader {
   /// verified against the buffer extent before it is dereferenced, so a
   /// truncated or garbled vector yields a non-OK Status instead of an
   /// out-of-bounds access — even on buffers that never passed validation.
-  Status TryDecodeVector(size_t v, T* out) const;
+  /// A non-null \p ctx is checked on entry (kCancelled/kDeadlineExceeded).
+  Status TryDecodeVector(size_t v, T* out, const OpContext* ctx = nullptr) const;
 
   /// Bounds-checked decode of the whole column (room for value_count()).
-  Status TryDecodeAll(T* out) const;
+  /// A non-null \p ctx is polled once per vector, so a cancelled or
+  /// deadline-missed decode stops within one vector's worth of work; \p out
+  /// must then be treated as garbage (see util/cancellation.h).
+  Status TryDecodeAll(T* out, const OpContext* ctx = nullptr) const;
 
   /// TryDecodeAll with rowgroups decoded concurrently on \p pool. Values
   /// written to \p out are identical to the serial path's; on failure the
   /// returned Status is the serial path's (the lowest-indexed failing
   /// vector's). Safe to call from several threads on one reader — decoding
   /// is read-only — including several concurrent calls sharing one pool.
-  Status TryDecodeAllParallel(T* out, ThreadPool* pool = &ThreadPool::Shared()) const;
+  /// \p ctx as in TryDecodeAll (each worker polls it per vector).
+  Status TryDecodeAllParallel(T* out, ThreadPool* pool = &ThreadPool::Shared(),
+                              const OpContext* ctx = nullptr) const;
 
  private:
   template <typename U>
@@ -339,9 +346,12 @@ class ColumnMetaCursor {
 /// version, type tag, index bounds, zone-map sanity, per-vector header
 /// invariants and exception positions — plus XXH64 checksum verification
 /// for v3 buffers (kChecksumMismatch on a flipped bit; skipped for v2).
-/// Never reads past \p size, never crashes on adversarial input.
+/// Never reads past \p size, never crashes on adversarial input. A non-null
+/// \p ctx is polled between phases and per rowgroup, so validation of a
+/// large column stops mid-flight on cancellation / deadline expiry.
 template <typename T>
-Status ValidateColumnEx(const uint8_t* data, size_t size);
+Status ValidateColumnEx(const uint8_t* data, size_t size,
+                        const OpContext* ctx = nullptr);
 
 /// ValidateColumnEx with the per-rowgroup work (checksum verification, then
 /// structural walk) fanned out over \p pool. Same accept/reject decisions
@@ -350,7 +360,8 @@ Status ValidateColumnEx(const uint8_t* data, size_t size);
 /// phase. A null \p pool degenerates to the serial validator.
 template <typename T>
 Status ValidateColumnParallelEx(const uint8_t* data, size_t size,
-                                ThreadPool* pool = &ThreadPool::Shared());
+                                ThreadPool* pool = &ThreadPool::Shared(),
+                                const OpContext* ctx = nullptr);
 
 /// Boolean convenience wrapper around ValidateColumnEx (the pre-Status
 /// API); \p reason receives the Status message on failure.

@@ -3,22 +3,34 @@
 #include <atomic>
 #include <bit>
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "util/aligned_buffer.h"
 #include "util/cycle_clock.h"
+#include "util/fault_injection.h"
 
 namespace alp::engine {
 namespace {
 
 /// Runs \p per_rowgroup over all rowgroups with morsel-driven parallelism
 /// and returns the per-thread double results summed together.
+///
+/// Cancellation/faults: before claiming each morsel a worker polls \p ctx
+/// and the engine.rowgroup fault site. The first worker to observe a
+/// failure raises the abort flag so the others stop claiming morsels; when
+/// several morsels fail in one sweep the lowest-indexed one's Status is
+/// reported (matching the first failure a serial scan would see).
 template <typename PerRowgroup>
 QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
-                        const PerRowgroup& per_rowgroup) {
+                        const OpContext* ctx, const PerRowgroup& per_rowgroup) {
   const size_t rowgroups = column.rowgroup_count();
   std::atomic<size_t> next{0};
   std::vector<double> partials(pool.size(), 0.0);
+  std::atomic<bool> abort{false};
+  std::mutex fail_mu;
+  size_t fail_rg = ~size_t{0};
+  Status fail_status;
 
   const uint64_t start = CycleNow();
   pool.Run([&](unsigned worker) {
@@ -28,9 +40,20 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
     // dispatched decode kernels take their aligned-store path: every
     // vector lands at a multiple of 1024 values from the aligned start.
     AlignedBuffer<double> buffer(kRowgroupSize);
-    while (true) {
+    while (!abort.load(std::memory_order_relaxed)) {
       const size_t rg = next.fetch_add(1, std::memory_order_relaxed);
       if (rg >= rowgroups) break;
+      Status s = ctx != nullptr ? ctx->Check() : Status::Ok();
+      if (s.ok()) s = fault::Check("engine.rowgroup");
+      if (!s.ok()) {
+        std::lock_guard<std::mutex> lock(fail_mu);
+        if (rg < fail_rg) {
+          fail_rg = rg;
+          fail_status = std::move(s);
+        }
+        abort.store(true, std::memory_order_relaxed);
+        break;
+      }
       local += per_rowgroup(rg, buffer.data());
     }
     partials[worker] = local;
@@ -38,6 +61,7 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
   const uint64_t cycles = CycleNow() - start;
 
   QueryResult result;
+  result.status = std::move(fail_status);
   for (double p : partials) result.sum += p;
   result.cycles = cycles;
   result.tuples = column.value_count();
@@ -47,8 +71,9 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
 
 }  // namespace
 
-QueryResult RunScan(const StoredColumn& column, ThreadPool& pool) {
-  return RunParallel(column, pool, [&](size_t rg, double* buffer) {
+QueryResult RunScan(const StoredColumn& column, ThreadPool& pool,
+                    const OpContext* ctx) {
+  return RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
     const unsigned len = column.RowgroupLength(rg);
     column.DecodeRowgroup(rg, buffer);
     // Touch one value per vector so the decode cannot be elided; this is
@@ -59,11 +84,12 @@ QueryResult RunScan(const StoredColumn& column, ThreadPool& pool) {
   });
 }
 
-QueryResult RunSum(const StoredColumn& column, ThreadPool& pool) {
+QueryResult RunSum(const StoredColumn& column, ThreadPool& pool,
+                   const OpContext* ctx) {
   const double* raw0 = column.RowgroupPointer(0);
   if (raw0 != nullptr) {
     // Uncompressed columns aggregate in place (no buffer-pool copy).
-    return RunParallel(column, pool, [&](size_t rg, double*) {
+    return RunParallel(column, pool, ctx, [&](size_t rg, double*) {
       const double* data = column.RowgroupPointer(rg);
       const unsigned len = column.RowgroupLength(rg);
       double sum = 0.0;
@@ -71,7 +97,7 @@ QueryResult RunSum(const StoredColumn& column, ThreadPool& pool) {
       return sum;
     });
   }
-  return RunParallel(column, pool, [&](size_t rg, double* buffer) {
+  return RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
     const unsigned len = column.RowgroupLength(rg);
     column.DecodeRowgroup(rg, buffer);
     double sum = 0.0;
@@ -81,7 +107,7 @@ QueryResult RunSum(const StoredColumn& column, ThreadPool& pool) {
 }
 
 QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
-                         ThreadPool& pool) {
+                         ThreadPool& pool, const OpContext* ctx) {
   const ColumnReader<double>* alp_reader = column.AlpReader();
   std::atomic<size_t> skipped{0};
 
@@ -89,7 +115,7 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
   if (alp_reader != nullptr) {
     // Push-down path: consult the zone map per vector, decode only vectors
     // whose [min, max] intersects the predicate range.
-    result = RunParallel(column, pool, [&](size_t rg, double* buffer) {
+    result = RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
       const size_t first_vector = rg * kRowgroupVectors;
       const size_t vectors =
           (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
@@ -112,7 +138,7 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
       return sum;
     });
   } else if (column.RowgroupPointer(0) != nullptr) {
-    result = RunParallel(column, pool, [&](size_t rg, double*) {
+    result = RunParallel(column, pool, ctx, [&](size_t rg, double*) {
       const double* data = column.RowgroupPointer(rg);
       const unsigned len = column.RowgroupLength(rg);
       double sum = 0.0;
@@ -125,7 +151,7 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
   } else {
     // Block-based storage: the whole rowgroup must be decompressed before
     // the predicate can run (the paper's Zstd disadvantage).
-    result = RunParallel(column, pool, [&](size_t rg, double* buffer) {
+    result = RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
       column.DecodeRowgroup(rg, buffer);
       const unsigned len = column.RowgroupLength(rg);
       double sum = 0.0;
@@ -141,15 +167,20 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
 }
 
 QueryResult RunMinMax(const StoredColumn& column, ThreadPool& pool, double* min_out,
-                      double* max_out) {
+                      double* max_out, const OpContext* ctx) {
   const ColumnReader<double>* alp_reader = column.AlpReader();
   double min = std::numeric_limits<double>::infinity();
   double max = -min;
 
   if (alp_reader != nullptr) {
     // Zone maps are exact per-vector min/max: the aggregate needs no
-    // decoding at all.
+    // decoding at all (and finishes in microseconds, so one up-front
+    // cancellation check suffices).
     QueryResult result;
+    if (ctx != nullptr) {
+      result.status = ctx->Check();
+      if (!result.status.ok()) return result;
+    }
     const uint64_t start = CycleNow();
     for (size_t v = 0; v < alp_reader->vector_count(); ++v) {
       const VectorStats& stats = alp_reader->Stats(v);
@@ -183,7 +214,7 @@ QueryResult RunMinMax(const StoredColumn& column, ThreadPool& pool, double* min_
     }
   };
 
-  QueryResult result = RunParallel(column, pool, [&](size_t rg, double* buffer) {
+  QueryResult result = RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
     const double* data = column.RowgroupPointer(rg);
     if (data == nullptr) {
       column.DecodeRowgroup(rg, buffer);

@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "engine/column_store.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 /// \file operators.h
@@ -21,8 +23,12 @@ namespace alp::engine {
 /// here, so the engine no longer carries a pool of its own.
 using ::alp::ThreadPool;
 
-/// Outcome of one query execution.
+/// Outcome of one query execution. When `status` is non-OK (the query was
+/// cancelled, missed its deadline, or hit an injected fault mid-flight) the
+/// data fields are meaningless partial state and must not be consumed — the
+/// serving layer only publishes results whose status is OK.
 struct QueryResult {
+  Status status;           ///< OK, or why the query stopped early.
   double sum = 0.0;        ///< Aggregate (SUM query; checksum for SCAN).
   uint64_t cycles = 0;     ///< Elapsed cycles (wall TSC) for the query.
   size_t tuples = 0;       ///< Logical tuples processed.
@@ -44,12 +50,21 @@ struct QueryResult {
   }
 };
 
+/// All morsel-loop operators below poll an optional OpContext between
+/// rowgroup morsels (and observe the engine.rowgroup fault site), so a
+/// cancelled or deadline-missed query stops within one morsel's work and
+/// reports kCancelled/kDeadlineExceeded in QueryResult::status. When
+/// several workers stop at once, the lowest-indexed morsel's Status wins —
+/// the same one a serial scan would have hit first.
+
 /// SCAN: decompress every rowgroup (vector-at-a-time consumption is modeled
 /// by a per-vector checksum touch so the compiler cannot elide the work).
-QueryResult RunScan(const StoredColumn& column, ThreadPool& pool);
+QueryResult RunScan(const StoredColumn& column, ThreadPool& pool,
+                    const OpContext* ctx = nullptr);
 
 /// SUM: scan + aggregate each vector into a per-thread accumulator.
-QueryResult RunSum(const StoredColumn& column, ThreadPool& pool);
+QueryResult RunSum(const StoredColumn& column, ThreadPool& pool,
+                   const OpContext* ctx = nullptr);
 
 /// COMP: (re)compress \p data into the same storage scheme as \p column,
 /// measuring compression cycles; the result buffer is discarded.
@@ -60,13 +75,13 @@ QueryResult RunCompression(const StoredColumn& column, const double* data, size_
 /// paper's skippability advantage); block-based storage must decode whole
 /// rowgroups. `vectors_skipped` in the result reports the push-down effect.
 QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
-                         ThreadPool& pool);
+                         ThreadPool& pool, const OpContext* ctx = nullptr);
 
 /// MIN/MAX aggregate. ALP columns answer from the zone maps alone - zero
 /// vectors decoded (vectors_skipped == all) - while every other storage
 /// scheme must materialize the data. NaNs are ignored, SQL-style.
 QueryResult RunMinMax(const StoredColumn& column, ThreadPool& pool, double* min_out,
-                      double* max_out);
+                      double* max_out, const OpContext* ctx = nullptr);
 
 }  // namespace alp::engine
 

@@ -1,0 +1,369 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "alp/constants.h"
+#include "obs/trace.h"
+#include "util/fault_injection.h"
+
+namespace alp::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point from, Clock::time_point to) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count());
+}
+
+size_t ClassIndex(QueryClass qc) { return static_cast<size_t>(qc); }
+
+}  // namespace
+
+/// One admitted request waiting in (or popped from) a class queue. The
+/// column is resolved at admission so a concurrent AddColumn replacing the
+/// catalog entry cannot pull the data out from under a queued request.
+struct Server::Pending {
+  Request request;
+  std::shared_ptr<const engine::StoredColumn> column;
+  std::promise<Response> promise;
+  Clock::time_point enqueued;
+};
+
+Server::Server(ServerConfig config)
+    : config_(config),
+      worker_count_(config.workers == 0 ? ThreadPool::DefaultThreadCount()
+                                        : config.workers),
+      admit_limit_(std::max<size_t>(1, config.queue_capacity)),
+      pool_(worker_count_),
+      workers_(&pool_) {
+  config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
+  config_.slow_start_floor =
+      std::clamp<size_t>(config_.slow_start_floor, 1, config_.queue_capacity);
+  // The worker loops are long-lived tasks occupying every pool worker; the
+  // pool's round-robin placement gives each worker exactly one loop.
+  for (unsigned i = 0; i < worker_count_; ++i) {
+    workers_.Submit([this] { WorkerLoop(); });
+  }
+}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::AddColumn(const std::string& name, const double* data,
+                         size_t n) {
+  return AddColumn(name, engine::StoredColumn::MakeAlp(data, n));
+}
+
+Status Server::AddColumn(const std::string& name,
+                         engine::StoredColumn column) {
+  if (column.AlpReader() == nullptr) {
+    return Status::Corrupt("server catalog requires ALP columns");
+  }
+  auto shared =
+      std::make_shared<const engine::StoredColumn>(std::move(column));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return Status::ResourceExhausted("server shutting down");
+  catalog_[name] = std::move(shared);
+  return Status::Ok();
+}
+
+Status Server::AdmitLocked(
+    const Request& request,
+    std::shared_ptr<const engine::StoredColumn>* column) {
+  if (shutdown_) {
+    ++stats_.shed_shutdown;
+    return Status::ResourceExhausted("server shutting down");
+  }
+  // Never queue work that is already dead: a request whose deadline passed
+  // (or whose caller cancelled) before admission would only waste a worker
+  // discovering that later.
+  if (request.cancel != nullptr && request.cancel->cancelled()) {
+    ++stats_.cancelled;
+    return Status::Cancelled("operation cancelled");
+  }
+  if (request.deadline.expired()) {
+    ++stats_.deadline_missed;
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  auto it = catalog_.find(request.column);
+  if (it == catalog_.end()) {
+    ++stats_.not_found;
+    return Status::NotFound("unknown column: " + request.column);
+  }
+  if (config_.tenant_quota > 0) {
+    auto tenant_it = tenant_load_.find(request.tenant);
+    const unsigned load =
+        tenant_it == tenant_load_.end() ? 0 : tenant_it->second;
+    if (load >= config_.tenant_quota) {
+      ++stats_.shed_tenant;
+      return Status::ResourceExhausted("tenant over concurrency quota: " +
+                                       request.tenant);
+    }
+  }
+  // Class shedding: each class only admits while the queue is below its
+  // fraction of the current limit, so the heaviest class sheds first.
+  const size_t ci = ClassIndex(request.query_class);
+  const double fraction = std::clamp(config_.shed_fraction[ci], 0.0, 1.0);
+  const size_t class_limit =
+      static_cast<size_t>(fraction * static_cast<double>(admit_limit_));
+  if (class_limit < admit_limit_ && queued_ >= class_limit) {
+    ++stats_.shed_class;
+    return Status::ResourceExhausted(
+        std::string("load shed: ") + QueryClassName(request.query_class) +
+        " class");
+  }
+  if (queued_ >= admit_limit_) {
+    ++stats_.shed_queue_full;
+    // Overflow: slow-start. Collapse to the floor; completions re-open the
+    // limit one request at a time (see WorkerLoop).
+    admit_limit_ = config_.slow_start_floor;
+    return Status::ResourceExhausted("request queue full");
+  }
+  *column = it->second;
+  return Status::Ok();
+}
+
+std::future<Response> Server::Submit(Request request) {
+  auto pending = std::make_unique<Pending>();
+  std::future<Response> future = pending->promise.get_future();
+  pending->enqueued = Clock::now();
+
+  Status admitted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    admitted = AdmitLocked(request, &pending->column);
+    if (admitted.ok()) {
+      ++stats_.admitted;
+      ++tenant_load_[request.tenant];
+      pending->request = std::move(request);
+      const size_t ci = ClassIndex(pending->request.query_class);
+      queues_[ci].push_back(std::move(pending));
+      ++queued_;
+      stats_.max_queue_depth =
+          std::max<uint64_t>(stats_.max_queue_depth, queued_);
+      ALP_OBS_ONLY({
+        static obs::Gauge& depth =
+            obs::MetricRegistry::Global().GetGauge("server.queue_depth_max");
+        depth.UpdateMax(static_cast<int64_t>(queued_));
+      });
+    } else {
+      ALP_OBS_ONLY({
+        static obs::Counter& shed =
+            obs::MetricRegistry::Global().GetCounter("server.rejected");
+        shed.Increment();
+      });
+    }
+  }
+  if (!admitted.ok()) {
+    Response response;
+    response.status = std::move(admitted);
+    response.query_class = request.query_class;
+    pending->promise.set_value(std::move(response));
+    return future;
+  }
+  work_cv_.notify_one();
+  return future;
+}
+
+Response Server::Execute(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+void Server::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [this] { return shutdown_ || queued_ > 0; });
+    if (queued_ == 0) {
+      if (shutdown_) return;
+      continue;  // Spurious wake between notify and another worker's pop.
+    }
+    // Service priority = QueryClass order: point lookups drain before
+    // aggregates, aggregates before scans.
+    std::unique_ptr<Pending> pending;
+    for (auto& queue : queues_) {
+      if (!queue.empty()) {
+        pending = std::move(queue.front());
+        queue.pop_front();
+        break;
+      }
+    }
+    --queued_;
+    lock.unlock();
+
+    const Clock::time_point started = Clock::now();
+    OpContext ctx;
+    ctx.cancel = pending->request.cancel;
+    ctx.deadline = pending->request.deadline;
+
+    Response response;
+    {
+      ALP_OBS_SPAN(request_span, "server.request", 1);
+      response = ExecuteOnColumn(pending->request, *pending->column, ctx);
+    }
+    response.query_class = pending->request.query_class;
+    response.queue_ns = ElapsedNs(pending->enqueued, started);
+    response.exec_ns = ElapsedNs(started, Clock::now());
+
+    const StatusCode code = response.status.code();
+    pending->promise.set_value(std::move(response));
+
+    lock.lock();
+    // Completion accounting + slow-start additive increase.
+    auto tenant_it = tenant_load_.find(pending->request.tenant);
+    if (tenant_it != tenant_load_.end() && --tenant_it->second == 0) {
+      tenant_load_.erase(tenant_it);
+    }
+    admit_limit_ = std::min(config_.queue_capacity, admit_limit_ + 1);
+    switch (code) {
+      case StatusCode::kOk: ++stats_.completed; break;
+      case StatusCode::kCancelled: ++stats_.cancelled; break;
+      case StatusCode::kDeadlineExceeded: ++stats_.deadline_missed; break;
+      default: ++stats_.failed; break;
+    }
+    ALP_OBS_ONLY({
+      static obs::Counter& done =
+          obs::MetricRegistry::Global().GetCounter("server.requests");
+      done.Increment();
+    });
+    pending.reset();
+  }
+}
+
+Response Server::ExecuteOnColumn(const Request& request,
+                                 const engine::StoredColumn& column,
+                                 const OpContext& ctx) {
+  Response response;
+  response.status = ctx.Check();
+  if (!response.status.ok()) return response;
+  // The "I/O tier" fault site: a stall here models a slow storage read in
+  // front of the decode, an error models a failed one.
+  response.status = fault::Check("server.request_io");
+  if (!response.status.ok()) return response;
+
+  const ColumnReader<double>* reader = column.AlpReader();
+  if (reader == nullptr) {
+    // AddColumn rejects non-ALP columns, so this is an internal invariant.
+    response.status = Status::Corrupt("catalog column has no ALP reader");
+    return response;
+  }
+
+  // All results below are staged in locals and published into the Response
+  // only when the full decode came back OK — a cancelled, deadline-missed
+  // or faulted request returns nothing but its Status.
+  switch (request.query_class) {
+    case QueryClass::kPointLookup: {
+      if (request.vector_index >= reader->vector_count()) {
+        response.status = Status::NotFound("vector index out of range");
+        return response;
+      }
+      alignas(64) double buffer[kVectorSize];
+      response.status =
+          reader->TryDecodeVector(request.vector_index, buffer, &ctx);
+      if (!response.status.ok()) return response;
+      const unsigned len = reader->VectorLength(request.vector_index);
+      double sum = 0.0;
+      for (unsigned i = 0; i < len; ++i) sum += buffer[i];
+      response.values.assign(buffer, buffer + len);
+      response.sum = sum;
+      response.tuples = len;
+      return response;
+    }
+    case QueryClass::kAggregate: {
+      alignas(64) double buffer[kVectorSize];
+      double sum = 0.0;
+      size_t tuples = 0;
+      size_t skipped = 0;
+      const double lo = request.filter_lo;
+      const double hi = request.filter_hi;
+      for (size_t v = 0; v < reader->vector_count(); ++v) {
+        if (request.has_filter && !reader->VectorMayContain(v, lo, hi)) {
+          ++skipped;
+          continue;
+        }
+        // TryDecodeVector polls ctx and the decode fault site per vector.
+        Status s = reader->TryDecodeVector(v, buffer, &ctx);
+        if (!s.ok()) {
+          response.status = std::move(s);
+          return response;
+        }
+        const unsigned len = reader->VectorLength(v);
+        if (request.has_filter) {
+          for (unsigned i = 0; i < len; ++i) {
+            const double x = buffer[i];
+            sum += (x >= lo && x <= hi) ? x : 0.0;
+          }
+        } else {
+          for (unsigned i = 0; i < len; ++i) sum += buffer[i];
+        }
+        tuples += len;
+      }
+      response.sum = sum;
+      response.tuples = tuples;
+      response.vectors_skipped = skipped;
+      return response;
+    }
+    case QueryClass::kScan: {
+      std::vector<double> values(reader->value_count());
+      response.status = reader->TryDecodeAll(values.data(), &ctx);
+      if (!response.status.ok()) return response;
+      // Same hand-off checksum as the engine's scan operator: touch one
+      // value per vector so the decode is consumed.
+      double checksum = 0.0;
+      for (size_t v = 0; v < values.size(); v += kVectorSize) {
+        checksum += values[v];
+      }
+      response.sum = checksum;
+      response.tuples = values.size();
+      if (request.return_values) response.values = std::move(values);
+      return response;
+    }
+  }
+  response.status = Status::Corrupt("unknown query class");
+  return response;
+}
+
+void Server::Shutdown() {
+  std::vector<std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      // Deterministic drain: every queued request resolves with a typed
+      // rejection instead of hanging its future forever.
+      for (auto& queue : queues_) {
+        for (auto& pending : queue) orphans.push_back(std::move(pending));
+        queue.clear();
+      }
+      queued_ = 0;
+      for (auto& pending : orphans) {
+        auto tenant_it = tenant_load_.find(pending->request.tenant);
+        if (tenant_it != tenant_load_.end() && --tenant_it->second == 0) {
+          tenant_load_.erase(tenant_it);
+        }
+        ++stats_.shed_shutdown;
+      }
+    }
+  }
+  work_cv_.notify_all();
+  for (auto& pending : orphans) {
+    Response response;
+    response.status = Status::ResourceExhausted("server shutting down");
+    response.query_class = pending->request.query_class;
+    pending->promise.set_value(std::move(response));
+  }
+  workers_.Wait();
+  pool_.Shutdown();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServerStats snapshot = stats_;
+  snapshot.admit_limit = admit_limit_;
+  return snapshot;
+}
+
+}  // namespace alp::server

@@ -28,6 +28,15 @@ inline uint64_t CycleNow() {
 #endif
 }
 
+/// Wall-clock nanoseconds from the steady clock. Only differences are
+/// meaningful. The serving layer reports latencies in real time units (the
+/// TSC is for throughput metrics; tail latencies want nanoseconds).
+inline uint64_t NanoNow() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
 /// A tiny stopwatch that accumulates cycles across start/stop pairs.
 class CycleTimer {
  public:

@@ -1,0 +1,159 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+namespace alp::fault {
+
+namespace internal {
+
+namespace {
+bool EnvEnabled() {
+  const char* env = std::getenv("ALP_FAULTS_ENABLE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+}  // namespace
+
+std::atomic<bool> g_enabled{EnvEnabled()};
+
+namespace {
+
+/// An armed site: the spec plus its arrival counter. Heap-allocated so the
+/// pointer stays stable while the registry map rehashes under its mutex —
+/// the hot path only touches the site's own atomics after lookup.
+struct ArmedSite {
+  FaultSpec spec;
+  std::atomic<uint64_t> arrivals{0};
+  std::atomic<uint64_t> injected{0};
+};
+
+struct Registry {
+  std::mutex mu;
+  // shared_ptr so an in-flight CheckSlow (possibly sleeping out a stall)
+  // keeps its site alive across a concurrent Disarm.
+  std::map<std::string, std::shared_ptr<ArmedSite>, std::less<>> sites;
+  uint64_t seed = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// splitmix64: decorrelates (seed, site hash, arrival index) into a uniform
+/// 64-bit value so `probability` thresholds behave like independent draws.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(const char* site) {
+  // FNV-1a over the site name; sites are short literals so this is cheap
+  // relative to the map lookup that precedes it.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<unsigned char>(*p)) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Status CheckSlow(const char* site) {
+  Registry& r = registry();
+  std::shared_ptr<ArmedSite> armed;
+  uint64_t seed = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.sites.find(std::string_view(site));
+    if (it == r.sites.end()) return Status::Ok();
+    armed = it->second;
+    seed = r.seed;
+  }
+
+  const FaultSpec& spec = armed->spec;
+  if (spec.every_nth == 0) return Status::Ok();
+
+  // Arrival indices are handed out atomically, so with every_nth = n exactly
+  // every n-th arrival fires no matter how arrivals interleave across
+  // threads.
+  const uint64_t arrival =
+      armed->arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (arrival % spec.every_nth != 0) return Status::Ok();
+
+  if (spec.probability < 1.0) {
+    const uint64_t draw = Mix(seed ^ Mix(HashSite(site) ^ arrival));
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+    if (u >= spec.probability) return Status::Ok();
+  }
+
+  if (spec.stall_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(spec.stall_us));
+  }
+
+  armed->injected.fetch_add(1, std::memory_order_relaxed);
+  if (spec.stall_only) return Status::Ok();
+  return Status(spec.code, spec.message);
+}
+
+}  // namespace internal
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Arm(std::string site, FaultSpec spec) {
+  internal::Registry& r = internal::registry();
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto armed = std::make_shared<internal::ArmedSite>();
+    armed->spec = std::move(spec);
+    r.sites[std::move(site)] = std::move(armed);
+  }
+  SetEnabled(true);
+}
+
+void Disarm(const std::string& site) {
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.erase(site);
+}
+
+void DisarmAll() {
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.sites.clear();
+  r.seed = 0;
+}
+
+void SetSeed(uint64_t seed) {
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.seed = seed;
+}
+
+uint64_t InjectedCount(const std::string& site) {
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.sites.find(site);
+  if (it == r.sites.end()) return 0;
+  return it->second->injected.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string> ArmedSites() {
+  internal::Registry& r = internal::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  out.reserve(r.sites.size());
+  for (const auto& [name, site] : r.sites) out.push_back(name);
+  return out;
+}
+
+}  // namespace alp::fault

@@ -1,0 +1,112 @@
+#ifndef ALP_UTIL_FAULT_INJECTION_H_
+#define ALP_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file fault_injection.h
+/// Deterministic and probabilistic fault injection for failure-path testing.
+///
+/// Robustness claims ("no partial results on error", "Status parity at every
+/// worker count") are only as good as the failure paths tests can actually
+/// reach. Real I/O errors and checksum corruption are rare and hard to stage,
+/// so hot paths carry named *fault sites* — `ALP_FAULT("column.decode_vector")`
+/// — where a test or the CI stress job can arm a synthetic failure: a Status
+/// error, a stall (slow-I/O simulation), or both.
+///
+/// Gating mirrors the observability layer (`ALP_OBS` / `ALP_OBS_ENABLE`):
+///  - Compile-time: `-DALP_FAULTS=0` compiles every site to nothing.
+///  - Runtime: even when compiled in, sites are a single relaxed atomic load
+///    until `ALP_FAULTS_ENABLE=1` (env) or `fault::SetEnabled(true)` flips the
+///    global gate — zero-cost-when-off on the decode hot path.
+///
+/// Determinism: a spec with `every_nth = n` fires on every n-th *arrival* at
+/// the site (per-site atomic counter), so `every_nth = 1` fires always and
+/// gives identical Statuses in serial and parallel runs — the shape the
+/// Status-parity tests rely on. Probabilistic specs hash (seed, site, arrival
+/// index) so a fixed seed reproduces the same fire pattern per arrival index,
+/// though arrival *order* across threads still varies.
+#ifndef ALP_FAULTS
+#define ALP_FAULTS 1
+#endif
+
+namespace alp::fault {
+
+/// What an armed site does when it fires.
+struct FaultSpec {
+  StatusCode code = StatusCode::kIo;  ///< Status class to inject.
+  std::string message = "injected fault";
+  double probability = 1.0;  ///< Fire chance per arrival (with every_nth).
+  uint64_t every_nth = 1;    ///< Fire on arrivals n, 2n, ... (0 = never).
+  uint64_t stall_us = 0;     ///< Sleep before returning (decode stall).
+  bool stall_only = false;   ///< Stall but return OK (slow, not broken).
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+
+/// Slow path: looks up \p site among armed specs, applies counter/probability
+/// gating, stalls if requested, and returns the injected Status (or OK).
+Status CheckSlow(const char* site);
+}  // namespace internal
+
+/// Global runtime gate; starts from the ALP_FAULTS_ENABLE environment
+/// variable (any non-empty value other than "0").
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+void SetEnabled(bool enabled);
+
+/// Arms \p spec at \p site (replacing any previous spec and resetting its
+/// arrival counter) and enables the runtime gate.
+void Arm(std::string site, FaultSpec spec);
+
+/// Disarms one site / all sites. DisarmAll also resets the seed and the
+/// injected-fault counters but leaves the runtime gate as-is.
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// Seed for probabilistic specs; same seed → same per-arrival-index fires.
+void SetSeed(uint64_t seed);
+
+/// Total faults injected at \p site since it was (re-)armed.
+uint64_t InjectedCount(const std::string& site);
+
+/// Names of currently armed sites, sorted (introspection for `alp faults`).
+std::vector<std::string> ArmedSites();
+
+/// Hot-path check. OK unless faults are enabled AND \p site is armed AND its
+/// gating says "fire now".
+inline Status Check(const char* site) {
+#if ALP_FAULTS
+  if (Enabled()) return internal::CheckSlow(site);
+#else
+  (void)site;
+#endif
+  return Status::Ok();
+}
+
+}  // namespace alp::fault
+
+/// Statement form for fallible functions: returns the injected Status from
+/// the enclosing function when the site fires. Compiles away (dead branch on
+/// a relaxed load) when faults are off.
+#if ALP_FAULTS
+#define ALP_FAULT(site)                                        \
+  do {                                                         \
+    if (::alp::fault::Enabled()) {                             \
+      ::alp::Status alp_fault_s = ::alp::fault::Check(site);   \
+      if (!alp_fault_s.ok()) return alp_fault_s;               \
+    }                                                          \
+  } while (0)
+#else
+#define ALP_FAULT(site) \
+  do {                  \
+  } while (0)
+#endif
+
+#endif  // ALP_UTIL_FAULT_INJECTION_H_

@@ -19,7 +19,12 @@
 
 namespace alp {
 
-/// Error classes for untrusted-input handling.
+/// Error classes for untrusted-input handling and request serving. The
+/// serving layer (src/server/) adds runtime-condition classes to the format
+/// classes: a request can fail because its bytes are bad (kTruncated...kIo)
+/// or because the system declined or abandoned the work (kCancelled...
+/// kNotFound). The CLI maps every code to a distinct exit code (see
+/// tools/alp_cli.cc).
 enum class StatusCode : uint8_t {
   kOk = 0,
   kTruncated,           ///< Buffer ends before a declared section.
@@ -27,6 +32,11 @@ enum class StatusCode : uint8_t {
   kChecksumMismatch,    ///< Payload bytes do not match their checksum.
   kUnsupportedVersion,  ///< Recognized container, unknown version.
   kIo,                  ///< Filesystem / OS-level failure.
+  kCancelled,           ///< Caller cancelled the operation mid-flight.
+  kDeadlineExceeded,    ///< The operation outlived its deadline.
+  kResourceExhausted,   ///< Admission control declined the work (queue full,
+                        ///< tenant quota, load shed, shutdown).
+  kNotFound,            ///< A named entity (catalog column) does not exist.
 };
 
 /// Human-readable name of a status code.
@@ -38,6 +48,10 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kChecksumMismatch: return "CHECKSUM_MISMATCH";
     case StatusCode::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
     case StatusCode::kIo: return "IO";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
   }
   return "UNKNOWN";
 }
@@ -71,6 +85,18 @@ class Status {
   }
   static Status Io(std::string message) {
     return Status(StatusCode::kIo, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

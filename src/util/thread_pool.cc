@@ -41,19 +41,40 @@ ThreadPool::ThreadPool(unsigned threads) {
   });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Workers drain every queued task before exiting (see WorkerLoop), so
+  // joining here is the "drain" in drain-or-refuse. Second call: threads
+  // are already joined and skipped.
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+std::exception_ptr ThreadPool::first_failure() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_failure_;
+}
+
+void ThreadPool::RecordFailure(std::exception_ptr err) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_failure_ == nullptr) first_failure_ = std::move(err);
+}
+
+bool ThreadPool::Submit(std::function<void()>* task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queues_[next_queue_].push_back(std::move(task));
+    // Refuse rather than enqueue into queues nobody will ever service
+    // again: the one ordering where a task could previously vanish. The
+    // caller still holds *task and runs it inline.
+    if (shutdown_) return false;
+    queues_[next_queue_].push_back(std::move(*task));
     next_queue_ = (next_queue_ + 1) % queues_.size();
     ++queued_;
     ALP_OBS_ONLY({
@@ -66,6 +87,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     });
   }
   work_cv_.notify_one();
+  return true;
 }
 
 bool ThreadPool::TryTake(unsigned self, std::function<void()>* task) {
@@ -137,18 +159,43 @@ void TaskGroup::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pending_;
   }
-  pool_->Submit([this, task = std::move(task)] {
-    task();
+  std::function<void()> wrapped = [this, task = std::move(task)] {
+    // Catch here, not in WorkerLoop: an escaping exception would skip the
+    // pending_ decrement (hanging Wait) and then terminate the process.
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    if (err != nullptr) pool_->RecordFailure(err);
     // Notify under the lock: once pending_ hits 0 a waiter may destroy
     // this group the moment it reacquires the mutex, so the notification
     // must not touch members after unlocking.
     std::lock_guard<std::mutex> lock(mutex_);
+    if (err != nullptr && failure_ == nullptr) failure_ = std::move(err);
     --pending_;
     done_cv_.notify_all();
-  });
+  };
+  if (!pool_->Submit(&wrapped)) {
+    // Lost the race with Shutdown(): run on the submitting thread so the
+    // task still executes exactly once and Wait() still returns.
+    wrapped();
+  }
 }
 
 void TaskGroup::Wait() {
+  std::exception_ptr err;
+  if (pool_ != nullptr) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    err = failure_;
+    failure_ = nullptr;
+  }
+  if (err != nullptr) std::rethrow_exception(err);
+}
+
+void TaskGroup::WaitNoThrow() {
   if (pool_ == nullptr) return;
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });

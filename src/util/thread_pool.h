@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -31,6 +32,14 @@
 ///  - TaskGroup tracks completion of the tasks *it* submitted, so several
 ///    callers can share one pool (e.g. concurrent readers decoding through
 ///    the shared pool) without waiting on each other's work.
+///
+///  - Shutdown is deterministic: workers drain every queued task before
+///    exiting, and a submission that loses the race with shutdown is
+///    *refused* (never silently dropped) — TaskGroup then runs the task
+///    inline on the submitting thread, so TaskGroup::Wait always returns.
+///    A task that throws does not take the process down: the first failure
+///    is captured and rethrown from its group's Wait() (and recorded on the
+///    pool for callers that only see the pool).
 ///
 /// The default worker count honours the ALP_THREADS environment variable
 /// (the CLI also exposes it as --threads); otherwise it is the hardware
@@ -72,11 +81,28 @@ class ThreadPool {
   /// the convenience default for the parallel column entry points.
   static ThreadPool& Shared();
 
+  /// Stops accepting work, drains every already-queued task, and joins the
+  /// workers. Idempotent; the destructor calls it. Must not be invoked
+  /// concurrently with itself or from a pool worker.
+  void Shutdown();
+
+  /// First exception thrown by any task run on this pool (null when none).
+  /// Sticky across groups — a diagnostic for "did anything ever fail here",
+  /// not a per-request channel; per-request failures rethrow from
+  /// TaskGroup::Wait.
+  std::exception_ptr first_failure() const;
+
  private:
   friend class TaskGroup;
 
-  /// Enqueues one task onto a worker deque (round-robin) and wakes a worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues *task onto a worker deque (round-robin) and wakes a worker.
+  /// Returns false — leaving *task untouched — when the pool is shutting
+  /// down; the caller owns running or dropping it, so work is never
+  /// silently lost to a teardown race.
+  bool Submit(std::function<void()>* task);
+
+  /// Records the first task failure (later ones are dropped).
+  void RecordFailure(std::exception_ptr err);
 
   void WorkerLoop(unsigned index);
 
@@ -86,12 +112,13 @@ class ThreadPool {
   bool TryTake(unsigned self, std::function<void()>* task);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable work_cv_;
   std::vector<std::deque<std::function<void()>>> queues_;
   size_t next_queue_ = 0;
   size_t queued_ = 0;  ///< Outstanding tasks across all queues (telemetry).
   bool shutdown_ = false;
+  std::exception_ptr first_failure_;  ///< Guarded by mutex_.
 };
 
 /// Completion tracking for one batch of tasks submitted to a shared pool.
@@ -100,25 +127,32 @@ class ThreadPool {
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
-  ~TaskGroup() { Wait(); }
+  ~TaskGroup() { WaitNoThrow(); }
 
   TaskGroup(const TaskGroup&) = delete;
   TaskGroup& operator=(const TaskGroup&) = delete;
 
   /// Schedules \p task on the pool (runs inline when the group was built
-  /// with a null pool — the serial fallback the column pipeline uses).
+  /// with a null pool — the serial fallback the column pipeline uses — or
+  /// when the pool refuses work because it is shutting down).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted through this group has finished.
-  /// Must not be called from a pool worker (a worker waiting on its own
-  /// pool can deadlock).
+  /// Blocks until every task submitted through this group has finished,
+  /// then rethrows the first exception any of them threw (clearing it, so
+  /// the group is reusable afterwards). Must not be called from a pool
+  /// worker (a worker waiting on its own pool can deadlock).
   void Wait();
 
  private:
+  /// Wait() minus the rethrow — what the destructor runs (destructors must
+  /// not throw; the pool still keeps the failure in first_failure()).
+  void WaitNoThrow();
+
   ThreadPool* pool_;
   std::mutex mutex_;
   std::condition_variable done_cv_;
   size_t pending_ = 0;
+  std::exception_ptr failure_;  ///< First task failure; guarded by mutex_.
 };
 
 /// Runs fn(i) for every i in [0, n), fanned out over \p pool; returns when

@@ -22,8 +22,9 @@ import os
 
 
 def run(cli, args, expect_rc=0):
+    wanted = expect_rc if isinstance(expect_rc, tuple) else (expect_rc,)
     proc = subprocess.run([cli] + args, capture_output=True, text=True)
-    if proc.returncode != expect_rc:
+    if proc.returncode not in wanted:
         sys.exit(
             f"FAIL: alp {' '.join(args)} exited {proc.returncode} "
             f"(wanted {expect_rc})\nstdout:\n{proc.stdout}\n"
@@ -116,9 +117,46 @@ def main():
         check(os.path.getsize(back) == 4096 * 8,
               "float32 decompress wrote wrong value count")
 
-        # --- error paths stay errors -------------------------------------
-        run(cli, ["explain", raw], expect_rc=1)  # Not a column file.
-        run(cli, ["explain", os.path.join(tmp, "missing.alp")], expect_rc=1)
+        # --- exit-code contract ------------------------------------------
+        # Every Status class maps to its own documented exit code (see the
+        # table in tools/alp_cli.cc): 2 usage, 10 TRUNCATED, 11 CORRUPT,
+        # 12 CHECKSUM_MISMATCH, 14 IO, 18 NOT_FOUND. Scripts branch on
+        # these, so they are part of the CLI's public interface.
+        run(cli, [], expect_rc=2)                      # Usage error.
+        run(cli, ["frobnicate"], expect_rc=2)          # Unknown command.
+        missing = os.path.join(tmp, "missing.alp")
+        run(cli, ["explain", raw], expect_rc=11)       # Not a column: CORRUPT.
+        run(cli, ["explain", missing], expect_rc=14)   # Unreadable: IO.
+        run(cli, ["inspect", missing], expect_rc=14)
+        run(cli, ["decompress", missing, back], expect_rc=14)
+        run(cli, ["gen", "No-Such-Dataset", "128", back], expect_rc=18)
+
+        with open(col, "rb") as f:
+            blob = bytearray(f.read())
+        # Truncation mid-payload: TRUNCATED, or CORRUPT/CHECKSUM_MISMATCH
+        # depending on which validation phase trips first at the cut point
+        # — always a dedicated nonzero code, never the generic 1.
+        cut = os.path.join(tmp, "cut.alp")
+        with open(cut, "wb") as f:
+            f.write(blob[:len(blob) // 2])
+        run(cli, ["inspect", cut], expect_rc=(10, 11, 12))
+        # A flipped payload byte: CHECKSUM_MISMATCH (or CORRUPT when the
+        # flip lands in structural metadata instead of data).
+        flipped = os.path.join(tmp, "flipped.alp")
+        blob[len(blob) // 2] ^= 0xFF
+        with open(flipped, "wb") as f:
+            f.write(blob)
+        run(cli, ["inspect", flipped], expect_rc=(11, 12))
+
+        # --- serve-bench smoke -------------------------------------------
+        proc = run(cli, ["--threads=2", "serve-bench", raw,
+                         "--requests=200", "--queue=64"])
+        for needle in ("serve-bench: 200 requests", "point_lookup",
+                       "aggregate", "scan", "admitted"):
+            check(needle in proc.stdout, f"serve-bench missing {needle!r}")
+        check(re.search(r"admitted (\d+)/200", proc.stdout),
+              "serve-bench admission counters missing")
+        run(cli, ["serve-bench", missing], expect_rc=14)
 
     print("cli x-ray: all checks passed")
 

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <random>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -106,6 +107,73 @@ TEST(ThreadPool, SubmittersOnManyThreadsDontInterfere) {
   }
   for (auto& t : submitters) t.join();
   EXPECT_EQ(total.load(), kSubmitters * kTasks);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown semantics: tasks queued before Shutdown are drained, tasks
+// submitted after run inline in the submitter (never dropped, never hung),
+// and the first worker-task failure surfaces from Wait()/first_failure().
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  // Every task enqueued before Shutdown must run exactly once even when the
+  // queue is deep relative to the worker count.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    TaskGroup group(&pool);
+    for (int i = 0; i < 500; ++i) {
+      group.Submit([&] { ran.fetch_add(1); });
+    }
+    group.Wait();
+    pool.Shutdown();  // Idempotent with the destructor's call.
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownRunsInlineDeterministically) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  const auto self = std::this_thread::get_id();
+  std::atomic<int> ran{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 8; ++i) {
+    group.Submit([&] {
+      EXPECT_EQ(std::this_thread::get_id(), self);  // Inline fallback.
+      ran.fetch_add(1);
+    });
+  }
+  group.Wait();  // Must not hang: inline tasks already decremented pending.
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, WorkerTaskFailureSurfacesOnWait) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) {
+    group.Submit([&, i] {
+      ran.fetch_add(1);
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+  }
+  EXPECT_THROW(group.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16);  // A failure never halts sibling tasks.
+  EXPECT_NE(pool.first_failure(), nullptr);
+  // Wait() rethrows once and clears: the group is reusable afterwards.
+  group.Submit([&] { ran.fetch_add(1); });
+  group.Wait();
+  EXPECT_EQ(ran.load(), 17);
+}
+
+TEST(ThreadPool, DestructorSafeWithFailedTasks) {
+  // A TaskGroup destroyed without Wait() after a failure must not
+  // std::terminate (WaitNoThrow path).
+  ThreadPool pool(2);
+  {
+    TaskGroup group(&pool);
+    group.Submit([] { throw std::runtime_error("unobserved"); });
+  }
+  EXPECT_NE(pool.first_failure(), nullptr);
 }
 
 // ---------------------------------------------------------------------------

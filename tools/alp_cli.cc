@@ -9,6 +9,19 @@
 //   alp [--threads=N] stats <in.bin|in.csv>      pipeline telemetry profile
 //   alp gen        <dataset> <count> <out>       emit a surrogate dataset
 //   alp datasets                                 list surrogate names
+//   alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] [--queue=N]
+//                                                serving-layer smoke benchmark
+//
+// Exit codes are a documented contract (scripts and tests branch on them):
+// every alp::Status class maps to its own code, so a pipeline can tell a
+// checksum mismatch from a truncated download without parsing stderr.
+//
+//   0  success                     13 UNSUPPORTED_VERSION
+//   1  generic / data mismatch     14 IO (unreadable/unwritable file)
+//   2  usage error                 15 CANCELLED
+//   10 TRUNCATED                   16 DEADLINE_EXCEEDED
+//   11 CORRUPT                     17 RESOURCE_EXHAUSTED (admission reject)
+//   12 CHECKSUM_MISMATCH           18 NOT_FOUND
 //
 // Binary files are raw host-endian float64; ".csv"/".txt" files hold one
 // value per line. `compress --float32` narrows the input to float before
@@ -40,6 +53,9 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+#include <future>
+
 #include "alp/alp.h"
 #include "codecs/codec.h"
 #include "data/datasets.h"
@@ -47,6 +63,7 @@
 #include "obs/sink.h"
 #include "obs/trace_buffer.h"
 #include "obs/xray.h"
+#include "server/server.h"
 #include "util/cycle_clock.h"
 #include "util/file_io.h"
 #include "util/thread_pool.h"
@@ -84,6 +101,8 @@ int Usage() {
                "  alp [--threads=N] stats <in.bin|in.csv>\n"
                "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
                "  alp datasets\n"
+               "  alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] "
+               "[--queue=N]\n"
                "\n"
                "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
                "output bytes are identical at every thread count.\n"
@@ -105,6 +124,32 @@ int Fail(const char* message, const std::string& detail = "") {
   return 1;
 }
 
+/// The documented Status → exit-code mapping (see the header comment;
+/// tests/test_cli_xray.py asserts it). Codes 10+ leave 1 and 2 free for
+/// generic and usage errors.
+int ExitCodeFor(const alp::Status& status) {
+  switch (status.code()) {
+    case alp::StatusCode::kOk: return 0;
+    case alp::StatusCode::kTruncated: return 10;
+    case alp::StatusCode::kCorrupt: return 11;
+    case alp::StatusCode::kChecksumMismatch: return 12;
+    case alp::StatusCode::kUnsupportedVersion: return 13;
+    case alp::StatusCode::kIo: return 14;
+    case alp::StatusCode::kCancelled: return 15;
+    case alp::StatusCode::kDeadlineExceeded: return 16;
+    case alp::StatusCode::kResourceExhausted: return 17;
+    case alp::StatusCode::kNotFound: return 18;
+  }
+  return 1;
+}
+
+/// Status-typed failure: prints the full Status (code name, message,
+/// offset) and exits with that code's dedicated exit code.
+int Fail(const alp::Status& status, const char* message) {
+  std::fprintf(stderr, "error: %s: %s\n", message, status.ToString().c_str());
+  return ExitCodeFor(status);
+}
+
 template <typename T>
 int CompressValues(const std::vector<T>& values, const std::string& out_path) {
   alp::CompressionInfo info;
@@ -114,7 +159,7 @@ int CompressValues(const std::vector<T>& values, const std::string& out_path) {
   const uint64_t cycles = alp::CycleNow() - t0;
 
   if (!alp::WriteFileBytes(out_path, buffer.data(), buffer.size())) {
-    return Fail("cannot write output", out_path);
+    return Fail(alp::Status::Io(out_path), "cannot write output");
   }
   std::printf("%zu values -> %zu bytes (%.2f bits/value, %.2fx)\n", values.size(),
               buffer.size(), alp::BitsPerValue<T>(buffer, values.size()),
@@ -129,7 +174,7 @@ int CompressValues(const std::vector<T>& values, const std::string& out_path) {
 
 int CmdCompress(const std::string& in_path, const std::string& out_path) {
   const auto values = alp::ReadDoublesFileEx(in_path);
-  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
+  if (!values.ok()) return Fail(values.status(), "cannot read input");
   if (g_float32) {
     std::vector<float> narrowed(values->begin(), values->end());
     return CompressValues(narrowed, out_path);
@@ -144,18 +189,18 @@ int DecompressAs(const std::vector<uint8_t>& buffer, const std::string& out_path
       alp::ColumnReader<T>::OpenParallel(buffer.data(), buffer.size(), &Pool());
   if (!reader.ok()) {
     // The double error names the real problem when both types fail.
-    return Fail("not a valid ALP column",
-                (open_error.ok() ? reader.status() : open_error).ToString());
+    return Fail(open_error.ok() ? reader.status() : open_error,
+                "not a valid ALP column");
   }
   std::vector<T> values(reader->value_count());
   const uint64_t t0 = alp::CycleNow();
   const alp::Status decode = reader->TryDecodeAllParallel(values.data(), &Pool());
   const uint64_t cycles = alp::CycleNow() - t0;
-  if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
+  if (!decode.ok()) return Fail(decode, "cannot decode column");
   // Output files are always float64; float32 columns are widened (lossless).
   const std::vector<double> wide(values.begin(), values.end());
   if (!alp::WriteDoublesFile(out_path, wide.data(), wide.size())) {
-    return Fail("cannot write output", out_path);
+    return Fail(alp::Status::Io(out_path), "cannot write output");
   }
   std::printf("%zu values restored (%.3f tuples/cycle, %u threads)\n",
               values.size(),
@@ -166,7 +211,7 @@ int DecompressAs(const std::vector<uint8_t>& buffer, const std::string& out_path
 
 int CmdDecompress(const std::string& in_path, const std::string& out_path) {
   const auto buffer = alp::ReadFileBytes(in_path);
-  if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  if (!buffer.has_value()) return Fail(alp::Status::Io(in_path), "cannot read input");
   auto reader = alp::ColumnReader<double>::OpenParallel(buffer->data(),
                                                         buffer->size(), &Pool());
   if (!reader.ok()) {
@@ -206,7 +251,7 @@ int InspectAs(const std::string& in_path, const std::vector<uint8_t>& buffer,
 
 int CmdInspect(const std::string& in_path) {
   const auto buffer = alp::ReadFileBytes(in_path);
-  if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  if (!buffer.has_value()) return Fail(alp::Status::Io(in_path), "cannot read input");
   // The header's type tag decides which reader opens: try float64, then
   // fall back to float32. When both fail, the float64 error names the real
   // problem (a float32 column is not "corrupt", just narrower).
@@ -214,15 +259,15 @@ int CmdInspect(const std::string& in_path) {
   if (reader.ok()) return InspectAs<double>(in_path, *buffer, *reader);
   auto reader32 = alp::ColumnReader<float>::Open(buffer->data(), buffer->size());
   if (reader32.ok()) return InspectAs<float>(in_path, *buffer, *reader32);
-  return Fail("not a valid ALP column", reader.status().ToString());
+  return Fail(reader.status(), "not a valid ALP column");
 }
 
 int CmdExplain(const std::string& in_path, bool json, size_t top_n) {
   const auto buffer = alp::ReadFileBytes(in_path);
-  if (!buffer.has_value()) return Fail("cannot read input", in_path);
+  if (!buffer.has_value()) return Fail(alp::Status::Io(in_path), "cannot read input");
   const auto report = alp::obs::ColumnXRay::Analyze(buffer->data(), buffer->size());
   if (!report.ok()) {
-    return Fail("not a valid ALP column", report.status().ToString());
+    return Fail(report.status(), "not a valid ALP column");
   }
   if (json) {
     std::printf("%s\n",
@@ -236,22 +281,22 @@ int CmdExplain(const std::string& in_path, bool json, size_t top_n) {
 
 int CmdVerify(const std::string& alp_path, const std::string& original_path) {
   const auto buffer = alp::ReadFileBytes(alp_path);
-  if (!buffer.has_value()) return Fail("cannot read input", alp_path);
+  if (!buffer.has_value()) return Fail(alp::Status::Io(alp_path), "cannot read input");
   const auto original = alp::ReadDoublesFileEx(original_path);
   if (!original.ok()) {
-    return Fail("cannot read original", original.status().ToString());
+    return Fail(original.status(), "cannot read original");
   }
   auto reader = alp::ColumnReader<double>::OpenParallel(buffer->data(),
                                                         buffer->size(), &Pool());
   if (!reader.ok()) {
-    return Fail("not a valid ALP column", reader.status().ToString());
+    return Fail(reader.status(), "not a valid ALP column");
   }
   if (reader->value_count() != original->size()) {
     return Fail("value counts differ");
   }
   std::vector<double> restored(reader->value_count());
   const alp::Status decode = reader->TryDecodeAllParallel(restored.data(), &Pool());
-  if (!decode.ok()) return Fail("cannot decode column", decode.ToString());
+  if (!decode.ok()) return Fail(decode, "cannot decode column");
   for (size_t i = 0; i < restored.size(); ++i) {
     if (alp::BitsOf(restored[i]) != alp::BitsOf((*original)[i])) {
       std::fprintf(stderr, "MISMATCH at row %zu\n", i);
@@ -264,7 +309,7 @@ int CmdVerify(const std::string& alp_path, const std::string& original_path) {
 
 int CmdBench(const std::string& in_path) {
   const auto values = alp::ReadDoublesFileEx(in_path);
-  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
+  if (!values.ok()) return Fail(values.status(), "cannot read input");
   if (values->empty()) return Fail("no values in input");
   const size_t n = values->size();
 
@@ -311,7 +356,7 @@ int CmdBench(const std::string& in_path) {
 /// behaved, without writing any output file.
 int CmdStats(const std::string& in_path) {
   const auto values = alp::ReadDoublesFileEx(in_path);
-  if (!values.ok()) return Fail("cannot read input", values.status().ToString());
+  if (!values.ok()) return Fail(values.status(), "cannot read input");
 
   alp::obs::SetEnabled(true);
   alp::obs::MetricRegistry::Global().Reset();
@@ -322,11 +367,11 @@ int CmdStats(const std::string& in_path) {
   auto reader = alp::ColumnReader<double>::OpenParallel(buffer.data(),
                                                         buffer.size(), &Pool());
   if (!reader.ok()) {
-    return Fail("round-trip open failed", reader.status().ToString());
+    return Fail(reader.status(), "round-trip open failed");
   }
   std::vector<double> restored(reader->value_count());
   const alp::Status decode = reader->TryDecodeAllParallel(restored.data(), &Pool());
-  if (!decode.ok()) return Fail("round-trip decode failed", decode.ToString());
+  if (!decode.ok()) return Fail(decode, "round-trip decode failed");
   for (size_t i = 0; i < restored.size(); ++i) {
     if (alp::BitsOf(restored[i]) != alp::BitsOf((*values)[i])) {
       return Fail("round-trip mismatch");
@@ -352,15 +397,93 @@ int CmdStats(const std::string& in_path) {
 int CmdGen(const std::string& name, const std::string& count_str,
            const std::string& out_path) {
   const auto* spec = alp::data::FindDataset(name);
-  if (spec == nullptr) return Fail("unknown dataset (try `alp datasets`)", name);
+  if (spec == nullptr) {
+    return Fail(alp::Status::NotFound(name), "unknown dataset (try `alp datasets`)");
+  }
   const long long count = std::atoll(count_str.c_str());
   if (count <= 0) return Fail("bad count", count_str);
   const auto values = alp::data::Generate(*spec, static_cast<size_t>(count));
   if (!alp::WriteDoublesFile(out_path, values.data(), values.size())) {
-    return Fail("cannot write output", out_path);
+    return Fail(alp::Status::Io(out_path), "cannot write output");
   }
   std::printf("%lld values of %s written to %s\n", count, name.c_str(),
               out_path.c_str());
+  return 0;
+}
+
+/// serve-bench: spin up an alp::server::Server over the input file and push
+/// a deterministic mixed-class workload through it (60% point lookups, 30%
+/// aggregates, 10% scans by request index). Prints per-class latency
+/// percentiles and the admission/shedding counters — the quick smoke check
+/// for the serving layer; bench_serving_load is the calibrated generator.
+int CmdServeBench(const std::string& in_path, size_t requests, size_t queue) {
+  const auto values = alp::ReadDoublesFileEx(in_path);
+  if (!values.ok()) return Fail(values.status(), "cannot read input");
+
+  alp::server::ServerConfig config;
+  config.workers = g_threads;  // 0 = hardware concurrency.
+  config.queue_capacity = queue;
+  alp::server::Server server(config);
+  const alp::Status add = server.AddColumn("col", values->data(), values->size());
+  if (!add.ok()) return Fail(add, "cannot build serving column");
+
+  const size_t vectors =
+      (values->size() + alp::kVectorSize - 1) / alp::kVectorSize;
+  std::vector<uint64_t> latency_ns[alp::server::kQueryClassCount];
+  const uint64_t t0 = alp::NanoNow();
+  // Submit in batches bounded by the queue so the smoke run measures
+  // completion latency, not admission rejections.
+  const size_t batch = queue > 1 ? queue / 2 : 1;
+  size_t issued = 0;
+  while (issued < requests) {
+    std::vector<std::pair<alp::server::QueryClass, std::future<alp::server::Response>>>
+        batch_futures;
+    for (size_t b = 0; b < batch && issued < requests; ++b, ++issued) {
+      alp::server::Request req;
+      req.column = "col";
+      const size_t slot = issued % 10;
+      if (slot < 6) {
+        req.query_class = alp::server::QueryClass::kPointLookup;
+        req.vector_index = vectors == 0 ? 0 : issued % vectors;
+      } else if (slot < 9) {
+        req.query_class = alp::server::QueryClass::kAggregate;
+      } else {
+        req.query_class = alp::server::QueryClass::kScan;
+      }
+      batch_futures.emplace_back(req.query_class, server.Submit(std::move(req)));
+    }
+    for (auto& [qc, future] : batch_futures) {
+      const alp::server::Response r = future.get();
+      if (r.status.ok()) {
+        latency_ns[static_cast<size_t>(qc)].push_back(r.queue_ns + r.exec_ns);
+      }
+    }
+  }
+  const uint64_t wall_ns = alp::NanoNow() - t0;
+  server.Shutdown();
+
+  const auto percentile = [](std::vector<uint64_t>& v, double p) -> double {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const size_t idx = static_cast<size_t>(p * (v.size() - 1));
+    return v[idx] / 1e3;  // microseconds
+  };
+  std::printf("serve-bench: %zu requests, %u workers, queue %zu, %.2f ms wall\n",
+              requests, server.workers(), queue, wall_ns / 1e6);
+  for (size_t c = 0; c < alp::server::kQueryClassCount; ++c) {
+    auto& lat = latency_ns[c];
+    std::printf("  %-12s %6zu ok | p50 %9.1f us | p99 %9.1f us | p999 %9.1f us\n",
+                alp::server::QueryClassName(static_cast<alp::server::QueryClass>(c)),
+                lat.size(), percentile(lat, 0.50), percentile(lat, 0.99),
+                percentile(lat, 0.999));
+  }
+  const alp::server::ServerStats stats = server.stats();
+  std::printf("  admitted %" PRIu64 "/%" PRIu64 " | completed %" PRIu64
+              " | shed %" PRIu64 " (queue_full %" PRIu64 ", class %" PRIu64
+              ") | deadline_missed %" PRIu64 " | max_depth %" PRIu64 "\n",
+              stats.admitted, stats.submitted, stats.completed,
+              stats.SheddedTotal(), stats.shed_queue_full, stats.shed_class,
+              stats.deadline_missed, stats.max_queue_depth);
   return 0;
 }
 
@@ -449,6 +572,26 @@ int main(int argc, char** argv) {
   else if (command == "stats" && argc == 3) rc = CmdStats(argv[2]);
   else if (command == "gen" && argc == 5) rc = CmdGen(argv[2], argv[3], argv[4]);
   else if (command == "datasets" && argc == 2) rc = CmdDatasets();
+  else if (command == "serve-bench" && argc >= 3 && argc <= 5) {
+    // Trailing command options: [--requests=N] [--queue=N], any order.
+    size_t requests = 2000;
+    size_t queue = 256;
+    bool bad = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--requests=", 11) == 0) {
+        const long v = std::atol(argv[i] + 11);
+        if (v <= 0) return Fail("bad --requests value", argv[i]);
+        requests = static_cast<size_t>(v);
+      } else if (std::strncmp(argv[i], "--queue=", 8) == 0) {
+        const long v = std::atol(argv[i] + 8);
+        if (v <= 0) return Fail("bad --queue value", argv[i]);
+        queue = static_cast<size_t>(v);
+      } else {
+        bad = true;
+      }
+    }
+    if (!bad) rc = CmdServeBench(argv[2], requests, queue);
+  }
   if (rc < 0) return Usage();
 
   if (g_metrics != 0) {

@@ -9,13 +9,19 @@ Usage:
                                 are machine-dependent, so CI leaves them
                                 informational; set a percentage on pinned
                                 hardware)
+      [--latency-threshold=PCT|none]
+                                serving latency metrics (p50/p99/p999);
+                                default none
       [--markdown-out=PATH]     also write the markdown table to PATH
       [--all]                   list every joined metric, not just changes
 
 Records are joined on (dataset, scheme, metric, threads). Each metric has a
 direction: for bits_per_value and *cycles_per_value* lower is better; for
-compression_ratio and *tuples_per_cycle* higher is better. A joined pair
-whose worse-direction delta exceeds the metric class's threshold is a
+compression_ratio and *tuples_per_cycle* higher is better. Serving-tail
+metrics (*latency*) are lower-better and gate through their own
+--latency-threshold (default none: tail latencies are machine- and
+load-dependent, so CI sets a deliberately generous percentage). A joined
+pair whose worse-direction delta exceeds the metric class's threshold is a
 regression; improvements and unknown metrics are reported but never fail.
 
 Joined pairs whose records carry *different* `kernel_tier` tags (the decode
@@ -39,11 +45,14 @@ HIGHER_BETTER_RATIO = {"compression_ratio"}
 
 
 def metric_class(metric):
-    """Returns (kind, lower_is_better) with kind in ratio|speed|other."""
+    """Returns (kind, lower_is_better) with kind in
+    ratio|speed|latency|other."""
     if metric in LOWER_BETTER_RATIO:
         return "ratio", True
     if metric in HIGHER_BETTER_RATIO:
         return "ratio", False
+    if "latency" in metric:
+        return "latency", True
     if "cycles_per" in metric:
         return "speed", True
     if "tuples_per_cycle" in metric or "per_second" in metric:
@@ -98,6 +107,7 @@ def main(argv):
     paths = []
     ratio_threshold = 5.0
     speed_threshold = None
+    latency_threshold = None
     markdown_out = None
     show_all = False
     for arg in argv[1:]:
@@ -107,6 +117,9 @@ def main(argv):
         elif arg.startswith("--speed-threshold="):
             speed_threshold = parse_threshold(
                 arg.split("=", 1)[1], "--speed-threshold")
+        elif arg.startswith("--latency-threshold="):
+            latency_threshold = parse_threshold(
+                arg.split("=", 1)[1], "--latency-threshold")
         elif arg.startswith("--markdown-out="):
             markdown_out = arg.split("=", 1)[1]
         elif arg == "--all":
@@ -126,7 +139,7 @@ def main(argv):
         return 2
 
     thresholds = {"ratio": ratio_threshold, "speed": speed_threshold,
-                  "other": None}
+                  "latency": latency_threshold, "other": None}
     joined = sorted(set(baseline) & set(current))
     only_base = len(set(baseline) - set(current))
     only_cur = len(set(current) - set(baseline))
@@ -169,7 +182,9 @@ def main(argv):
         f"{len(joined)} joined records ({only_base} only in baseline, "
         f"{only_cur} only in current) · ratio threshold {ratio_threshold}% · "
         f"speed threshold "
-        f"{'off' if speed_threshold is None else f'{speed_threshold}%'}")
+        f"{'off' if speed_threshold is None else f'{speed_threshold}%'} · "
+        f"latency threshold "
+        f"{'off' if latency_threshold is None else f'{latency_threshold}%'}")
     lines.append("")
     if rows:
         lines.append("| series | metric | baseline | current | delta | status |")
