@@ -1191,6 +1191,138 @@ void DecompressColumn(const std::vector<uint8_t>& buffer, T* out) {
   reader.DecodeAll(out);
 }
 
+template <typename T>
+StatusOr<ColumnReader<T>> ColumnReader<T>::OpenRowgroupChunk(
+    const uint8_t* chunk, size_t chunk_size, uint64_t value_count) {
+  if (chunk == nullptr || chunk_size < sizeof(RowgroupHeader)) {
+    return Status::Truncated("chunk smaller than the rowgroup header");
+  }
+  if (value_count == 0 || value_count > kRowgroupSize) {
+    return Status::Corrupt("rowgroup value count out of range");
+  }
+  // A chunk is rowgroup 0 of a one-rowgroup column starting at offset 0 —
+  // the payload format is position-independent, so the full structural walk
+  // applies unchanged with chunk-relative offsets.
+  ValidationContext ctx;
+  ctx.header = ColumnHeader{};
+  ctx.header.value_count = value_count;
+  ctx.total_vectors = (value_count + kVectorSize - 1) / kVectorSize;
+  ctx.rg_offsets.assign(1, 0);
+  Status s = ValidateRowgroupStructure<T>(chunk, chunk_size, ctx, 0);
+  if (!s.ok()) return s;
+
+  ColumnReader<T> reader;
+  reader.data_ = chunk;
+  reader.size_ = chunk_size;
+  reader.value_count_ = value_count;
+  reader.vector_count_ = ctx.total_vectors;
+  reader.version_ = kColumnFormatVersion;
+
+  RowgroupHeader rg_header;
+  std::memcpy(&rg_header, chunk, sizeof(rg_header));
+  RowgroupInfo info;
+  info.byte_offset = 0;
+  info.scheme = static_cast<Scheme>(rg_header.scheme);
+  info.vector_count = rg_header.vector_count;
+  info.first_vector = 0;
+  size_t index_at = sizeof(RowgroupHeader);
+  if (info.scheme == Scheme::kAlpRd) {
+    RdHeader rd_header;
+    std::memcpy(&rd_header, chunk + index_at, sizeof(rd_header));
+    info.rd.right_bits = rd_header.right_bits;
+    info.rd.dict_width = rd_header.dict_width;
+    info.rd.dict_size = rd_header.dict_size;
+    std::memcpy(info.rd.dict, rd_header.dict, sizeof(info.rd.dict));
+    RdDictShifted(info.rd, info.rd_dict_shifted);
+    index_at += sizeof(RdHeader);
+  }
+  info.vector_offsets.resize(rg_header.vector_count);
+  std::memcpy(info.vector_offsets.data(), chunk + index_at,
+              info.vector_offsets.size() * sizeof(uint32_t));
+  reader.rowgroups_.push_back(std::move(info));
+  reader.ok_ = true;
+  return reader;
+}
+
+namespace internal {
+
+template <typename T>
+StatusOr<size_t> ColumnIndexRegionSize(const uint8_t* header_bytes, size_t len) {
+  if (header_bytes == nullptr || len < sizeof(ColumnHeader)) {
+    return Status::Truncated("buffer smaller than the column header");
+  }
+  ColumnHeader header;
+  std::memcpy(&header, header_bytes, sizeof(header));
+  if (header.magic != kMagic) return Status::Corrupt("bad magic", 0);
+  if (header.version < kMinVersion || header.version > kVersion) {
+    return Status::UnsupportedVersion("unsupported format version",
+                                      offsetof(ColumnHeader, version));
+  }
+  if (header.type != TypeTag<T>()) {
+    return Status::Corrupt("value type tag mismatch",
+                           offsetof(ColumnHeader, type));
+  }
+  if (header.value_count > (uint64_t{1} << 62)) {
+    return Status::Corrupt("value count implausibly large",
+                           offsetof(ColumnHeader, value_count));
+  }
+  const size_t total_vectors =
+      (header.value_count + kVectorSize - 1) / kVectorSize;
+  const size_t expected_rowgroups = std::max<size_t>(
+      (total_vectors + kRowgroupVectors - 1) / kRowgroupVectors, 1);
+  if (header.rowgroup_count != expected_rowgroups) {
+    return Status::Corrupt("rowgroup count inconsistent with value count",
+                           offsetof(ColumnHeader, rowgroup_count));
+  }
+  return ComputeIndexLayout(header.version, header.rowgroup_count,
+                            total_vectors)
+      .payload_begin;
+}
+
+template <typename T>
+StatusOr<ColumnIndex> ParseColumnIndex(const uint8_t* region,
+                                       size_t region_size, uint64_t file_size) {
+  StatusOr<size_t> need = ColumnIndexRegionSize<T>(region, region_size);
+  if (!need.ok()) return need.status();
+  if (*need > region_size || region_size > file_size) {
+    return Status::Truncated("truncated index sections", sizeof(ColumnHeader));
+  }
+  // ValidateHeaderAndIndex only dereferences bytes below payload_begin
+  // (all present in the region); the full file size bounds the rowgroup
+  // offsets exactly as it would for an in-memory buffer.
+  ValidationContext ctx;
+  Status s = ValidateHeaderAndIndex<T>(region, file_size, &ctx);
+  if (!s.ok()) return s;
+  s = ValidateZoneMap(region, ctx);
+  if (!s.ok()) return s;
+
+  ColumnIndex index;
+  index.version = ctx.header.version;
+  index.value_count = ctx.header.value_count;
+  index.total_vectors = ctx.total_vectors;
+  index.payload_begin = ctx.layout.payload_begin;
+  index.rowgroup_offsets = std::move(ctx.rg_offsets);
+  if (ctx.header.version >= 3) {
+    index.rowgroup_checksums.resize(index.rowgroup_offsets.size());
+    std::memcpy(index.rowgroup_checksums.data(),
+                region + ctx.layout.checksums_at,
+                index.rowgroup_checksums.size() * sizeof(uint64_t));
+  }
+  index.stats.resize(ctx.total_vectors);
+  std::memcpy(index.stats.data(), region + ctx.layout.stats_at,
+              index.stats.size() * sizeof(VectorStats));
+  return index;
+}
+
+template StatusOr<size_t> ColumnIndexRegionSize<double>(const uint8_t*, size_t);
+template StatusOr<size_t> ColumnIndexRegionSize<float>(const uint8_t*, size_t);
+template StatusOr<ColumnIndex> ParseColumnIndex<double>(const uint8_t*, size_t,
+                                                        uint64_t);
+template StatusOr<ColumnIndex> ParseColumnIndex<float>(const uint8_t*, size_t,
+                                                       uint64_t);
+
+}  // namespace internal
+
 // ---------------------------------------------------------------------------
 // ColumnMetaCursor
 // ---------------------------------------------------------------------------

@@ -143,6 +143,21 @@ class ColumnReader {
   /// up empty (ok() == false) instead of crashing.
   ColumnReader(const uint8_t* data, size_t size);
 
+  /// Opens one standalone rowgroup payload chunk — the bytes between two
+  /// consecutive rowgroup offsets of a column file — as a single-rowgroup
+  /// reader whose vectors are chunk-locally indexed from 0. Runs the same
+  /// structural walk ValidateColumnEx applies per rowgroup (scheme, vector
+  /// counts, ALP_rd parameters, offset index, per-vector extents and
+  /// exception positions), with Status offsets relative to the chunk.
+  /// \p value_count is the logical values the rowgroup must hold (from the
+  /// column header; at most kRowgroupSize). The chunk must outlive the
+  /// reader. Chunk readers carry no zone map: Stats()/VectorMayContain are
+  /// not usable on them — the out-of-core reader (io::SeekableReader)
+  /// serves those from the column's index region instead.
+  static StatusOr<ColumnReader<T>> OpenRowgroupChunk(const uint8_t* chunk,
+                                                     size_t chunk_size,
+                                                     uint64_t value_count);
+
   /// Whether header/index parsing succeeded.
   bool ok() const { return ok_; }
 
@@ -204,6 +219,8 @@ class ColumnReader {
   template <typename U>
   friend class ColumnMetaCursor;
 
+  ColumnReader() = default;  ///< Empty reader, filled by OpenRowgroupChunk.
+
   struct RowgroupInfo {
     size_t byte_offset = 0;          ///< Absolute offset in the buffer.
     Scheme scheme = Scheme::kAlp;
@@ -223,8 +240,8 @@ class ColumnReader {
   Status TryDecodeRdVector(const RowgroupInfo& rg, size_t local_v,
                            unsigned expect_n, T* out) const;
 
-  const uint8_t* data_;
-  size_t size_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
   size_t value_count_ = 0;
   size_t vector_count_ = 0;
   uint8_t version_ = 0;
@@ -388,6 +405,38 @@ template <typename T>
 std::vector<uint8_t> AssembleColumnFromSegments(
     uint64_t value_count, const std::vector<std::vector<uint8_t>>& segments,
     const std::vector<VectorStats>& stats);
+
+/// Parsed and verified header/index region of a column file: everything a
+/// storage-backed reader (io::SeekableReader) needs in memory to fetch and
+/// verify rowgroup chunks independently, without the payload bytes.
+struct ColumnIndex {
+  uint8_t version = 0;
+  uint64_t value_count = 0;
+  size_t total_vectors = 0;
+  size_t payload_begin = 0;  ///< First payload byte (chunk extents start here).
+  std::vector<uint64_t> rowgroup_offsets;    ///< Absolute file offsets.
+  std::vector<uint64_t> rowgroup_checksums;  ///< XXH64 per chunk; empty for v2.
+  std::vector<VectorStats> stats;            ///< Zone map, one per vector.
+};
+
+/// Bytes occupied by the header + index sections ([0, payload_begin)),
+/// computed from the fixed 24-byte column header alone so a storage-backed
+/// reader knows how much to fetch up front. Validates exactly the header
+/// fields that determine the layout (magic, version, type tag, plausible
+/// value count, consistent rowgroup count) with the same Statuses as
+/// ValidateColumnEx.
+template <typename T>
+StatusOr<size_t> ColumnIndexRegionSize(const uint8_t* header, size_t len);
+
+/// Parses and fully verifies a column's header/index region: header sanity,
+/// the v3 header checksum, rowgroup offset invariants (8-aligned, strictly
+/// increasing, each in [payload_begin, file_size)) and zone-map sanity —
+/// the same checks, Statuses and offsets as ValidateColumnEx's serial
+/// phases. \p region must hold at least ColumnIndexRegionSize bytes;
+/// \p file_size is the full file's size, which bounds the offsets.
+template <typename T>
+StatusOr<ColumnIndex> ParseColumnIndex(const uint8_t* region,
+                                       size_t region_size, uint64_t file_size);
 
 }  // namespace internal
 

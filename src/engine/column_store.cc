@@ -71,4 +71,29 @@ const double* StoredColumn::RowgroupPointer(size_t rg) const {
   return raw_.data() + rg * kRowgroupSize;
 }
 
+Status StoredColumn::EnableSeekable(io::DecodedVectorCache* cache) {
+  if (alp_buffer_.empty()) return Status::Ok();  // Only ALP columns chunk.
+  io::SeekableReaderOptions options;
+  options.prefetch_pool = nullptr;  // See the header: operators own the pool.
+  options.cache = cache;
+  auto source = std::make_shared<io::MemorySource>(alp_buffer_.data(),
+                                                   alp_buffer_.size());
+  auto reader =
+      io::SeekableReader<double>::Open(std::move(source), options);
+  if (!reader.ok()) return reader.status();
+  seekable_ = std::move(*reader);
+  return Status::Ok();
+}
+
+Status StoredColumn::TryDecodeRowgroup(size_t rg, double* out,
+                                       const OpContext* ctx) const {
+  if (seekable_ != nullptr) return seekable_->TryDecodeRowgroup(rg, out, ctx);
+  if (ctx != nullptr) {
+    Status s = ctx->Check();
+    if (!s.ok()) return s;
+  }
+  DecodeRowgroup(rg, out);
+  return Status::Ok();
+}
+
 }  // namespace alp::engine

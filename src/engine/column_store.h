@@ -9,6 +9,9 @@
 
 #include "alp/column.h"
 #include "codecs/codec.h"
+#include "io/seekable_reader.h"
+#include "util/cancellation.h"
+#include "util/status.h"
 
 /// \file column_store.h
 /// Compressed column storage for the Tectorwise-style engine (Section 4.3):
@@ -54,6 +57,28 @@ class StoredColumn {
   /// other storage). FILTER queries use it to skip compressed vectors.
   const ColumnReader<double>* AlpReader() const { return alp_reader_.get(); }
 
+  /// Routes this column's decode paths through an out-of-core
+  /// io::SeekableReader over its own compressed buffer, optionally sharing
+  /// \p cache (which must outlive the column) with other columns. Only ALP
+  /// columns are chunked; for other schemes this is an OK no-op. The
+  /// prefetch pool is deliberately absent: engine operators and the server
+  /// drive rowgroups from their own worker threads, and handing those
+  /// threads' pool to the prefetcher would let a scan wait on tasks the
+  /// occupied pool can never run.
+  Status EnableSeekable(io::DecodedVectorCache* cache);
+
+  /// Non-null once EnableSeekable succeeded; decode goes through the chunked
+  /// fetch → verify → open → decode path and the shared cache.
+  const io::SeekableReader<double>* Seekable() const { return seekable_.get(); }
+
+  /// Fallible rowgroup decode: seekable columns go through the chunked
+  /// reader (cache, checksum verify, io.chunk_read fault site) with \p ctx
+  /// polled per vector; others fall back to the trusted DecodeRowgroup after
+  /// one ctx poll. Engine operators use this so the same scan code serves
+  /// both in-memory and out-of-core columns.
+  Status TryDecodeRowgroup(size_t rg, double* out,
+                           const OpContext* ctx = nullptr) const;
+
  private:
   StoredColumn() = default;
 
@@ -66,6 +91,12 @@ class StoredColumn {
   std::unique_ptr<ColumnReader<double>> alp_reader_;
   std::unique_ptr<codecs::DoubleCodec> codec_;     // kCodec.
   std::vector<std::vector<uint8_t>> codec_blocks_;
+
+  // Out-of-core view over alp_buffer_ (EnableSeekable). shared_ptr because
+  // SeekableReader::Open hands ownership to prefetch-capable readers; the
+  // MemorySource points at alp_buffer_'s heap storage, which is stable
+  // across moves of this StoredColumn (the class is move-only).
+  std::shared_ptr<io::SeekableReader<double>> seekable_;
 };
 
 }  // namespace alp::engine

@@ -14,13 +14,17 @@ namespace alp::engine {
 namespace {
 
 /// Runs \p per_rowgroup over all rowgroups with morsel-driven parallelism
-/// and returns the per-thread double results summed together.
+/// and returns the per-thread double results summed together. The callback
+/// signature is Status(rg, buffer, acc): it adds its contribution to *acc
+/// and reports decode failures (the out-of-core path is fallible — chunk
+/// reads can hit I/O errors, checksum mismatches and fault sites).
 ///
 /// Cancellation/faults: before claiming each morsel a worker polls \p ctx
-/// and the engine.rowgroup fault site. The first worker to observe a
-/// failure raises the abort flag so the others stop claiming morsels; when
-/// several morsels fail in one sweep the lowest-indexed one's Status is
-/// reported (matching the first failure a serial scan would see).
+/// and the engine.rowgroup fault site, and the morsel body's own Status
+/// feeds the same machinery. The first worker to observe a failure raises
+/// the abort flag so the others stop claiming morsels; when several morsels
+/// fail in one sweep the lowest-indexed one's Status is reported (matching
+/// the first failure a serial scan would see).
 template <typename PerRowgroup>
 QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
                         const OpContext* ctx, const PerRowgroup& per_rowgroup) {
@@ -45,6 +49,7 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
       if (rg >= rowgroups) break;
       Status s = ctx != nullptr ? ctx->Check() : Status::Ok();
       if (s.ok()) s = fault::Check("engine.rowgroup");
+      if (s.ok()) s = per_rowgroup(rg, buffer.data(), &local);
       if (!s.ok()) {
         std::lock_guard<std::mutex> lock(fail_mu);
         if (rg < fail_rg) {
@@ -54,7 +59,6 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
         abort.store(true, std::memory_order_relaxed);
         break;
       }
-      local += per_rowgroup(rg, buffer.data());
     }
     partials[worker] = local;
   });
@@ -73,15 +77,18 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
 
 QueryResult RunScan(const StoredColumn& column, ThreadPool& pool,
                     const OpContext* ctx) {
-  return RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
-    const unsigned len = column.RowgroupLength(rg);
-    column.DecodeRowgroup(rg, buffer);
-    // Touch one value per vector so the decode cannot be elided; this is
-    // the "scan operator produced a vector" hand-off point.
-    double checksum = 0.0;
-    for (unsigned v = 0; v < len; v += kVectorSize) checksum += buffer[v];
-    return checksum;
-  });
+  return RunParallel(
+      column, pool, ctx, [&](size_t rg, double* buffer, double* acc) {
+        const unsigned len = column.RowgroupLength(rg);
+        Status s = column.TryDecodeRowgroup(rg, buffer, ctx);
+        if (!s.ok()) return s;
+        // Touch one value per vector so the decode cannot be elided; this
+        // is the "scan operator produced a vector" hand-off point.
+        double checksum = 0.0;
+        for (unsigned v = 0; v < len; v += kVectorSize) checksum += buffer[v];
+        *acc += checksum;
+        return Status::Ok();
+      });
 }
 
 QueryResult RunSum(const StoredColumn& column, ThreadPool& pool,
@@ -89,21 +96,26 @@ QueryResult RunSum(const StoredColumn& column, ThreadPool& pool,
   const double* raw0 = column.RowgroupPointer(0);
   if (raw0 != nullptr) {
     // Uncompressed columns aggregate in place (no buffer-pool copy).
-    return RunParallel(column, pool, ctx, [&](size_t rg, double*) {
-      const double* data = column.RowgroupPointer(rg);
-      const unsigned len = column.RowgroupLength(rg);
-      double sum = 0.0;
-      for (unsigned i = 0; i < len; ++i) sum += data[i];
-      return sum;
-    });
+    return RunParallel(column, pool, ctx,
+                       [&](size_t rg, double*, double* acc) {
+                         const double* data = column.RowgroupPointer(rg);
+                         const unsigned len = column.RowgroupLength(rg);
+                         double sum = 0.0;
+                         for (unsigned i = 0; i < len; ++i) sum += data[i];
+                         *acc += sum;
+                         return Status::Ok();
+                       });
   }
-  return RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
-    const unsigned len = column.RowgroupLength(rg);
-    column.DecodeRowgroup(rg, buffer);
-    double sum = 0.0;
-    for (unsigned i = 0; i < len; ++i) sum += buffer[i];
-    return sum;
-  });
+  return RunParallel(
+      column, pool, ctx, [&](size_t rg, double* buffer, double* acc) {
+        const unsigned len = column.RowgroupLength(rg);
+        Status s = column.TryDecodeRowgroup(rg, buffer, ctx);
+        if (!s.ok()) return s;
+        double sum = 0.0;
+        for (unsigned i = 0; i < len; ++i) sum += buffer[i];
+        *acc += sum;
+        return Status::Ok();
+      });
 }
 
 QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
@@ -112,55 +124,94 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
   std::atomic<size_t> skipped{0};
 
   QueryResult result;
-  if (alp_reader != nullptr) {
+  const io::SeekableReader<double>* seekable = column.Seekable();
+  if (seekable != nullptr) {
+    // Out-of-core push-down: the zone map lives in the resident index
+    // region, so unwanted vectors are filtered before any chunk is fetched
+    // and a rowgroup none of whose vectors qualify is never read at all.
+    result = RunParallel(
+        column, pool, ctx, [&](size_t rg, double*, double* acc) {
+          const size_t first_vector = rg * kRowgroupVectors;
+          const size_t vectors =
+              (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
+          size_t local_skipped = 0;
+          for (size_t v = first_vector; v < first_vector + vectors; ++v) {
+            if (!seekable->VectorMayContain(v, lo, hi)) ++local_skipped;
+          }
+          skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+          double sum = 0.0;
+          const io::SeekableReader<double>::VectorFilter want =
+              [&](size_t v) { return seekable->VectorMayContain(v, lo, hi); };
+          Status s = seekable->VisitRowgroup(
+              rg,
+              [&](size_t, const double* values, unsigned len) {
+                for (unsigned i = 0; i < len; ++i) {
+                  const double x = values[i];
+                  sum += (x >= lo && x <= hi) ? x : 0.0;
+                }
+                return Status::Ok();
+              },
+              ctx, &want);
+          if (!s.ok()) return s;
+          *acc += sum;
+          return Status::Ok();
+        });
+  } else if (alp_reader != nullptr) {
     // Push-down path: consult the zone map per vector, decode only vectors
     // whose [min, max] intersects the predicate range.
-    result = RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
-      const size_t first_vector = rg * kRowgroupVectors;
-      const size_t vectors =
-          (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
-      double sum = 0.0;
-      size_t local_skipped = 0;
-      for (size_t v = 0; v < vectors; ++v) {
-        const size_t vec = first_vector + v;
-        if (!alp_reader->VectorMayContain(vec, lo, hi)) {
-          ++local_skipped;
-          continue;
-        }
-        alp_reader->DecodeVector(vec, buffer);
-        const unsigned len = alp_reader->VectorLength(vec);
-        for (unsigned i = 0; i < len; ++i) {
-          const double x = buffer[i];
-          sum += (x >= lo && x <= hi) ? x : 0.0;  // Predicated, branch-free.
-        }
-      }
-      skipped.fetch_add(local_skipped, std::memory_order_relaxed);
-      return sum;
-    });
+    result = RunParallel(
+        column, pool, ctx, [&](size_t rg, double* buffer, double* acc) {
+          const size_t first_vector = rg * kRowgroupVectors;
+          const size_t vectors =
+              (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
+          double sum = 0.0;
+          size_t local_skipped = 0;
+          for (size_t v = 0; v < vectors; ++v) {
+            const size_t vec = first_vector + v;
+            if (!alp_reader->VectorMayContain(vec, lo, hi)) {
+              ++local_skipped;
+              continue;
+            }
+            alp_reader->DecodeVector(vec, buffer);
+            const unsigned len = alp_reader->VectorLength(vec);
+            for (unsigned i = 0; i < len; ++i) {
+              const double x = buffer[i];
+              sum += (x >= lo && x <= hi) ? x : 0.0;  // Predicated.
+            }
+          }
+          skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+          *acc += sum;
+          return Status::Ok();
+        });
   } else if (column.RowgroupPointer(0) != nullptr) {
-    result = RunParallel(column, pool, ctx, [&](size_t rg, double*) {
-      const double* data = column.RowgroupPointer(rg);
-      const unsigned len = column.RowgroupLength(rg);
-      double sum = 0.0;
-      for (unsigned i = 0; i < len; ++i) {
-        const double x = data[i];
-        sum += (x >= lo && x <= hi) ? x : 0.0;
-      }
-      return sum;
-    });
+    result = RunParallel(column, pool, ctx,
+                         [&](size_t rg, double*, double* acc) {
+                           const double* data = column.RowgroupPointer(rg);
+                           const unsigned len = column.RowgroupLength(rg);
+                           double sum = 0.0;
+                           for (unsigned i = 0; i < len; ++i) {
+                             const double x = data[i];
+                             sum += (x >= lo && x <= hi) ? x : 0.0;
+                           }
+                           *acc += sum;
+                           return Status::Ok();
+                         });
   } else {
     // Block-based storage: the whole rowgroup must be decompressed before
     // the predicate can run (the paper's Zstd disadvantage).
-    result = RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
-      column.DecodeRowgroup(rg, buffer);
-      const unsigned len = column.RowgroupLength(rg);
-      double sum = 0.0;
-      for (unsigned i = 0; i < len; ++i) {
-        const double x = buffer[i];
-        sum += (x >= lo && x <= hi) ? x : 0.0;
-      }
-      return sum;
-    });
+    result = RunParallel(
+        column, pool, ctx, [&](size_t rg, double* buffer, double* acc) {
+          Status s = column.TryDecodeRowgroup(rg, buffer, ctx);
+          if (!s.ok()) return s;
+          const unsigned len = column.RowgroupLength(rg);
+          double sum = 0.0;
+          for (unsigned i = 0; i < len; ++i) {
+            const double x = buffer[i];
+            sum += (x >= lo && x <= hi) ? x : 0.0;
+          }
+          *acc += sum;
+          return Status::Ok();
+        });
   }
   result.vectors_skipped = skipped.load();
   return result;
@@ -214,23 +265,25 @@ QueryResult RunMinMax(const StoredColumn& column, ThreadPool& pool, double* min_
     }
   };
 
-  QueryResult result = RunParallel(column, pool, ctx, [&](size_t rg, double* buffer) {
-    const double* data = column.RowgroupPointer(rg);
-    if (data == nullptr) {
-      column.DecodeRowgroup(rg, buffer);
-      data = buffer;
-    }
-    const unsigned len = column.RowgroupLength(rg);
-    double local_min = std::numeric_limits<double>::infinity();
-    double local_max = -local_min;
-    for (unsigned i = 0; i < len; ++i) {
-      local_min = data[i] < local_min ? data[i] : local_min;
-      local_max = data[i] > local_max ? data[i] : local_max;
-    }
-    fold(min_cell, local_min, true);
-    fold(max_cell, local_max, false);
-    return 0.0;
-  });
+  QueryResult result = RunParallel(
+      column, pool, ctx, [&](size_t rg, double* buffer, double*) {
+        const double* data = column.RowgroupPointer(rg);
+        if (data == nullptr) {
+          Status s = column.TryDecodeRowgroup(rg, buffer, ctx);
+          if (!s.ok()) return s;
+          data = buffer;
+        }
+        const unsigned len = column.RowgroupLength(rg);
+        double local_min = std::numeric_limits<double>::infinity();
+        double local_max = -local_min;
+        for (unsigned i = 0; i < len; ++i) {
+          local_min = data[i] < local_min ? data[i] : local_min;
+          local_max = data[i] > local_max ? data[i] : local_max;
+        }
+        fold(min_cell, local_min, true);
+        fold(max_cell, local_max, false);
+        return Status::Ok();
+      });
   min = std::bit_cast<double>(min_cell.load());
   max = std::bit_cast<double>(max_cell.load());
   *min_out = min;

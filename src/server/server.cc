@@ -37,6 +37,7 @@ Server::Server(ServerConfig config)
     : config_(config),
       worker_count_(config.workers == 0 ? ThreadPool::DefaultThreadCount()
                                         : config.workers),
+      cache_(config.cache_bytes),
       admit_limit_(std::max<size_t>(1, config.queue_capacity)),
       pool_(worker_count_),
       workers_(&pool_) {
@@ -62,6 +63,11 @@ Status Server::AddColumn(const std::string& name,
   if (column.AlpReader() == nullptr) {
     return Status::Corrupt("server catalog requires ALP columns");
   }
+  // Every catalog column serves through the out-of-core reader: chunked,
+  // checksum-verified reads sharing one decoded-vector cache. A capacity-0
+  // cache (cache_bytes = 0) keeps the chunked path but caches nothing.
+  Status seekable = column.EnableSeekable(&cache_);
+  if (!seekable.ok()) return seekable;
   auto shared =
       std::make_shared<const engine::StoredColumn>(std::move(column));
   std::lock_guard<std::mutex> lock(mutex_);
@@ -244,10 +250,15 @@ Response Server::ExecuteOnColumn(const Request& request,
   response.status = fault::Check("server.request_io");
   if (!response.status.ok()) return response;
 
-  const ColumnReader<double>* reader = column.AlpReader();
-  if (reader == nullptr) {
-    // AddColumn rejects non-ALP columns, so this is an internal invariant.
-    response.status = Status::Corrupt("catalog column has no ALP reader");
+  // Every catalog column executes through the out-of-core SeekableReader:
+  // chunk fetch → checksum verify → structural open → bounds-checked decode,
+  // with hot decoded vectors served from the shared cache (when the server
+  // was configured with a cache budget).
+  const io::SeekableReader<double>* seekable = column.Seekable();
+  if (seekable == nullptr) {
+    // AddColumn rejects non-ALP columns and fails on EnableSeekable errors,
+    // so this is an internal invariant.
+    response.status = Status::Corrupt("catalog column has no seekable reader");
     return response;
   }
 
@@ -256,15 +267,15 @@ Response Server::ExecuteOnColumn(const Request& request,
   // or faulted request returns nothing but its Status.
   switch (request.query_class) {
     case QueryClass::kPointLookup: {
-      if (request.vector_index >= reader->vector_count()) {
+      if (request.vector_index >= seekable->vector_count()) {
         response.status = Status::NotFound("vector index out of range");
         return response;
       }
       alignas(64) double buffer[kVectorSize];
       response.status =
-          reader->TryDecodeVector(request.vector_index, buffer, &ctx);
+          seekable->TryDecodeVector(request.vector_index, buffer, &ctx);
       if (!response.status.ok()) return response;
-      const unsigned len = reader->VectorLength(request.vector_index);
+      const unsigned len = seekable->VectorLength(request.vector_index);
       double sum = 0.0;
       for (unsigned i = 0; i < len; ++i) sum += buffer[i];
       response.values.assign(buffer, buffer + len);
@@ -273,42 +284,50 @@ Response Server::ExecuteOnColumn(const Request& request,
       return response;
     }
     case QueryClass::kAggregate: {
-      alignas(64) double buffer[kVectorSize];
       double sum = 0.0;
       size_t tuples = 0;
       size_t skipped = 0;
       const double lo = request.filter_lo;
       const double hi = request.filter_hi;
-      for (size_t v = 0; v < reader->vector_count(); ++v) {
-        if (request.has_filter && !reader->VectorMayContain(v, lo, hi)) {
-          ++skipped;
-          continue;
+      // Zone-map push-down from the resident index region: filtered-out
+      // vectors are counted here and never fetched; a rowgroup with no
+      // qualifying vector is never read from storage at all.
+      io::SeekableReader<double>::VectorFilter want;
+      const io::SeekableReader<double>::VectorFilter* want_ptr = nullptr;
+      if (request.has_filter) {
+        for (size_t v = 0; v < seekable->vector_count(); ++v) {
+          if (!seekable->VectorMayContain(v, lo, hi)) ++skipped;
         }
-        // TryDecodeVector polls ctx and the decode fault site per vector.
-        Status s = reader->TryDecodeVector(v, buffer, &ctx);
-        if (!s.ok()) {
-          response.status = std::move(s);
-          return response;
-        }
-        const unsigned len = reader->VectorLength(v);
-        if (request.has_filter) {
-          for (unsigned i = 0; i < len; ++i) {
-            const double x = buffer[i];
-            sum += (x >= lo && x <= hi) ? x : 0.0;
-          }
-        } else {
-          for (unsigned i = 0; i < len; ++i) sum += buffer[i];
-        }
-        tuples += len;
+        want = [&](size_t v) {
+          return seekable->VectorMayContain(v, lo, hi);
+        };
+        want_ptr = &want;
       }
+      // Scan polls ctx and the decode fault site per vector, like the
+      // in-memory TryDecodeVector loop this replaced.
+      response.status = seekable->Scan(
+          [&](size_t, const double* values, unsigned len) {
+            if (request.has_filter) {
+              for (unsigned i = 0; i < len; ++i) {
+                const double x = values[i];
+                sum += (x >= lo && x <= hi) ? x : 0.0;
+              }
+            } else {
+              for (unsigned i = 0; i < len; ++i) sum += values[i];
+            }
+            tuples += len;
+            return Status::Ok();
+          },
+          &ctx, want_ptr);
+      if (!response.status.ok()) return response;
       response.sum = sum;
       response.tuples = tuples;
       response.vectors_skipped = skipped;
       return response;
     }
     case QueryClass::kScan: {
-      std::vector<double> values(reader->value_count());
-      response.status = reader->TryDecodeAll(values.data(), &ctx);
+      std::vector<double> values(seekable->value_count());
+      response.status = seekable->TryDecodeAll(values.data(), &ctx);
       if (!response.status.ok()) return response;
       // Same hand-off checksum as the engine's scan operator: touch one
       // value per vector so the decode is consumed.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "engine/column_store.h"
+#include "io/decoded_vector_cache.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -82,6 +83,11 @@ struct ServerConfig {
   /// Admit fraction of the current limit per class, indexed by QueryClass.
   double shed_fraction[kQueryClassCount] = {1.0, 0.75, 0.5};
   size_t slow_start_floor = 8; ///< Admit limit right after an overflow.
+  /// Byte budget for the decoded-vector cache shared across the whole
+  /// catalog (the CLI's --catalog-bytes-limit). 0 disables caching: every
+  /// request decodes from the compressed chunks. Catalog columns always
+  /// execute through the out-of-core SeekableReader either way.
+  size_t cache_bytes = 0;
 };
 
 struct Request {
@@ -169,6 +175,13 @@ class Server {
 
   ServerStats stats() const;
 
+  /// Aggregated decoded-vector cache counters (hits / misses / evictions /
+  /// resident bytes) across every catalog column; all-zero when
+  /// ServerConfig::cache_bytes is 0.
+  io::DecodedVectorCache::Stats cache_stats() const {
+    return cache_.TotalStats();
+  }
+
   unsigned workers() const { return worker_count_; }
 
  private:
@@ -185,6 +198,10 @@ class Server {
 
   ServerConfig config_;
   unsigned worker_count_ = 0;
+
+  // Declared before catalog_: the columns' SeekableReaders reference the
+  // cache, so it must be destroyed after them.
+  io::DecodedVectorCache cache_;
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;

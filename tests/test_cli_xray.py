@@ -148,6 +148,23 @@ def main():
             f.write(blob)
         run(cli, ["inspect", flipped], expect_rc=(11, 12))
 
+        # --- stats: decoded-vector cache counters ------------------------
+        # The stats profile runs a cold+warm out-of-core pass through a
+        # SeekableReader sharing a DecodedVectorCache, so the cache line
+        # must show equal hits and misses (pass 2 hits exactly what pass 1
+        # missed) and a non-empty resident set.
+        proc = run(cli, ["--threads=2", "stats", raw])
+        m = re.search(
+            r"cache: hits (\d+) \| misses (\d+) \| evictions (\d+) \| "
+            r"(\d+) entries, (\d+) bytes resident", proc.stdout)
+        check(m, "stats missing the cache counter line")
+        hits, misses, evictions, entries, resident = map(int, m.groups())
+        check(hits == misses and hits > 0,
+              f"stats cache warm pass should hit what the cold pass missed "
+              f"(hits={hits} misses={misses})")
+        check(evictions == 0, "stats cache evicted under a 64MiB budget")
+        check(entries > 0 and resident > 0, "stats cache retained nothing")
+
         # --- serve-bench smoke -------------------------------------------
         proc = run(cli, ["--threads=2", "serve-bench", raw,
                          "--requests=200", "--queue=64"])
@@ -157,6 +174,44 @@ def main():
         check(re.search(r"admitted (\d+)/200", proc.stdout),
               "serve-bench admission counters missing")
         run(cli, ["serve-bench", missing], expect_rc=14)
+
+        # --- serve-bench --catalog-bytes-limit ---------------------------
+        # With a byte budget the catalog's shared cache absorbs repeated
+        # decodes: the stats line must reflect the configured limit and
+        # show cache traffic (hits dominate once the catalog is warm).
+        proc = run(cli, ["--threads=2", "serve-bench", raw,
+                         "--requests=200", "--queue=64",
+                         "--catalog-bytes-limit=8388608"])
+        m = re.search(
+            r"cache: limit (\d+) bytes \| hits (\d+) \| misses (\d+) \| "
+            r"evictions (\d+) \| (\d+) entries, (\d+) bytes resident",
+            proc.stdout)
+        check(m, "serve-bench missing the cache stats line")
+        limit, hits, misses, _evictions, entries, resident = map(int, m.groups())
+        check(limit == 8388608, "serve-bench cache limit not echoed")
+        check(hits > 0 and misses > 0, "serve-bench cache saw no traffic")
+        check(hits > misses, "a warm 8MiB catalog cache should mostly hit")
+        check(0 < resident <= limit,
+              f"cache resident bytes {resident} outside (0, {limit}]")
+        check(entries > 0, "serve-bench cache retained nothing")
+
+        # Limit 0 turns caching off entirely: the line must report zero
+        # traffic and zero residency (requests still succeed through the
+        # chunked reader).
+        proc = run(cli, ["--threads=2", "serve-bench", raw,
+                         "--requests=100", "--queue=64",
+                         "--catalog-bytes-limit=0"])
+        m = re.search(
+            r"cache: limit 0 bytes \| hits (\d+) \| misses (\d+) \| "
+            r"evictions (\d+) \| (\d+) entries, (\d+) bytes resident",
+            proc.stdout)
+        check(m, "serve-bench cache-off stats line missing")
+        hits, _misses, evictions, entries, resident = map(int, m.groups())
+        check(hits == 0 and evictions == 0 and entries == 0 and resident == 0,
+              "capacity-0 cache must be inert")
+        # Bad option values exit 1 (same contract as --requests/--queue).
+        run(cli, ["serve-bench", raw, "--catalog-bytes-limit=-1"],
+            expect_rc=1)
 
     print("cli x-ray: all checks passed")
 

@@ -10,7 +10,10 @@
 //   alp gen        <dataset> <count> <out>       emit a surrogate dataset
 //   alp datasets                                 list surrogate names
 //   alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] [--queue=N]
-//                                                serving-layer smoke benchmark
+//                     [--catalog-bytes-limit=N]  serving-layer smoke benchmark
+//                                                (N bytes of decoded-vector
+//                                                cache shared by the catalog;
+//                                                0 = off)
 //
 // Exit codes are a documented contract (scripts and tests branch on them):
 // every alp::Status class maps to its own code, so a pipeline can tell a
@@ -62,6 +65,9 @@
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace_buffer.h"
+#include "io/decoded_vector_cache.h"
+#include "io/random_access_source.h"
+#include "io/seekable_reader.h"
 #include "obs/xray.h"
 #include "server/server.h"
 #include "util/cycle_clock.h"
@@ -102,7 +108,7 @@ int Usage() {
                "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
                "  alp datasets\n"
                "  alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] "
-               "[--queue=N]\n"
+               "[--queue=N] [--catalog-bytes-limit=N]\n"
                "\n"
                "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
                "output bytes are identical at every thread count.\n"
@@ -378,6 +384,27 @@ int CmdStats(const std::string& in_path) {
     }
   }
 
+  // Out-of-core pass: decode the same column twice through a SeekableReader
+  // sharing a DecodedVectorCache — cold (all misses) then warm (served from
+  // cache) — so the profile also covers the io layer's chunk/cache
+  // telemetry and the cache counters below have real traffic behind them.
+  alp::io::DecodedVectorCache cache(64ull << 20);
+  alp::io::SeekableReaderOptions seek_options;
+  seek_options.cache = &cache;
+  auto seekable = alp::io::SeekableReader<double>::Open(
+      std::make_shared<alp::io::MemorySource>(buffer.data(), buffer.size()),
+      seek_options);
+  if (!seekable.ok()) return Fail(seekable.status(), "seekable open failed");
+  for (int pass = 0; pass < 2; ++pass) {
+    const alp::Status s = (*seekable)->TryDecodeAll(restored.data());
+    if (!s.ok()) return Fail(s, "seekable decode failed");
+  }
+  for (size_t i = 0; i < restored.size(); ++i) {
+    if (alp::BitsOf(restored[i]) != alp::BitsOf((*values)[i])) {
+      return Fail("seekable round-trip mismatch");
+    }
+  }
+
   const auto snapshot = alp::obs::MetricRegistry::Global().Snapshot();
   const bool json = g_metrics == 2;
   if (!json) {
@@ -387,6 +414,10 @@ int CmdStats(const std::string& in_path) {
                 alp::BitsPerValue<double>(buffer, values->size()),
                 info.rowgroups, info.rowgroups_rd, Pool().size(),
                 alp::kernels::ActiveTierName());
+    const alp::io::DecodedVectorCache::Stats cs = cache.TotalStats();
+    std::printf("cache: hits %" PRIu64 " | misses %" PRIu64 " | evictions %"
+                PRIu64 " | %" PRIu64 " entries, %" PRIu64 " bytes resident\n",
+                cs.hits, cs.misses, cs.evictions, cs.entries, cs.bytes);
   }
   alp::obs::TraceSink::Emit(snapshot, json, std::cout);
   // The command already printed the registry; suppress the end-of-run dump.
@@ -416,13 +447,15 @@ int CmdGen(const std::string& name, const std::string& count_str,
 /// aggregates, 10% scans by request index). Prints per-class latency
 /// percentiles and the admission/shedding counters — the quick smoke check
 /// for the serving layer; bench_serving_load is the calibrated generator.
-int CmdServeBench(const std::string& in_path, size_t requests, size_t queue) {
+int CmdServeBench(const std::string& in_path, size_t requests, size_t queue,
+                  size_t cache_bytes) {
   const auto values = alp::ReadDoublesFileEx(in_path);
   if (!values.ok()) return Fail(values.status(), "cannot read input");
 
   alp::server::ServerConfig config;
   config.workers = g_threads;  // 0 = hardware concurrency.
   config.queue_capacity = queue;
+  config.cache_bytes = cache_bytes;
   alp::server::Server server(config);
   const alp::Status add = server.AddColumn("col", values->data(), values->size());
   if (!add.ok()) return Fail(add, "cannot build serving column");
@@ -484,6 +517,12 @@ int CmdServeBench(const std::string& in_path, size_t requests, size_t queue) {
               stats.admitted, stats.submitted, stats.completed,
               stats.SheddedTotal(), stats.shed_queue_full, stats.shed_class,
               stats.deadline_missed, stats.max_queue_depth);
+  const alp::io::DecodedVectorCache::Stats cs = server.cache_stats();
+  std::printf("  cache: limit %zu bytes | hits %" PRIu64 " | misses %" PRIu64
+              " | evictions %" PRIu64 " | %" PRIu64 " entries, %" PRIu64
+              " bytes resident\n",
+              cache_bytes, cs.hits, cs.misses, cs.evictions, cs.entries,
+              cs.bytes);
   return 0;
 }
 
@@ -572,10 +611,12 @@ int main(int argc, char** argv) {
   else if (command == "stats" && argc == 3) rc = CmdStats(argv[2]);
   else if (command == "gen" && argc == 5) rc = CmdGen(argv[2], argv[3], argv[4]);
   else if (command == "datasets" && argc == 2) rc = CmdDatasets();
-  else if (command == "serve-bench" && argc >= 3 && argc <= 5) {
-    // Trailing command options: [--requests=N] [--queue=N], any order.
+  else if (command == "serve-bench" && argc >= 3 && argc <= 6) {
+    // Trailing command options: [--requests=N] [--queue=N]
+    // [--catalog-bytes-limit=N], any order.
     size_t requests = 2000;
     size_t queue = 256;
+    size_t cache_bytes = 0;
     bool bad = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strncmp(argv[i], "--requests=", 11) == 0) {
@@ -586,11 +627,15 @@ int main(int argc, char** argv) {
         const long v = std::atol(argv[i] + 8);
         if (v <= 0) return Fail("bad --queue value", argv[i]);
         queue = static_cast<size_t>(v);
+      } else if (std::strncmp(argv[i], "--catalog-bytes-limit=", 22) == 0) {
+        const long long v = std::atoll(argv[i] + 22);
+        if (v < 0) return Fail("bad --catalog-bytes-limit value", argv[i]);
+        cache_bytes = static_cast<size_t>(v);  // 0 = cache off.
       } else {
         bad = true;
       }
     }
-    if (!bad) rc = CmdServeBench(argv[2], requests, queue);
+    if (!bad) rc = CmdServeBench(argv[2], requests, queue, cache_bytes);
   }
   if (rc < 0) return Usage();
 
