@@ -1,6 +1,8 @@
 #ifndef ALP_BENCH_BENCH_COMMON_H_
 #define ALP_BENCH_BENCH_COMMON_H_
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -109,25 +111,31 @@ class JsonReport {
   bool enabled() const { return !path_.empty(); }
 
   /// Appends one measurement record; \p threads < 0 omits the field and an
-  /// empty \p kernel_tier omits that field. Pass the tier only on records
-  /// whose speed depends on the dispatched decode kernel (ALP decompress
-  /// measurements), so per-tier baselines never compare across tiers.
+  /// empty \p kernel_tier / \p tenant omits that field. Pass the tier only
+  /// on records whose speed depends on the dispatched decode kernel (ALP
+  /// decompress measurements), so per-tier baselines never compare across
+  /// tiers. \p tenant labels per-tenant serving-latency records (see
+  /// docs/BENCH_SCHEMA.md). Values serialize round-trippably (%.17g via
+  /// obs::JsonDouble): bench_diff comparisons see exactly the measured
+  /// double, not a 6-digit rounding of it.
   void Add(const std::string& dataset, const std::string& scheme,
            const std::string& metric, double value, const std::string& unit,
-           int threads = -1, const std::string& kernel_tier = std::string()) {
+           int threads = -1, const std::string& kernel_tier = std::string(),
+           const std::string& tenant = std::string()) {
     if (!enabled()) return;
     std::string rec = "    {\"dataset\": " + Quote(dataset) +
                       ", \"scheme\": " + Quote(scheme) +
                       ", \"metric\": " + Quote(metric) + ", \"value\": ";
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", value);
-    rec += buf;
+    rec += obs::JsonDouble(value);
     rec += ", \"unit\": " + Quote(unit);
     if (threads >= 0) {
       rec += ", \"threads\": " + std::to_string(threads);
     }
     if (!kernel_tier.empty()) {
       rec += ", \"kernel_tier\": " + Quote(kernel_tier);
+    }
+    if (!tenant.empty()) {
+      rec += ", \"tenant\": " + Quote(tenant);
     }
     rec += "}";
     records_.push_back(std::move(rec));
@@ -180,6 +188,12 @@ class JsonReport {
 ///     auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
 ///     auto report = alp::bench::JsonReport::FromArgs(argc, argv, "...");
 ///     ...
+/// The capture also survives interruption: an armed session installs a
+/// SIGINT handler and an atexit hook, so a load run killed with ^C (or a
+/// binary that bails through std::exit before the session destructs) still
+/// writes a well-formed trace file with every span recorded so far, instead
+/// of leaving nothing or a torn file behind. Whichever of the destructor /
+/// signal / atexit paths runs first flushes; the rest are no-ops.
 class TraceSession {
  public:
   static TraceSession FromArgs(int argc, char** argv) {
@@ -190,7 +204,19 @@ class TraceSession {
         session.path_ = a + 8;
       }
     }
-    if (session.enabled()) obs::StartTracing();
+    if (session.enabled()) {
+      obs::StartTracing();
+      GlobalPath() = session.path_;
+      GlobalArmed().store(true, std::memory_order_release);
+      // Best-effort: WriteTraceFile is not async-signal-safe, but a bench
+      // run interrupted at a bad instant at worst loses the trace it was
+      // about to lose anyway — it cannot corrupt anything else.
+      std::signal(SIGINT, [](int) {
+        FlushNow();
+        std::_Exit(130);
+      });
+      std::atexit([] { FlushNow(); });
+    }
     return session;
   }
 
@@ -206,19 +232,38 @@ class TraceSession {
 
   bool enabled() const { return !path_.empty(); }
 
-  ~TraceSession() {
-    if (!enabled()) return;
+  /// Stops the capture and writes the trace file exactly once per armed
+  /// session; every later call (destructor after a signal flush, atexit
+  /// after the destructor) is a no-op.
+  static void FlushNow() {
+    if (!GlobalArmed().exchange(false, std::memory_order_acq_rel)) return;
     obs::StopTracing();
-    const Status s = obs::WriteTraceFile(path_);
+    const Status s = obs::WriteTraceFile(GlobalPath());
     if (!s.ok()) {
-      std::fprintf(stderr, "bench: cannot write trace %s: %s\n", path_.c_str(),
-                   s.ToString().c_str());
+      std::fprintf(stderr, "bench: cannot write trace %s: %s\n",
+                   GlobalPath().c_str(), s.ToString().c_str());
       return;
     }
-    std::fprintf(stderr, "bench: trace written to %s\n", path_.c_str());
+    std::fprintf(stderr, "bench: trace written to %s\n", GlobalPath().c_str());
+  }
+
+  ~TraceSession() {
+    if (!enabled()) return;
+    FlushNow();
   }
 
  private:
+  // One armed session per process (FromArgs is called once from main);
+  // global so the signal/atexit hooks reach it without captures.
+  static std::atomic<bool>& GlobalArmed() {
+    static std::atomic<bool> armed{false};
+    return armed;
+  }
+  static std::string& GlobalPath() {
+    static std::string path;
+    return path;
+  }
+
   std::string path_;
 };
 

@@ -20,7 +20,14 @@
 //             nonzero on any violation — this is the CI overload gate.
 //
 // Flags: --json=<path>, --stress, --requests=N (default 4000),
-//        --workers=N (default hardware), --queue=N (default 256).
+//        --workers=N (default hardware), --queue=N (default 256),
+//        --tenants=N (default 2; requests round-robin over tenant-<i>),
+//        --slow-log=<path> --slow-us=N (arm the per-request flight
+//        recorder; dumps append to the log as JSON lines),
+//        --inject-io-stall=<us> (arm a deterministic stall at the
+//        io.chunk_read site — the CI fault-attribution run),
+//        --metrics-out=<path> (write a Prometheus-text snapshot of the
+//        metric registry after the run).
 // ALP_BENCH_VALUES overrides the column size (default 1 rowgroup).
 
 #include <algorithm>
@@ -30,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <future>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +45,8 @@
 #include "alp/alp.h"
 #include "bench_common.h"
 #include "data/datasets.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "util/fault_injection.h"
 
@@ -53,10 +63,14 @@ using alp::server::ServerStats;
 constexpr size_t kClasses = alp::server::kQueryClassCount;
 
 /// The 60/30/10 mix by request index — deterministic, so baseline and
-/// current runs issue the identical request sequence.
-Request MixedRequest(size_t i, size_t vectors) {
+/// current runs issue the identical request sequence. Tenants round-robin
+/// by index ("tenant-0", "tenant-1", ...), equally deterministic.
+Request MixedRequest(size_t i, size_t vectors, size_t tenants) {
   Request request;
   request.column = "col";
+  if (tenants > 1) {
+    request.tenant = "tenant-" + std::to_string(i % tenants);
+  }
   const size_t slot = i % 10;
   if (slot < 6) {
     request.query_class = QueryClass::kPointLookup;
@@ -81,6 +95,9 @@ double Percentile(std::vector<uint64_t>& sorted_ns, double p) {
 
 struct RunOutcome {
   std::vector<uint64_t> latency_ns[kClasses];  ///< Completed requests only.
+  /// Completed-request latency keyed by tenant name (only populated with
+  /// more than one tenant) — feeds the per-tenant report records.
+  std::map<std::string, std::vector<uint64_t>> tenant_latency_ns;
   uint64_t completed = 0;
   uint64_t typed_errors = 0;   ///< kCancelled/kDeadline/kResourceExhausted/fault.
   uint64_t untyped_errors = 0; ///< Anything else — always an envelope breach.
@@ -90,9 +107,14 @@ struct RunOutcome {
 /// Drives `requests` arrivals at `rate_per_s` (open loop) and collects
 /// every future. Returns per-class completion latencies (queue + exec).
 RunOutcome DriveLoad(Server& server, size_t requests, double rate_per_s,
-                     size_t vectors) {
+                     size_t vectors, size_t tenants) {
   RunOutcome outcome;
-  std::vector<std::pair<QueryClass, std::future<Response>>> futures;
+  struct InFlight {
+    QueryClass qc;
+    std::string tenant;
+    std::future<Response> future;
+  };
+  std::vector<InFlight> futures;
   futures.reserve(requests);
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -104,16 +126,21 @@ RunOutcome DriveLoad(Server& server, size_t requests, double rate_per_s,
     // Open loop: sleep until the scheduled arrival; never wait for
     // completions. If we are behind schedule this does not sleep at all.
     std::this_thread::sleep_until(scheduled);
-    Request request = MixedRequest(i, vectors);
+    Request request = MixedRequest(i, vectors, tenants);
     const QueryClass qc = request.query_class;
-    futures.emplace_back(qc, server.Submit(std::move(request)));
+    std::string tenant = request.tenant;
+    futures.push_back(
+        {qc, std::move(tenant), server.Submit(std::move(request))});
   }
-  for (auto& [qc, future] : futures) {
+  for (auto& [qc, tenant, future] : futures) {
     const Response r = future.get();
     if (r.status.ok()) {
       ++outcome.completed;
       outcome.latency_ns[static_cast<size_t>(qc)].push_back(r.queue_ns +
                                                             r.exec_ns);
+      if (tenants > 1) {
+        outcome.tenant_latency_ns[tenant].push_back(r.queue_ns + r.exec_ns);
+      }
     } else {
       switch (r.status.code()) {
         case alp::StatusCode::kCancelled:
@@ -144,6 +171,11 @@ int main(int argc, char** argv) {
   size_t requests = 4000;
   unsigned workers = 0;
   size_t queue_capacity = 256;
+  size_t tenants = 2;
+  std::string slow_log;
+  uint64_t slow_us = 0;
+  uint64_t inject_io_stall_us = 0;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strcmp(a, "--stress") == 0) stress = true;
@@ -153,8 +185,22 @@ int main(int argc, char** argv) {
       workers = static_cast<unsigned>(std::atol(a + 10));
     } else if (std::strncmp(a, "--queue=", 8) == 0) {
       queue_capacity = static_cast<size_t>(std::atoll(a + 8));
+    } else if (std::strncmp(a, "--tenants=", 10) == 0) {
+      tenants = static_cast<size_t>(std::atoll(a + 10));
+      if (tenants == 0) tenants = 1;
+    } else if (std::strncmp(a, "--slow-log=", 11) == 0) {
+      slow_log = a + 11;
+    } else if (std::strncmp(a, "--slow-us=", 10) == 0) {
+      slow_us = static_cast<uint64_t>(std::atoll(a + 10));
+    } else if (std::strncmp(a, "--inject-io-stall=", 18) == 0) {
+      inject_io_stall_us = static_cast<uint64_t>(std::atoll(a + 18));
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      metrics_out = a + 14;
     }
   }
+  // A Prometheus snapshot of an off registry would be all-empty; the flag
+  // implies enabling it (same as the CLI's --metrics).
+  if (!metrics_out.empty()) alp::obs::SetEnabled(true);
 
   // One rowgroup of the City-Temp surrogate: large enough that scans cost
   // real work, small enough that the calibration finishes in seconds.
@@ -166,6 +212,8 @@ int main(int argc, char** argv) {
   ServerConfig config;
   config.workers = workers;
   config.queue_capacity = queue_capacity;
+  config.slow_log_path = slow_log;
+  config.slow_query_us = slow_us;
   Server server(config);
   if (!server.AddColumn("col", values.data(), values.size()).ok()) {
     std::fprintf(stderr, "FAIL: cannot build serving column\n");
@@ -177,7 +225,7 @@ int main(int argc, char** argv) {
   const size_t kCalibration = 60;
   const auto c0 = std::chrono::steady_clock::now();
   for (size_t i = 0; i < kCalibration; ++i) {
-    const Response r = server.Execute(MixedRequest(i, vectors));
+    const Response r = server.Execute(MixedRequest(i, vectors, tenants));
     if (!r.status.ok()) {
       std::fprintf(stderr, "FAIL: calibration request failed: %s\n",
                    r.status.ToString().c_str());
@@ -212,8 +260,20 @@ int main(int argc, char** argv) {
     stall.probability = 0.02;
     alp::fault::Arm("column.decode_vector", stall);
   }
+  if (inject_io_stall_us > 0) {
+    // The CI fault-attribution run: a deterministic stall-only fault at the
+    // chunk-read site. Stalled requests return OK but trip the recorder's
+    // fault-fire dump condition, so the slow log must attribute the stall
+    // to io.chunk_read by name.
+    alp::fault::SetSeed(42);
+    alp::fault::FaultSpec io_stall;
+    io_stall.stall_us = inject_io_stall_us;
+    io_stall.stall_only = true;
+    io_stall.every_nth = 101;
+    alp::fault::Arm("io.chunk_read", io_stall);
+  }
 
-  RunOutcome outcome = DriveLoad(server, requests, rate, vectors);
+  RunOutcome outcome = DriveLoad(server, requests, rate, vectors, tenants);
   server.Shutdown();  // Final: completion accounting is settled after this.
   alp::fault::DisarmAll();
   const ServerStats stats = server.stats();
@@ -256,6 +316,35 @@ int main(int argc, char** argv) {
   if (!stress) {
     report.Add("serving-mix", "all", "requests_per_second", throughput,
                "req/s", static_cast<int>(server.workers()));
+    // Per-tenant tail latency across the whole mix: the multi-tenant
+    // fairness signal (records carry a "tenant" field; schema alp-bench-v1,
+    // docs/BENCH_SCHEMA.md).
+    for (auto& [tenant, lat] : outcome.tenant_latency_ns) {
+      if (lat.empty()) continue;
+      std::sort(lat.begin(), lat.end());
+      const int t = static_cast<int>(server.workers());
+      report.Add("serving-tenant", tenant, "p50_latency_us",
+                 Percentile(lat, 0.50), "us", t, "", tenant);
+      report.Add("serving-tenant", tenant, "p99_latency_us",
+                 Percentile(lat, 0.99), "us", t, "", tenant);
+    }
+  }
+  if (!metrics_out.empty()) {
+    const alp::Status ms = alp::obs::WriteTextFile(
+        metrics_out,
+        alp::obs::PrometheusText(alp::obs::MetricRegistry::Global().Snapshot()),
+        /*atomic=*/true);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "FAIL: cannot write %s: %s\n", metrics_out.c_str(),
+                   ms.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  if (!slow_log.empty()) {
+    std::printf("slow-query log: %" PRIu64 " dumps (%" PRIu64
+                " slow) -> %s\n",
+                stats.flight_dumps, stats.slow_queries, slow_log.c_str());
   }
 
   // --- degradation envelope (asserted in both modes; --stress is the CI

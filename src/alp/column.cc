@@ -622,6 +622,22 @@ void ColumnReader<T>::DecodeRdVector(const RowgroupInfo& rg, size_t local_v,
 }
 
 template <typename T>
+uint16_t ColumnReader<T>::VectorExceptionCount(size_t v) const {
+  if (v >= vector_count_) return 0;
+  const RowgroupInfo& rg = rowgroups_[v / kRowgroupVectors];
+  const size_t local_v = v - rg.first_vector;
+  const size_t vec_at = rg.byte_offset + rg.vector_offsets[local_v];
+  const size_t header_size = rg.scheme == Scheme::kAlp
+                                 ? sizeof(AlpVectorHeader)
+                                 : sizeof(RdVectorHeader);
+  if (vec_at + header_size > size_) return 0;
+  ByteReader reader(data_, size_);
+  reader.SeekTo(vec_at);
+  return rg.scheme == Scheme::kAlp ? reader.Read<AlpVectorHeader>().exc_count
+                                   : reader.Read<RdVectorHeader>().exc_count;
+}
+
+template <typename T>
 void ColumnReader<T>::DecodeVector(size_t v, T* out) const {
   const RowgroupInfo& rg = rowgroups_[v / kRowgroupVectors];
   const size_t local_v = v - rg.first_vector;

@@ -185,6 +185,11 @@ class ColumnReader {
     return stats_[v].MayContain(lo, hi);
   }
 
+  /// Exceptions patched into vector \p v's decode, read from its header
+  /// without decoding any values (out of range or truncated headers read
+  /// as 0). Feeds the flight recorder's decode.exceptions counter.
+  uint16_t VectorExceptionCount(size_t v) const;
+
   /// Decodes vector \p v into \p out (room for VectorLength(v) values).
   /// Trusted path: no per-vector re-validation.
   void DecodeVector(size_t v, T* out) const;

@@ -64,8 +64,9 @@ class StoredColumn {
   /// prefetch pool is deliberately absent: engine operators and the server
   /// drive rowgroups from their own worker threads, and handing those
   /// threads' pool to the prefetcher would let a scan wait on tasks the
-  /// occupied pool can never run.
-  Status EnableSeekable(io::DecodedVectorCache* cache);
+  /// occupied pool can never run. A non-empty \p label becomes the reader's
+  /// per-column cache-counter label (io.cache.hits{column="<label>"}).
+  Status EnableSeekable(io::DecodedVectorCache* cache, std::string label = {});
 
   /// Non-null once EnableSeekable succeeded; decode goes through the chunked
   /// fetch → verify → open → decode path and the shared cache.

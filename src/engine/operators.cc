@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "util/aligned_buffer.h"
 #include "util/cycle_clock.h"
 #include "util/fault_injection.h"
@@ -63,6 +64,21 @@ QueryResult RunParallel(const StoredColumn& column, ThreadPool& pool,
     partials[worker] = local;
   });
   const uint64_t cycles = CycleNow() - start;
+
+#if ALP_OBS
+  // Flight-recorder attribution happens here, after the join, from the
+  // orchestrating thread only: the recorder is single-writer and the pool
+  // workers above must never touch it (they also run without the ambient
+  // attribution TLS, so their ScopedTimers stay recorder-free).
+  if (ctx != nullptr && ctx->request != nullptr &&
+      ctx->request->recorder != nullptr) {
+    obs::FlightRecorder* recorder = ctx->request->recorder;
+    recorder->Annotate("engine.rowgroups", rowgroups);
+    recorder->Annotate("engine.threads", pool.size());
+    recorder->Span("engine.parallel", start, start + cycles,
+                   column.value_count());
+  }
+#endif
 
   QueryResult result;
   result.status = std::move(fail_status);

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "alp/constants.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/checksum.h"
@@ -108,9 +109,19 @@ SeekableReader<T>::SeekableReader(std::shared_ptr<RandomAccessSource> source,
                                   SeekableReaderOptions options,
                                   alp::internal::ColumnIndex index)
     : source_(std::move(source)),
-      options_(options),
+      options_(std::move(options)),
       index_(std::move(index)),
-      column_id_(g_next_column_id.fetch_add(1, std::memory_order_relaxed)) {}
+      column_id_(g_next_column_id.fetch_add(1, std::memory_order_relaxed)) {
+#if ALP_OBS
+  if (!options_.column_label.empty()) {
+    auto& registry = obs::MetricRegistry::Global();
+    labeled_cache_hits_ = &registry.GetCounter(obs::LabeledName(
+        "io.cache.hit", {{"column", options_.column_label}}));
+    labeled_cache_misses_ = &registry.GetCounter(obs::LabeledName(
+        "io.cache.miss", {{"column", options_.column_label}}));
+  }
+#endif
+}
 
 template <typename T>
 unsigned SeekableReader<T>::VectorLength(size_t v) const {
@@ -241,6 +252,16 @@ Status SeekableReader<T>::VisitRowgroupImpl(
   DecodedVectorCache* cache = options_.cache;
   const bool caching = cache != nullptr && cache->capacity_bytes() > 0;
 
+  // Per-request attribution: every cache decision, chunk fetch and decode
+  // on this path is credited to the owning request's flight recorder.
+  // Compiled out with the rest of the IO instrumentation under
+  // -DALP_OBS=OFF; one null check per vector otherwise.
+#if ALP_OBS
+  obs::FlightRecorder* recorder =
+      ctx != nullptr && ctx->request != nullptr ? ctx->request->recorder
+                                                : nullptr;
+#endif
+
   std::vector<uint8_t> chunk;
   std::optional<ColumnReader<T>> chunk_reader;
   std::vector<T> scratch;
@@ -255,14 +276,30 @@ Status SeekableReader<T>::VisitRowgroupImpl(
     const unsigned len = VectorLength(v);
     if (caching) {
       if (DecodedVectorCache::Value hit = cache->Lookup(column_id_, v)) {
+        ALP_OBS_ONLY({
+          if (labeled_cache_hits_ != nullptr) labeled_cache_hits_->Increment();
+          if (recorder != nullptr) recorder->Count("io.cache.hit");
+        });
         Status vs = visit(v, reinterpret_cast<const T*>(hit->data()), len);
         if (!vs.ok()) return vs;
         continue;
       }
+      ALP_OBS_ONLY({
+        if (labeled_cache_misses_ != nullptr) {
+          labeled_cache_misses_->Increment();
+        }
+        if (recorder != nullptr) recorder->Count("io.cache.miss");
+      });
     }
     if (!chunk_reader.has_value()) {
       Status s = LoadChunk(rg, prefetched, &chunk);
       if (!s.ok()) return s;
+      ALP_OBS_ONLY({
+        if (recorder != nullptr) {
+          recorder->Count("io.chunk.reads");
+          recorder->Count("io.chunk.bytes", chunk.size());
+        }
+      });
       StatusOr<ColumnReader<T>> opened = ColumnReader<T>::OpenRowgroupChunk(
           chunk.data(), chunk.size(), rg_values);
       if (!opened.ok()) return RebaseOffset(opened.status(), chunk_base);
@@ -273,6 +310,15 @@ Status SeekableReader<T>::VisitRowgroupImpl(
     scratch.resize(kVectorSize);
     Status ds = chunk_reader->TryDecodeVector(lv, scratch.data(), ctx);
     if (!ds.ok()) return RebaseOffset(std::move(ds), chunk_base);
+    ALP_OBS_ONLY({
+      if (recorder != nullptr) {
+        // ALP exceptions patched in this vector — the per-request cousin of
+        // the aggregate exceptions-per-vector histogram. The header is
+        // re-read only for recorded requests.
+        recorder->Count("decode.exceptions",
+                        chunk_reader->VectorExceptionCount(lv));
+      }
+    });
     if (caching) {
       const uint8_t* raw = reinterpret_cast<const uint8_t*>(scratch.data());
       auto entry = std::make_shared<const std::vector<uint8_t>>(

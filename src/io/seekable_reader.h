@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "alp/column.h"
 #include "io/decoded_vector_cache.h"
 #include "io/random_access_source.h"
+#include "obs/metrics.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -83,6 +85,14 @@ struct SeekableReaderOptions {
   /// Shared decoded-vector cache; null (or a capacity-0 cache) disables
   /// caching. The cache must outlive the reader.
   DecodedVectorCache* cache = nullptr;
+
+  /// When non-empty, the reader registers per-column labeled cache
+  /// counters — io.cache.hit{column="..."} / io.cache.miss{column="..."}
+  /// — so per-column hit ratios fall out of one snapshot (the unlabeled
+  /// io.cache.* totals the cache itself maintains are unchanged).
+  /// Registration happens once at Open; recording is the same lock-free
+  /// counter fast path. Ignored under -DALP_OBS=OFF.
+  std::string column_label;
 };
 
 template <typename T>
@@ -193,6 +203,10 @@ class SeekableReader {
   alp::internal::ColumnIndex index_;
   uint64_t column_id_;
   mutable std::atomic<int64_t> prefetch_outstanding_{0};
+  /// Labeled per-column cache counters (see SeekableReaderOptions::
+  /// column_label); null when unlabeled or ALP_OBS is off.
+  obs::Counter* labeled_cache_hits_ = nullptr;
+  obs::Counter* labeled_cache_misses_ = nullptr;
 };
 
 }  // namespace alp::io

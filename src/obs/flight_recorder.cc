@@ -1,0 +1,358 @@
+#include "obs/flight_recorder.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/sink.h"
+#include "util/cycle_clock.h"
+#include "util/fault_injection.h"
+
+namespace alp::obs {
+
+namespace internal {
+thread_local constinit FlightRecorder* g_tl_recorder = nullptr;
+thread_local constinit uint64_t g_tl_trace_id = 0;
+}  // namespace internal
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  *out += buf;
+}
+
+}  // namespace
+
+void FlightRecorder::Reset(uint64_t trace_id, const char* query_class,
+                           const char* tenant) {
+  trace_id_ = trace_id;
+  query_class_ = query_class != nullptr ? query_class : "";
+  tenant_ = tenant != nullptr ? tenant : "";
+  events_head_ = 0;
+  events_retained_ = 0;
+  events_dropped_ = 0;
+  counter_count_ = 0;
+  stage_count_ = 0;
+  fault_count_ = 0;
+  table_overflow_ = 0;
+  labels_.clear();
+  anchor_cycles_ = CycleNow();
+  anchor_ns_ = SteadyNowNs();
+  has_outcome_ = false;
+  outcome_code_ = StatusCode::kOk;
+  outcome_message_.clear();
+  queue_ns_ = 0;
+  exec_ns_ = 0;
+}
+
+void FlightRecorder::PushEvent(const Event& event) {
+  events_[events_head_ % kEventCapacity] = event;
+  ++events_head_;
+  if (events_retained_ < kEventCapacity) {
+    ++events_retained_;
+  } else {
+    ++events_dropped_;
+  }
+}
+
+FlightRecorder::Aggregate* FlightRecorder::FindOrAdd(
+    std::array<Aggregate, kTableCapacity>& table, size_t* size,
+    const char* key) {
+  // Pointer equality first: instrumentation passes string literals, and
+  // within one binary the same site usually hands back the same pointer.
+  // Fall back to strcmp because literal merging across translation units is
+  // not guaranteed.
+  for (size_t i = 0; i < *size; ++i) {
+    if (table[i].key == key) return &table[i];
+  }
+  for (size_t i = 0; i < *size; ++i) {
+    if (std::strcmp(table[i].key, key) == 0) return &table[i];
+  }
+  if (*size == kTableCapacity) {
+    ++table_overflow_;
+    return nullptr;
+  }
+  Aggregate& slot = table[(*size)++];
+  slot = Aggregate{};
+  slot.key = key;
+  return &slot;
+}
+
+const FlightRecorder::Aggregate* FlightRecorder::Find(
+    const std::array<Aggregate, kTableCapacity>& table, size_t size,
+    const char* key) const {
+  for (size_t i = 0; i < size; ++i) {
+    if (table[i].key == key || std::strcmp(table[i].key, key) == 0) {
+      return &table[i];
+    }
+  }
+  return nullptr;
+}
+
+void FlightRecorder::Count(const char* key, uint64_t delta) {
+  if (Aggregate* agg = FindOrAdd(counters_, &counter_count_, key)) {
+    ++agg->calls;
+    agg->value += delta;
+  }
+  // The ring keeps the per-vector timeline (which vector hit, which
+  // missed); the aggregate above stays lossless once the ring wraps.
+  Event event;
+  event.name = key;
+  event.kind = 0;
+  event.a = delta;
+  PushEvent(event);
+}
+
+void FlightRecorder::Annotate(const char* key, uint64_t value) {
+  Event event;
+  event.name = key;
+  event.kind = 0;
+  event.a = value;
+  PushEvent(event);
+}
+
+void FlightRecorder::Span(const char* name, uint64_t begin_cycles,
+                          uint64_t end_cycles, uint64_t items) {
+  if (Aggregate* agg = FindOrAdd(stages_, &stage_count_, name)) {
+    ++agg->calls;
+    agg->value += end_cycles - begin_cycles;
+    agg->items += items;
+  }
+  Event event;
+  event.name = name;
+  event.kind = 1;
+  event.a = begin_cycles;
+  event.b = end_cycles;
+  event.c = items;
+  PushEvent(event);
+}
+
+void FlightRecorder::RecordFault(const char* site, bool failed,
+                                 uint64_t stall_us) {
+  if (Aggregate* agg = FindOrAdd(faults_, &fault_count_, site)) {
+    ++agg->calls;
+    agg->value += failed ? 1 : 0;
+    agg->items += stall_us;
+  }
+  Event event;
+  event.name = site;
+  event.kind = 2;
+  event.a = stall_us;
+  event.b = failed ? 1 : 0;
+  PushEvent(event);
+}
+
+void FlightRecorder::Label(const char* key, std::string value) {
+  for (auto& [k, v] : labels_) {
+    if (k == key || std::strcmp(k, key) == 0) {
+      v = std::move(value);
+      return;
+    }
+  }
+  labels_.emplace_back(key, std::move(value));
+}
+
+void FlightRecorder::SetOutcome(const Status& status, uint64_t queue_ns,
+                                uint64_t exec_ns) {
+  has_outcome_ = true;
+  outcome_code_ = status.code();
+  outcome_message_ = status.message();
+  queue_ns_ = queue_ns;
+  exec_ns_ = exec_ns;
+}
+
+uint64_t FlightRecorder::CounterValue(const char* key) const {
+  const Aggregate* agg = Find(counters_, counter_count_, key);
+  return agg != nullptr ? agg->value : 0;
+}
+
+uint64_t FlightRecorder::SpanCalls(const char* name) const {
+  const Aggregate* agg = Find(stages_, stage_count_, name);
+  return agg != nullptr ? agg->calls : 0;
+}
+
+uint64_t FlightRecorder::FaultFires() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < fault_count_; ++i) total += faults_[i].calls;
+  return total;
+}
+
+std::string FlightRecorder::ToJson() const {
+  // Re-measure the calibration pair so cycle deltas convert to wall time
+  // over the request's own interval; fall back to a 1 GHz assumption if the
+  // dump happens within the same cycle reading (calibration degenerate).
+  const uint64_t now_cycles = CycleNow();
+  const uint64_t now_ns = SteadyNowNs();
+  double ns_per_cycle = 1.0;
+  if (now_cycles > anchor_cycles_ && now_ns > anchor_ns_) {
+    ns_per_cycle = static_cast<double>(now_ns - anchor_ns_) /
+                   static_cast<double>(now_cycles - anchor_cycles_);
+  }
+  auto cycles_to_us = [&](uint64_t cycles) -> uint64_t {
+    return static_cast<uint64_t>(static_cast<double>(cycles) * ns_per_cycle /
+                                 1000.0);
+  };
+
+  std::string out;
+  out.reserve(2048);
+  out += "{\"trace_id\":";
+  out += JsonQuote(TraceIdHex(trace_id_));
+  out += ",\"class\":";
+  out += JsonQuote(query_class_);
+  out += ",\"tenant\":";
+  out += JsonQuote(tenant_);
+  if (has_outcome_) {
+    out += ",\"status\":";
+    out += JsonQuote(StatusCodeName(outcome_code_));
+    if (!outcome_message_.empty()) {
+      out += ",\"status_message\":";
+      out += JsonQuote(outcome_message_);
+    }
+    out += ",\"queue_us\":";
+    AppendU64(&out, queue_ns_ / 1000);
+    out += ",\"exec_us\":";
+    AppendU64(&out, exec_ns_ / 1000);
+  }
+  for (const auto& [key, value] : labels_) {
+    out += ",";
+    out += JsonQuote(key);
+    out += ":";
+    out += JsonQuote(value);
+  }
+
+  out += ",\"counters\":{";
+  for (size_t i = 0; i < counter_count_; ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(counters_[i].key);
+    out += ":";
+    AppendU64(&out, counters_[i].value);
+  }
+  out += "}";
+
+  out += ",\"stages\":{";
+  for (size_t i = 0; i < stage_count_; ++i) {
+    if (i > 0) out += ",";
+    out += JsonQuote(stages_[i].key);
+    out += ":{\"calls\":";
+    AppendU64(&out, stages_[i].calls);
+    out += ",\"total_us\":";
+    AppendU64(&out, cycles_to_us(stages_[i].value));
+    out += ",\"items\":";
+    AppendU64(&out, stages_[i].items);
+    out += "}";
+  }
+  out += "}";
+
+  out += ",\"faults\":[";
+  for (size_t i = 0; i < fault_count_; ++i) {
+    if (i > 0) out += ",";
+    out += "{\"site\":";
+    out += JsonQuote(faults_[i].key);
+    out += ",\"fires\":";
+    AppendU64(&out, faults_[i].calls);
+    out += ",\"errors\":";
+    AppendU64(&out, faults_[i].value);
+    out += ",\"stall_us\":";
+    AppendU64(&out, faults_[i].items);
+    out += "}";
+  }
+  out += "]";
+
+  out += ",\"events_dropped\":";
+  AppendU64(&out, events_dropped_);
+  out += ",\"events\":[";
+  // Oldest retained first. When the ring wrapped, the oldest slot is the
+  // one the head is about to overwrite.
+  const size_t start =
+      events_head_ > kEventCapacity ? events_head_ - kEventCapacity : 0;
+  for (size_t i = 0; i < events_retained_; ++i) {
+    const Event& event = events_[(start + i) % kEventCapacity];
+    if (i > 0) out += ",";
+    out += "{\"name\":";
+    out += JsonQuote(event.name != nullptr ? event.name : "");
+    switch (event.kind) {
+      case 1: {  // span
+        out += ",\"kind\":\"span\",\"t_us\":";
+        AppendU64(&out, event.a >= anchor_cycles_
+                            ? cycles_to_us(event.a - anchor_cycles_)
+                            : 0);
+        out += ",\"dur_us\":";
+        AppendU64(&out, cycles_to_us(event.b - event.a));
+        out += ",\"items\":";
+        AppendU64(&out, event.c);
+        break;
+      }
+      case 2: {  // fault
+        out += ",\"kind\":\"fault\",\"stall_us\":";
+        AppendU64(&out, event.a);
+        out += ",\"failed\":";
+        out += event.b != 0 ? "true" : "false";
+        break;
+      }
+      default: {  // annotation
+        out += ",\"kind\":\"note\",\"value\":";
+        AppendU64(&out, event.a);
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Fault attribution and trace-ID generation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void FlightFaultObserver(const char* site, bool failed, uint64_t stall_us) {
+  if (FlightRecorder* rec = CurrentFlightRecorder()) {
+    rec->RecordFault(site, failed, stall_us);
+  }
+}
+
+}  // namespace
+
+void InstallFlightFaultObserver() {
+  fault::SetFireObserver(&FlightFaultObserver);
+}
+
+uint64_t NewTraceId() {
+  // The per-process seed keeps IDs from colliding across runs whose logs
+  // are later merged; the counter keeps them unique within a run.
+  static const uint64_t seed =
+      SplitMix64(SteadyNowNs() ^ (reinterpret_cast<uintptr_t>(&NewTraceId)));
+  static std::atomic<uint64_t> counter{0};
+  const uint64_t n = counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t id = SplitMix64(seed ^ n);
+  if (id == 0) id = 1;
+  return id;
+}
+
+std::string TraceIdHex(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return std::string(buf, 16);
+}
+
+}  // namespace alp::obs

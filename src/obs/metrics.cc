@@ -129,6 +129,35 @@ void StageStats::Reset() {
   items_.Reset();
 }
 
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  bool any = false;
+  for (const auto& [key, value] : labels) {
+    if (value.empty()) continue;
+    out += any ? ',' : '{';
+    any = true;
+    out += key;
+    out += "=\"";
+    // Label values are class/tenant/column identifiers; escape the three
+    // characters the exposition format reserves so a hostile tenant string
+    // cannot break the name grammar.
+    for (char c : value) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  if (any) out += '}';
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // MetricRegistry
 // ---------------------------------------------------------------------------

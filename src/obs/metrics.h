@@ -4,8 +4,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 /// \file metrics.h
@@ -202,6 +204,18 @@ struct MetricsSnapshot {
   std::vector<HistogramSample> histograms;
   std::vector<StageSample> stages;
 };
+
+/// Composes a labeled metric name in Prometheus style:
+/// LabeledName("server.latency", {{"class", "lookup"}, {"tenant", "t0"}})
+/// → `server.latency{class="lookup",tenant="t0"}`. Labeled dimensions are
+/// plain registry entries — registration cost once per distinct label
+/// combination, then the same lock-free sharded fast path as any other
+/// metric. The exporter (obs/export.h) parses this shape back into
+/// Prometheus label sets; labels with empty values are skipped.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 /// Process-wide metric registry. Get* registers on first use and returns a
 /// stable reference; subsequent lookups of the same name return the same

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -65,6 +66,15 @@ std::string JsonQuote(std::string_view s) {
   return out;
 }
 
+std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  // %.17g is the shortest fixed precision guaranteed to round-trip binary64;
+  // %g also keeps magnitudes JSON-friendly (no overlong fixed expansions).
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
 std::string TraceSink::ToJson(const MetricsSnapshot& snapshot) {
   std::string out;
   out.reserve(4096);
@@ -102,7 +112,7 @@ std::string TraceSink::ToJson(const MetricsSnapshot& snapshot) {
     AppendUintArray(out, h.counts);
     out += ",\"count\":" + std::to_string(h.count);
     out += ",\"sum\":" + std::to_string(h.sum);
-    out += ",\"mean\":" + FormatDouble(h.Mean());
+    out += ",\"mean\":" + JsonDouble(h.Mean());
     out += '}';
   }
   out += '}';
@@ -115,8 +125,8 @@ std::string TraceSink::ToJson(const MetricsSnapshot& snapshot) {
     out += ":{\"calls\":" + std::to_string(s.calls);
     out += ",\"cycles\":" + std::to_string(s.cycles);
     out += ",\"items\":" + std::to_string(s.items);
-    out += ",\"cycles_per_call\":" + FormatDouble(s.CyclesPerCall(), 1);
-    out += ",\"cycles_per_item\":" + FormatDouble(s.CyclesPerItem());
+    out += ",\"cycles_per_call\":" + JsonDouble(s.CyclesPerCall());
+    out += ",\"cycles_per_item\":" + JsonDouble(s.CyclesPerItem());
     out += '}';
   }
   out += "}}";

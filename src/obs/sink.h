@@ -25,6 +25,14 @@ std::string JsonEscape(std::string_view s);
 /// JsonEscape plus the surrounding quotes: `"…"`.
 std::string JsonQuote(std::string_view s);
 
+/// Round-trippable JSON number rendering for doubles: %.17g (17 significant
+/// digits reproduce any binary64 exactly on parse), locale-independent, and
+/// never an invalid JSON token — NaN and infinities, which JSON cannot
+/// represent, render as 0. Every machine-consumed report (TraceSink::ToJson,
+/// the bench harness's JsonReport) uses this so downstream comparisons like
+/// bench_diff.py are never quantized by formatting.
+std::string JsonDouble(double v);
+
 class TraceSink {
  public:
   /// Serializes the snapshot as a single JSON object:

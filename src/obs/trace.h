@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace_buffer.h"
 #include "util/cycle_clock.h"
@@ -26,17 +27,22 @@
 
 namespace alp::obs {
 
-/// RAII cycle-span. Captures CycleNow() only while metric recording or span
-/// tracing is enabled, so the fully disabled path never touches RDTSC. One
-/// span feeds both consumers: aggregate StageStats in the registry (when
-/// Enabled()) and an individual trace event in the per-thread ring (when
-/// TraceEnabled()). \p name must have static storage duration — the trace
-/// ring stores the pointer (ALP_OBS_SPAN passes its stage literal).
+/// RAII cycle-span. Captures CycleNow() only while metric recording, span
+/// tracing, or a request's flight recorder is active, so the fully disabled
+/// path never touches RDTSC. One span feeds three consumers: aggregate
+/// StageStats in the registry (when Enabled()), an individual trace event in
+/// the per-thread ring (when TraceEnabled()), and the ambient flight
+/// recorder of the request running on this thread (when the serving layer
+/// installed one) — which is how every existing ALP_OBS_SPAN site becomes
+/// per-request attributable without changing call sites. \p name must have
+/// static storage duration — both rings store the pointer (ALP_OBS_SPAN
+/// passes its stage literal).
 class ScopedTimer {
  public:
   ScopedTimer(StageStats& stage, const char* name, uint64_t items)
       : stage_(stage), name_(name), items_(items) {
-    if (Enabled() || TraceEnabled()) {
+    recorder_ = CurrentFlightRecorder();
+    if (Enabled() || TraceEnabled() || recorder_ != nullptr) {
       armed_ = true;
       start_ = ::alp::CycleNow();
     }
@@ -53,10 +59,11 @@ class ScopedTimer {
     if (!armed_) return;
     const bool metrics = Enabled();
     const bool trace = TraceEnabled();
-    if (!metrics && !trace) return;
+    if (!metrics && !trace && recorder_ == nullptr) return;
     const uint64_t end = ::alp::CycleNow();
     if (metrics) stage_.Record(end - start_, items_);
     if (trace) TraceRecordSpan(name_, start_, end, items_);
+    if (recorder_ != nullptr) recorder_->Span(name_, start_, end, items_);
   }
 
  private:
@@ -64,6 +71,7 @@ class ScopedTimer {
   const char* name_;
   uint64_t items_;
   uint64_t start_ = 0;
+  FlightRecorder* recorder_ = nullptr;
   bool armed_ = false;
 };
 

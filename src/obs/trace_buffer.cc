@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
 #include "obs/sink.h"
 #include "util/cycle_clock.h"
 #include "util/thread_pool.h"
@@ -27,6 +28,7 @@ struct SlotSpan {
   uint64_t begin_cycles;
   uint64_t end_cycles;
   uint64_t items;
+  uint64_t trace_id;
 };
 
 /// Single-writer ring. Only the owning thread stores slots and advances
@@ -40,13 +42,15 @@ struct ThreadRing {
   /// that acquires the new head value.
   std::atomic<uint64_t> head{0};
 
-  void Push(const char* name, uint64_t begin, uint64_t end, uint64_t items) {
+  void Push(const char* name, uint64_t begin, uint64_t end, uint64_t items,
+            uint64_t trace_id) {
     const uint64_t h = head.load(std::memory_order_relaxed);
     SlotSpan& slot = slots[h & (kTraceRingCapacity - 1)];
     slot.name = name;
     slot.begin_cycles = begin;
     slot.end_cycles = end;
     slot.items = items;
+    slot.trace_id = trace_id;
     head.store(h + 1, std::memory_order_release);
   }
 };
@@ -148,7 +152,7 @@ void TraceRecordSpan(const char* name, uint64_t begin_cycles,
     // Overwriting the oldest retained span.
     Registry().dropped.fetch_add(1, std::memory_order_relaxed);
   }
-  ring.Push(name, begin_cycles, end_cycles, items);
+  ring.Push(name, begin_cycles, end_cycles, items, CurrentTraceId());
 }
 
 std::vector<TraceSpan> CollectTraceSpans() {
@@ -166,6 +170,7 @@ std::vector<TraceSpan> CollectTraceSpans() {
       span.begin_cycles = slot.begin_cycles;
       span.end_cycles = slot.end_cycles;
       span.items = slot.items;
+      span.trace_id = slot.trace_id;
       span.tid = ring->tid;
       out.push_back(std::move(span));
     }
@@ -225,7 +230,14 @@ std::string TraceToJson() {
     out += JsonQuote(s.name);
     out += ",\"ts\":" + FormatMicros(ts);
     out += ",\"dur\":" + FormatMicros(dur);
-    out += ",\"args\":{\"items\":" + std::to_string(s.items) + "}}";
+    out += ",\"args\":{\"items\":" + std::to_string(s.items);
+    if (s.trace_id != 0) {
+      // The same 16-hex-digit rendering the flight-recorder dump uses, so a
+      // Perfetto span joins against its slow-query-log line by string match.
+      out += ",\"trace_id\":";
+      out += JsonQuote(TraceIdHex(s.trace_id));
+    }
+    out += "}}";
   }
   out += "],\"otherData\":{\"dropped_spans\":";
   out += std::to_string(TraceDroppedSpans());

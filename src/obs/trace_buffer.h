@@ -91,10 +91,13 @@ struct TraceSpan {
   uint64_t begin_cycles;  ///< CycleNow() at scope entry.
   uint64_t end_cycles;    ///< CycleNow() at scope exit; >= begin_cycles.
   uint64_t items;         ///< Items processed (the span's throughput unit).
+  uint64_t trace_id = 0;  ///< Owning request's trace ID; 0 = unattributed.
   int tid;                ///< Worker index, or a synthetic id (>= 1000).
 };
 
-/// Records one completed span on the calling thread's ring. Called by
+/// Records one completed span on the calling thread's ring, stamped with
+/// the calling thread's ambient trace ID (CurrentTraceId(), 0 outside a
+/// request) so timeline spans join against the slow-query log. Called by
 /// obs::ScopedTimer when TraceEnabled(); \p name must be a string with
 /// static storage duration (the ring stores the pointer).
 void TraceRecordSpan(const char* name, uint64_t begin_cycles,

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "alp/constants.h"
+#include "alp/kernel_dispatch.h"
+#include "obs/export.h"
 #include "obs/trace.h"
 #include "util/fault_injection.h"
 
@@ -21,6 +23,19 @@ uint64_t ElapsedNs(Clock::time_point from, Clock::time_point to) {
 
 size_t ClassIndex(QueryClass qc) { return static_cast<size_t>(qc); }
 
+/// Bucket bounds for the per-class × per-tenant latency histograms, in
+/// microseconds (queue + execution). Spans interactive lookups through
+/// multi-second stalled scans.
+std::vector<uint64_t> LatencyBoundsUs() {
+  return {100,   200,   500,    1000,   2000,   5000,  10000,
+          20000, 50000, 100000, 200000, 500000, 1000000};
+}
+
+/// Bucket bounds for the per-class queue-depth-at-admission histograms.
+std::vector<uint64_t> QueueDepthBounds() {
+  return {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+}
+
 }  // namespace
 
 /// One admitted request waiting in (or popped from) a class queue. The
@@ -31,6 +46,11 @@ struct Server::Pending {
   std::shared_ptr<const engine::StoredColumn> column;
   std::promise<Response> promise;
   Clock::time_point enqueued;
+  /// Armed at admission when the server is recording; written by the
+  /// submitting thread (admission annotations) then the executing worker —
+  /// the queue hand-off sequences the two, honouring the recorder's
+  /// single-writer contract.
+  std::unique_ptr<obs::FlightRecorder> recorder;
 };
 
 Server::Server(ServerConfig config)
@@ -44,6 +64,18 @@ Server::Server(ServerConfig config)
   config_.queue_capacity = std::max<size_t>(1, config_.queue_capacity);
   config_.slow_start_floor =
       std::clamp<size_t>(config_.slow_start_floor, 1, config_.queue_capacity);
+  // Injected faults (including stall-only stalls, which return OK) report
+  // to the flight recorder of whichever request is executing on the firing
+  // thread — that is what lets a slow-query dump name the fault site.
+  obs::InstallFlightFaultObserver();
+  if (!config_.slow_log_path.empty()) {
+    // Truncate: each server run owns its slow-query log. fopen failure is
+    // non-fatal (the server still serves; dumps surface in flight_json).
+    slow_log_ = std::fopen(config_.slow_log_path.c_str(), "wb");
+  }
+  if (config_.snapshot_period_ms > 0 && !config_.snapshot_path.empty()) {
+    snapshot_thread_ = std::thread([this] { SnapshotLoop(); });
+  }
   // The worker loops are long-lived tasks occupying every pool worker; the
   // pool's round-robin placement gives each worker exactly one loop.
   for (unsigned i = 0; i < worker_count_; ++i) {
@@ -52,6 +84,59 @@ Server::Server(ServerConfig config)
 }
 
 Server::~Server() { Shutdown(); }
+
+bool Server::RecorderArmed() const {
+  return config_.flight_recorder || config_.slow_query_us > 0 ||
+         slow_log_ != nullptr;
+}
+
+obs::Histogram& Server::LatencyHistogramLocked(QueryClass qc,
+                                               const std::string& tenant) {
+  std::string key = QueryClassName(qc);
+  key += '|';
+  key += tenant;
+  auto it = latency_histograms_.find(key);
+  if (it == latency_histograms_.end()) {
+    obs::Histogram& histogram = obs::MetricRegistry::Global().GetHistogram(
+        obs::LabeledName("server.latency_us",
+                         {{"class", QueryClassName(qc)}, {"tenant", tenant}}),
+        LatencyBoundsUs(), "us");
+    it = latency_histograms_.emplace(std::move(key), &histogram).first;
+  }
+  return *it->second;
+}
+
+void Server::AppendSlowLog(const std::string& line) {
+  if (slow_log_ == nullptr) return;
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  std::fwrite(line.data(), 1, line.size(), slow_log_);
+  std::fputc('\n', slow_log_);
+  // Flush per dump: dumps are rare by design, and a crashed or SIGKILLed
+  // run must still leave the lines it wrote.
+  std::fflush(slow_log_);
+}
+
+void Server::SnapshotLoop() {
+  const auto period = std::chrono::milliseconds(config_.snapshot_period_ms);
+  std::unique_lock<std::mutex> lock(snapshot_mutex_);
+  while (!snapshot_stop_) {
+    snapshot_cv_.wait_for(lock, period, [this] { return snapshot_stop_; });
+    if (snapshot_stop_) break;
+    lock.unlock();
+    obs::WriteTextFile(
+        config_.snapshot_path,
+        obs::PrometheusText(obs::MetricRegistry::Global().Snapshot()),
+        /*atomic=*/true);
+    lock.lock();
+  }
+  lock.unlock();
+  // Final snapshot at shutdown: servers shorter-lived than one period still
+  // leave an artifact, and the last one reflects the complete run.
+  obs::WriteTextFile(
+      config_.snapshot_path,
+      obs::PrometheusText(obs::MetricRegistry::Global().Snapshot()),
+      /*atomic=*/true);
+}
 
 Status Server::AddColumn(const std::string& name, const double* data,
                          size_t n) {
@@ -66,7 +151,7 @@ Status Server::AddColumn(const std::string& name,
   // Every catalog column serves through the out-of-core reader: chunked,
   // checksum-verified reads sharing one decoded-vector cache. A capacity-0
   // cache (cache_bytes = 0) keeps the chunked path but caches nothing.
-  Status seekable = column.EnableSeekable(&cache_);
+  Status seekable = column.EnableSeekable(&cache_, name);
   if (!seekable.ok()) return seekable;
   auto shared =
       std::make_shared<const engine::StoredColumn>(std::move(column));
@@ -136,6 +221,8 @@ std::future<Response> Server::Submit(Request request) {
   auto pending = std::make_unique<Pending>();
   std::future<Response> future = pending->promise.get_future();
   pending->enqueued = Clock::now();
+  if (request.trace_id == 0) request.trace_id = obs::NewTraceId();
+  const uint64_t trace_id = request.trace_id;
 
   Status admitted;
   {
@@ -144,9 +231,22 @@ std::future<Response> Server::Submit(Request request) {
     admitted = AdmitLocked(request, &pending->column);
     if (admitted.ok()) {
       ++stats_.admitted;
-      ++tenant_load_[request.tenant];
+      const unsigned tenant_load = ++tenant_load_[request.tenant];
       pending->request = std::move(request);
       const size_t ci = ClassIndex(pending->request.query_class);
+      if (RecorderArmed()) {
+        pending->recorder = std::make_unique<obs::FlightRecorder>();
+        // The tenant label points into the Pending-owned request string,
+        // which outlives the recorder.
+        pending->recorder->Reset(trace_id,
+                                 QueryClassName(pending->request.query_class),
+                                 pending->request.tenant.c_str());
+        // Admission snapshot: the queue/shed state this request saw, so a
+        // dump explains whether its latency was queueing or execution.
+        pending->recorder->Annotate("admit.queue_depth", queued_);
+        pending->recorder->Annotate("admit.limit", admit_limit_);
+        pending->recorder->Annotate("admit.tenant_load", tenant_load);
+      }
       queues_[ci].push_back(std::move(pending));
       ++queued_;
       stats_.max_queue_depth =
@@ -155,6 +255,26 @@ std::future<Response> Server::Submit(Request request) {
         static obs::Gauge& depth =
             obs::MetricRegistry::Global().GetGauge("server.queue_depth_max");
         depth.UpdateMax(static_cast<int64_t>(queued_));
+        if (obs::Enabled()) {
+          static obs::Histogram* class_depth[kQueryClassCount] = {
+              &obs::MetricRegistry::Global().GetHistogram(
+                  obs::LabeledName("server.queue_depth",
+                                   {{"class", QueryClassName(
+                                                  QueryClass::kPointLookup)}}),
+                  QueueDepthBounds(), "requests"),
+              &obs::MetricRegistry::Global().GetHistogram(
+                  obs::LabeledName(
+                      "server.queue_depth",
+                      {{"class", QueryClassName(QueryClass::kAggregate)}}),
+                  QueueDepthBounds(), "requests"),
+              &obs::MetricRegistry::Global().GetHistogram(
+                  obs::LabeledName(
+                      "server.queue_depth",
+                      {{"class", QueryClassName(QueryClass::kScan)}}),
+                  QueueDepthBounds(), "requests"),
+          };
+          class_depth[ci]->Record(queued_);
+        }
       });
     } else {
       ALP_OBS_ONLY({
@@ -168,6 +288,7 @@ std::future<Response> Server::Submit(Request request) {
     Response response;
     response.status = std::move(admitted);
     response.query_class = request.query_class;
+    response.trace_id = trace_id;
     pending->promise.set_value(std::move(response));
     return future;
   }
@@ -201,18 +322,61 @@ void Server::WorkerLoop() {
     lock.unlock();
 
     const Clock::time_point started = Clock::now();
+    obs::FlightRecorder* recorder = pending->recorder.get();
+    // The request context rides OpContext through every layer below; the
+    // ambient attribution covers instrumentation (spans, fault fires, trace
+    // rings) that has no OpContext in scope.
+    obs::RequestContext request_ctx;
+    request_ctx.trace_id = pending->request.trace_id;
+    request_ctx.query_class = QueryClassName(pending->request.query_class);
+    request_ctx.tenant = pending->request.tenant.c_str();
+    request_ctx.recorder = recorder;
     OpContext ctx;
     ctx.cancel = pending->request.cancel;
     ctx.deadline = pending->request.deadline;
+    ctx.request = &request_ctx;
 
     Response response;
     {
+      obs::ScopedRequestAttribution attribution(request_ctx.trace_id,
+                                                recorder);
       ALP_OBS_SPAN(request_span, "server.request", 1);
       response = ExecuteOnColumn(pending->request, *pending->column, ctx);
     }
     response.query_class = pending->request.query_class;
+    response.trace_id = pending->request.trace_id;
     response.queue_ns = ElapsedNs(pending->enqueued, started);
     response.exec_ns = ElapsedNs(started, Clock::now());
+
+    // Dump policy: a request dumps its flight recorder when it is slow
+    // (queue + exec over the threshold), failed in any way, or tripped an
+    // armed fault site (stall-only stalls included — they return OK but are
+    // exactly the "why was this slow" evidence the dump exists for). Fast
+    // clean requests drop the recorder for free.
+    const uint64_t total_us =
+        (response.queue_ns + response.exec_ns) / 1000;
+    const bool slow =
+        config_.slow_query_us > 0 && total_us >= config_.slow_query_us;
+    bool dumped = false;
+    if (recorder != nullptr) {
+      const bool error = !response.status.ok();
+      const bool faulted = recorder->FaultFires() > 0;
+      if (slow || error || faulted) {
+        recorder->SetOutcome(response.status, response.queue_ns,
+                             response.exec_ns);
+        recorder->Label("kernel_tier", kernels::ActiveTierName());
+        const StatusCode sc = response.status.code();
+        recorder->Label("dump_reason",
+                        sc == StatusCode::kCancelled          ? "cancelled"
+                        : sc == StatusCode::kDeadlineExceeded ? "deadline"
+                        : error                               ? "error"
+                        : slow                                ? "slow"
+                                                              : "fault");
+        response.flight_json = recorder->ToJson();
+        AppendSlowLog(response.flight_json);
+        dumped = true;
+      }
+    }
 
     const StatusCode code = response.status.code();
     pending->promise.set_value(std::move(response));
@@ -230,10 +394,21 @@ void Server::WorkerLoop() {
       case StatusCode::kDeadlineExceeded: ++stats_.deadline_missed; break;
       default: ++stats_.failed; break;
     }
+    if (slow) ++stats_.slow_queries;
+    if (dumped) ++stats_.flight_dumps;
     ALP_OBS_ONLY({
       static obs::Counter& done =
           obs::MetricRegistry::Global().GetCounter("server.requests");
       done.Increment();
+      // Labeled latency dimension. The handle cache keeps this to one map
+      // lookup under the mutex the completion path already holds, so the
+      // registry's lock-free recording path is untouched; skipped entirely
+      // while recording is off (no per-request key allocation).
+      if (obs::Enabled()) {
+        LatencyHistogramLocked(pending->request.query_class,
+                               pending->request.tenant)
+            .Record(total_us);
+      }
     });
     pending.reset();
   }
@@ -372,10 +547,24 @@ void Server::Shutdown() {
     Response response;
     response.status = Status::ResourceExhausted("server shutting down");
     response.query_class = pending->request.query_class;
+    response.trace_id = pending->request.trace_id;
     pending->promise.set_value(std::move(response));
   }
   workers_.Wait();
   pool_.Shutdown();
+  if (snapshot_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snapshot_mutex_);
+      snapshot_stop_ = true;
+    }
+    snapshot_cv_.notify_all();
+    snapshot_thread_.join();
+  }
+  if (slow_log_ != nullptr) {
+    std::lock_guard<std::mutex> lock(slow_log_mutex_);
+    std::fclose(slow_log_);
+    slow_log_ = nullptr;
+  }
 }
 
 ServerStats Server::stats() const {

@@ -4,16 +4,20 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/column_store.h"
 #include "io/decoded_vector_cache.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -88,6 +92,27 @@ struct ServerConfig {
   /// request decodes from the compressed chunks. Catalog columns always
   /// execute through the out-of-core SeekableReader either way.
   size_t cache_bytes = 0;
+
+  // --- request-scoped observability (see docs/OBSERVABILITY.md) ----------
+
+  /// Slow-query threshold in microseconds over queue + execution time. A
+  /// request at or above it dumps its flight recorder even when it
+  /// succeeded. 0 = no threshold. Setting it arms the recorder.
+  uint64_t slow_query_us = 0;
+  /// Slow-query log: flight-recorder dumps are appended as JSON lines to
+  /// this path (truncated at construction). Empty = dumps only surface in
+  /// Response::flight_json. Setting it arms the recorder.
+  std::string slow_log_path;
+  /// Arm a flight recorder for every request even without a threshold or
+  /// log file; failed / cancelled / faulted requests then still dump into
+  /// Response::flight_json (tests use this).
+  bool flight_recorder = false;
+  /// Periodic metrics export: every snapshot_period_ms the server writes a
+  /// Prometheus-text snapshot of the global registry to snapshot_path
+  /// (write-to-temp + rename, so scrapers never see a torn file; a final
+  /// snapshot is written at shutdown). 0 or an empty path = off.
+  unsigned snapshot_period_ms = 0;
+  std::string snapshot_path;
 };
 
 struct Request {
@@ -106,6 +131,10 @@ struct Request {
   // Scan: also copy the decoded values into Response::values (tests use
   // this to prove byte-identity; the load generator leaves it off).
   bool return_values = false;
+  /// Request identity carried through every span/counter the request
+  /// touches. 0 = the server assigns a fresh ID at submission (the common
+  /// case); callers that already have an upstream trace set it themselves.
+  uint64_t trace_id = 0;
 };
 
 struct Response {
@@ -117,6 +146,12 @@ struct Response {
   std::vector<double> values;  ///< Point-lookup vector / opted-in scan.
   uint64_t queue_ns = 0;       ///< Admission → start of execution.
   uint64_t exec_ns = 0;        ///< Execution wall time.
+  uint64_t trace_id = 0;       ///< The request's (possibly assigned) ID.
+  /// Flight-recorder dump (one JSON object) when this request tripped a
+  /// dump condition — slow, failed, cancelled, or hit an armed fault site —
+  /// and the recorder was armed. Empty otherwise. The same line goes to the
+  /// slow-query log when ServerConfig::slow_log_path is set.
+  std::string flight_json;
 };
 
 /// Monotonic counters for tests, the CLI and the load generator — available
@@ -136,6 +171,8 @@ struct ServerStats {
   uint64_t cancelled = 0;        ///< kCancelled during execution.
   uint64_t max_queue_depth = 0;  ///< High-water mark of queued requests.
   uint64_t admit_limit = 0;      ///< Current slow-start admit limit.
+  uint64_t slow_queries = 0;     ///< Finished over the slow-query threshold.
+  uint64_t flight_dumps = 0;     ///< Flight-recorder dumps emitted.
 
   uint64_t SheddedTotal() const {
     return shed_shutdown + shed_queue_full + shed_class + shed_tenant;
@@ -188,6 +225,7 @@ class Server {
   struct Pending;
 
   void WorkerLoop();
+  void SnapshotLoop();
   Response ExecuteOnColumn(const Request& request,
                            const engine::StoredColumn& column,
                            const OpContext& ctx);
@@ -195,6 +233,14 @@ class Server {
   /// and, on OK, resolves the catalog column into *column.
   Status AdmitLocked(const Request& request,
                      std::shared_ptr<const engine::StoredColumn>* column);
+  /// Whether requests get a flight recorder at admission.
+  bool RecorderArmed() const;
+  /// Per-class × per-tenant latency histogram; registered on first use and
+  /// cached so the hot path only pays one map lookup under the already-held
+  /// completion mutex. Called with mutex_ held.
+  obs::Histogram& LatencyHistogramLocked(QueryClass qc,
+                                         const std::string& tenant);
+  void AppendSlowLog(const std::string& line);
 
   ServerConfig config_;
   unsigned worker_count_ = 0;
@@ -212,6 +258,21 @@ class Server {
   size_t admit_limit_ = 0;  ///< Slow-start state, <= queue_capacity.
   bool shutdown_ = false;
   ServerStats stats_;
+  /// Handles for the labeled server.latency_us{class=,tenant=} histograms,
+  /// keyed "class|tenant"; guarded by mutex_ (registration is rare, lookups
+  /// ride the completion critical section).
+  std::map<std::string, obs::Histogram*> latency_histograms_;
+
+  /// Slow-query log (JSON lines); own mutex so dump appends never contend
+  /// with admission.
+  std::mutex slow_log_mutex_;
+  std::FILE* slow_log_ = nullptr;
+
+  /// Periodic Prometheus snapshot writer.
+  std::mutex snapshot_mutex_;
+  std::condition_variable snapshot_cv_;
+  bool snapshot_stop_ = false;
+  std::thread snapshot_thread_;
 
   ThreadPool pool_;
   TaskGroup workers_;

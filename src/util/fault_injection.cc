@@ -20,6 +20,8 @@ bool EnvEnabled() {
 
 std::atomic<bool> g_enabled{EnvEnabled()};
 
+std::atomic<FireObserver> g_fire_observer{nullptr};
+
 namespace {
 
 /// An armed site: the spec plus its arrival counter. Heap-allocated so the
@@ -99,6 +101,9 @@ Status CheckSlow(const char* site) {
   }
 
   armed->injected.fetch_add(1, std::memory_order_relaxed);
+  if (FireObserver observer = g_fire_observer.load(std::memory_order_acquire)) {
+    observer(site, /*failed=*/!spec.stall_only, spec.stall_us);
+  }
   if (spec.stall_only) return Status::Ok();
   return Status(spec.code, spec.message);
 }
@@ -131,6 +136,10 @@ void DisarmAll() {
   std::lock_guard<std::mutex> lock(r.mu);
   r.sites.clear();
   r.seed = 0;
+}
+
+void SetFireObserver(FireObserver observer) {
+  internal::g_fire_observer.store(observer, std::memory_order_release);
 }
 
 void SetSeed(uint64_t seed) {

@@ -73,6 +73,18 @@ void DisarmAll();
 /// Seed for probabilistic specs; same seed → same per-arrival-index fires.
 void SetSeed(uint64_t seed);
 
+/// Observer invoked from the firing thread every time an armed site actually
+/// fires — including stall-only stalls, which return OK and are otherwise
+/// invisible to the caller. \p failed says whether a Status error was
+/// injected. Lives on CheckSlow (the slow path), so it costs nothing while
+/// faults are disabled; the flight recorder uses it to attribute injected
+/// faults to the request running on the firing thread. Pass nullptr to
+/// clear. The observer must be async-signal-agnostic but may use
+/// thread-local state; it runs after any stall has completed.
+using FireObserver = void (*)(const char* site, bool failed,
+                              uint64_t stall_us);
+void SetFireObserver(FireObserver observer);
+
 /// Total faults injected at \p site since it was (re-)armed.
 uint64_t InjectedCount(const std::string& site);
 

@@ -8,13 +8,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "alp/alp.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
@@ -339,6 +345,134 @@ TEST_F(ObsTest, EmitMatchesTheDirectRenderers) {
   TraceSink::Emit(snap, /*json=*/false, as_text);
   EXPECT_EQ(as_text.str(), TraceSink::ToText(snap));
   EXPECT_NE(as_json.str(), as_text.str());
+}
+
+// JSON numbers must parse back to the exact double that was measured:
+// bench_diff compares report values bit-for-bit against baselines, so a
+// 6-significant-digit rendering would make equal measurements "regress".
+TEST(JsonDoubleTest, RoundTripsBitExactWhereSixDigitsLoseBits) {
+  // 0.1 + 0.2 needs all 17 significant digits: a %.6g rendering ("0.3")
+  // parses back to a *different* binary64. This is the regression the
+  // %.17g path in JsonDouble exists to prevent.
+  const double awkward = 0.1 + 0.2;  // 0.30000000000000004
+  char six[64];
+  std::snprintf(six, sizeof(six), "%.6g", awkward);
+  ASSERT_NE(std::strtod(six, nullptr), awkward);
+
+  const double cases[] = {awkward,
+                          1.0 / 3.0,
+                          2.0 / 3.0,
+                          7.23,
+                          -0.0,
+                          0.0,
+                          1e-300,
+                          123456789.123456789,
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::denorm_min()};
+  for (double v : cases) {
+    const std::string text = JsonDouble(v);
+    const double back = std::strtod(text.c_str(), nullptr);
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0)
+        << text << " reparsed to a different bit pattern";
+  }
+  // Non-finite values are not valid JSON number tokens; they render as 0.
+  EXPECT_EQ(JsonDouble(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonDouble(std::nan("")), "0");
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+TEST(PrometheusExportTest, RendersCountersGaugesAndLabeledFamilies) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"io.cache.hit", 42});
+  snap.counters.push_back({"io.cache.hit{column=\"temps\"}", 7});
+  snap.gauges.push_back({"server.queue_depth{class=\"scan\"}", 13});
+  const std::string text = PrometheusText(snap);
+
+  EXPECT_NE(text.find("# TYPE alp_io_cache_hit_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\nalp_io_cache_hit_total 42\n"), std::string::npos)
+      << text;
+  // The labeled variant joins the same family — no second TYPE line.
+  EXPECT_NE(text.find("alp_io_cache_hit_total{column=\"temps\"} 7\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("# TYPE alp_io_cache_hit_total counter",
+                      text.find("# TYPE alp_io_cache_hit_total counter") + 1),
+            std::string::npos)
+      << "duplicate TYPE line:\n" << text;
+  EXPECT_NE(text.find("# TYPE alp_server_queue_depth gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_queue_depth{class=\"scan\"} 13\n"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulativeWithInfEqualCount) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramSample h;
+  h.name = "server.latency_us{class=\"lookup\",tenant=\"t0\"}";
+  h.unit = "us";
+  h.bounds = {10, 100, 1000};
+  h.counts = {3, 2, 1, 4};  // Per-bucket, overflow last.
+  h.count = 10;
+  h.sum = 12345;
+  snap.histograms.push_back(std::move(h));
+  const std::string text = PrometheusText(snap);
+
+  const std::string labels = "class=\"lookup\",tenant=\"t0\"";
+  EXPECT_NE(text.find("# TYPE alp_server_latency_us histogram\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_latency_us_bucket{" + labels +
+                      ",le=\"10\"} 3\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_latency_us_bucket{" + labels +
+                      ",le=\"100\"} 5\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_latency_us_bucket{" + labels +
+                      ",le=\"1000\"} 6\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_latency_us_bucket{" + labels +
+                      ",le=\"+Inf\"} 10\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_latency_us_sum{" + labels + "} 12345\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("alp_server_latency_us_count{" + labels + "} 10\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST_F(ObsTest, PrometheusTextRoundTripsThroughGlobalRegistry) {
+  MetricRegistry& registry = MetricRegistry::Global();
+  registry.GetCounter("test.prom.events").Add(5);
+  registry
+      .GetCounter(LabeledName("test.prom.events", {{"tenant", "acme"}}))
+      .Add(2);
+  const std::string text = PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("alp_test_prom_events_total"), std::string::npos);
+  EXPECT_NE(text.find("alp_test_prom_events_total{tenant=\"acme\"}"),
+            std::string::npos);
+  // Registry names always sanitize into the Prometheus charset: every line
+  // is `name{labels} value` or a comment, nothing else.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const char c = line[0];
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || c == '_') << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
 }
 
 TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControlChars) {

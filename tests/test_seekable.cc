@@ -39,6 +39,7 @@
 #include "io/decoded_vector_cache.h"
 #include "io/random_access_source.h"
 #include "io/seekable_reader.h"
+#include "obs/metrics.h"
 #include "test_fixtures.h"
 #include "util/cancellation.h"
 #include "util/checksum.h"
@@ -795,6 +796,79 @@ TEST(SeekableConcurrency, ConcurrentReadersShareOneCacheConsistently) {
     EXPECT_TRUE(cache.CheckInvariants());
   }
 }
+
+#if ALP_OBS
+TEST(SeekableConcurrency, RegistryCountersMatchCacheStatsUnderContention) {
+  // The registry's io.cache.* counters and DecodedVectorCache::Stats are
+  // maintained by independent mechanisms (sharded global atomics vs.
+  // per-shard locked tallies). This proves they agree *exactly* — not
+  // approximately — after 8 readers hammer one small cache with mixed
+  // hit / miss / evict traffic. A drifting pair would make the Prometheus
+  // export silently disagree with Server::cache_stats().
+  const Corpus& corpus = TwoRowgroups();
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+
+  obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+  obs::Counter& hit = registry.GetCounter("io.cache.hit");
+  obs::Counter& miss = registry.GetCounter("io.cache.miss");
+  obs::Counter& evict = registry.GetCounter("io.cache.evict");
+  obs::Counter& insert = registry.GetCounter("io.cache.insert");
+  const uint64_t hit0 = hit.Total();
+  const uint64_t miss0 = miss.Total();
+  const uint64_t evict0 = evict.Total();
+  const uint64_t insert0 = insert.Total();
+
+  {
+    // Small enough to evict constantly, single shard for maximal
+    // contention on one LRU list.
+    const size_t capacity = 12 * kVectorSize * sizeof(double);
+    DecodedVectorCache cache(capacity, 1);
+    SeekableReaderOptions options;
+    options.cache = &cache;
+    auto reader = OpenSeekable(
+        std::make_shared<MemorySource>(corpus.buffer.data(),
+                                       corpus.buffer.size()),
+        options);
+    ASSERT_NE(reader, nullptr);
+
+    std::vector<std::thread> workers;
+    std::atomic<int> failures{0};
+    for (unsigned t = 0; t < 8; ++t) {
+      workers.emplace_back([&, t] {
+        std::mt19937_64 rng(7000 + t);
+        std::vector<double> got(kVectorSize);
+        for (int i = 0; i < 400; ++i) {
+          // Skewed access: a hot front half (hits) plus a uniform tail
+          // (misses + evictions).
+          const size_t range = i % 2 == 0 ? reader->vector_count() / 2 + 1
+                                          : reader->vector_count();
+          const size_t v = rng() % range;
+          if (!reader->TryDecodeVector(v, got.data()).ok()) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    const DecodedVectorCache::Stats stats = cache.TotalStats();
+    // Sanity: the workload really did mix all three kinds of traffic.
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.misses, 0u);
+    EXPECT_GT(stats.evictions, 0u);
+    // Exact agreement, counter by counter.
+    EXPECT_EQ(hit.Total() - hit0, stats.hits);
+    EXPECT_EQ(miss.Total() - miss0, stats.misses);
+    EXPECT_EQ(evict.Total() - evict0, stats.evictions);
+    EXPECT_EQ(insert.Total() - insert0, stats.inserts);
+    EXPECT_TRUE(cache.CheckInvariants());
+  }
+
+  obs::SetEnabled(was_enabled);
+}
+#endif  // ALP_OBS
 
 TEST(SeekableConcurrency, TwoColumnsNeverAliasInASharedCache) {
   // Distinct readers get distinct cache-key namespaces even over identical

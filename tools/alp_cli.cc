@@ -6,7 +6,8 @@
 //   alp explain    <in.alp> [--json] [--top=N]   per-vector x-ray report
 //   alp [--threads=N] verify <in.alp> <original> bit-exactness check
 //   alp bench      <in.bin|in.csv>               compare all schemes on a file
-//   alp [--threads=N] stats <in.bin|in.csv>      pipeline telemetry profile
+//   alp [--threads=N] stats <in.bin|in.csv> [--prom]  telemetry profile
+//                                                (--prom: Prometheus text)
 //   alp gen        <dataset> <count> <out>       emit a surrogate dataset
 //   alp datasets                                 list surrogate names
 //   alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] [--queue=N]
@@ -14,6 +15,12 @@
 //                                                (N bytes of decoded-vector
 //                                                cache shared by the catalog;
 //                                                0 = off)
+//                     [--slow-log=<path>] [--slow-us=N]  arm the per-request
+//                                                flight recorder: requests
+//                                                over N us (or that fail /
+//                                                hit a fault site) append
+//                                                their dump as a JSON line
+//                                                (see docs/OBSERVABILITY.md)
 //
 // Exit codes are a documented contract (scripts and tests branch on them):
 // every alp::Status class maps to its own code, so a pipeline can tell a
@@ -62,6 +69,7 @@
 #include "alp/alp.h"
 #include "codecs/codec.h"
 #include "data/datasets.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/sink.h"
 #include "obs/trace_buffer.h"
@@ -104,11 +112,12 @@ int Usage() {
                "  alp explain    <in.alp> [--json] [--top=N]\n"
                "  alp [--threads=N] verify <in.alp> <original.bin|original.csv>\n"
                "  alp bench      <in.bin|in.csv>\n"
-               "  alp [--threads=N] stats <in.bin|in.csv>\n"
+               "  alp [--threads=N] stats <in.bin|in.csv> [--prom]\n"
                "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
                "  alp datasets\n"
                "  alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] "
                "[--queue=N] [--catalog-bytes-limit=N]\n"
+               "                    [--slow-log=<path>] [--slow-us=N]\n"
                "\n"
                "--threads=N (or ALP_THREADS) sizes the rowgroup worker pool;\n"
                "output bytes are identical at every thread count.\n"
@@ -360,7 +369,7 @@ int CmdBench(const std::string& in_path) {
 /// in memory with the registry enabled, then dump the snapshot. This is the
 /// quickest way to see where a dataset's cycles go and how the sampler
 /// behaved, without writing any output file.
-int CmdStats(const std::string& in_path) {
+int CmdStats(const std::string& in_path, bool prom) {
   const auto values = alp::ReadDoublesFileEx(in_path);
   if (!values.ok()) return Fail(values.status(), "cannot read input");
 
@@ -406,6 +415,13 @@ int CmdStats(const std::string& in_path) {
   }
 
   const auto snapshot = alp::obs::MetricRegistry::Global().Snapshot();
+  if (prom) {
+    // Prometheus text exposition of the same snapshot — what a scraper (or
+    // the CI linter) consumes; the human profile lines are omitted.
+    std::fputs(alp::obs::PrometheusText(snapshot).c_str(), stdout);
+    g_metrics = 0;
+    return 0;
+  }
   const bool json = g_metrics == 2;
   if (!json) {
     std::printf("%zu values | %.2f bits/value | %zu rowgroups (%zu ALP_rd) | "
@@ -448,7 +464,8 @@ int CmdGen(const std::string& name, const std::string& count_str,
 /// percentiles and the admission/shedding counters — the quick smoke check
 /// for the serving layer; bench_serving_load is the calibrated generator.
 int CmdServeBench(const std::string& in_path, size_t requests, size_t queue,
-                  size_t cache_bytes) {
+                  size_t cache_bytes, const std::string& slow_log,
+                  uint64_t slow_us) {
   const auto values = alp::ReadDoublesFileEx(in_path);
   if (!values.ok()) return Fail(values.status(), "cannot read input");
 
@@ -456,6 +473,8 @@ int CmdServeBench(const std::string& in_path, size_t requests, size_t queue,
   config.workers = g_threads;  // 0 = hardware concurrency.
   config.queue_capacity = queue;
   config.cache_bytes = cache_bytes;
+  config.slow_log_path = slow_log;
+  config.slow_query_us = slow_us;
   alp::server::Server server(config);
   const alp::Status add = server.AddColumn("col", values->data(), values->size());
   if (!add.ok()) return Fail(add, "cannot build serving column");
@@ -517,6 +536,12 @@ int CmdServeBench(const std::string& in_path, size_t requests, size_t queue,
               stats.admitted, stats.submitted, stats.completed,
               stats.SheddedTotal(), stats.shed_queue_full, stats.shed_class,
               stats.deadline_missed, stats.max_queue_depth);
+  if (!slow_log.empty() || slow_us > 0) {
+    std::printf("  slow queries %" PRIu64 " | flight dumps %" PRIu64 "%s%s\n",
+                stats.slow_queries, stats.flight_dumps,
+                slow_log.empty() ? "" : " -> ",
+                slow_log.c_str());
+  }
   const alp::io::DecodedVectorCache::Stats cs = server.cache_stats();
   std::printf("  cache: limit %zu bytes | hits %" PRIu64 " | misses %" PRIu64
               " | evictions %" PRIu64 " | %" PRIu64 " entries, %" PRIu64
@@ -608,15 +633,21 @@ int main(int argc, char** argv) {
   }
   else if (command == "verify" && argc == 4) rc = CmdVerify(argv[2], argv[3]);
   else if (command == "bench" && argc == 3) rc = CmdBench(argv[2]);
-  else if (command == "stats" && argc == 3) rc = CmdStats(argv[2]);
+  else if (command == "stats" && (argc == 3 || argc == 4)) {
+    // Trailing command option: [--prom] (Prometheus text exposition).
+    if (argc == 3) rc = CmdStats(argv[2], /*prom=*/false);
+    else if (std::strcmp(argv[3], "--prom") == 0) rc = CmdStats(argv[2], true);
+  }
   else if (command == "gen" && argc == 5) rc = CmdGen(argv[2], argv[3], argv[4]);
   else if (command == "datasets" && argc == 2) rc = CmdDatasets();
-  else if (command == "serve-bench" && argc >= 3 && argc <= 6) {
+  else if (command == "serve-bench" && argc >= 3 && argc <= 8) {
     // Trailing command options: [--requests=N] [--queue=N]
-    // [--catalog-bytes-limit=N], any order.
+    // [--catalog-bytes-limit=N] [--slow-log=<path>] [--slow-us=N], any order.
     size_t requests = 2000;
     size_t queue = 256;
     size_t cache_bytes = 0;
+    std::string slow_log;
+    uint64_t slow_us = 0;
     bool bad = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strncmp(argv[i], "--requests=", 11) == 0) {
@@ -631,11 +662,21 @@ int main(int argc, char** argv) {
         const long long v = std::atoll(argv[i] + 22);
         if (v < 0) return Fail("bad --catalog-bytes-limit value", argv[i]);
         cache_bytes = static_cast<size_t>(v);  // 0 = cache off.
+      } else if (std::strncmp(argv[i], "--slow-log=", 11) == 0) {
+        slow_log = argv[i] + 11;
+        if (slow_log.empty()) return Fail("bad --slow-log value", argv[i]);
+      } else if (std::strncmp(argv[i], "--slow-us=", 10) == 0) {
+        const long long v = std::atoll(argv[i] + 10);
+        if (v < 0) return Fail("bad --slow-us value", argv[i]);
+        slow_us = static_cast<uint64_t>(v);
       } else {
         bad = true;
       }
     }
-    if (!bad) rc = CmdServeBench(argv[2], requests, queue, cache_bytes);
+    if (!bad) {
+      rc = CmdServeBench(argv[2], requests, queue, cache_bytes, slow_log,
+                         slow_us);
+    }
   }
   if (rc < 0) return Usage();
 

@@ -12,7 +12,7 @@ import math
 import sys
 
 REQUIRED_STR = ("dataset", "scheme", "metric", "unit")
-ALLOWED_FIELDS = set(REQUIRED_STR) | {"value", "threads", "kernel_tier"}
+ALLOWED_FIELDS = set(REQUIRED_STR) | {"value", "threads", "kernel_tier", "tenant"}
 KERNEL_TIERS = ("scalar", "neon", "avx2", "avx512")
 
 
@@ -46,6 +46,10 @@ def validate_record(path, i, rec):
             f"{where}.kernel_tier must be one of {KERNEL_TIERS}, "
             f"got {rec['kernel_tier']!r}",
         )
+    if "tenant" in rec:
+        tenant = rec["tenant"]
+        if not isinstance(tenant, str) or not tenant:
+            return fail(path, f"{where}.tenant must be a non-empty string")
     return True
 
 

@@ -1,0 +1,196 @@
+#!/usr/bin/env python3
+"""Lint Prometheus text-exposition snapshots.
+
+Usage: validate_prometheus.py <metrics.prom>...
+
+Checks the subset of the exposition format that alp's exporter
+(src/obs/export.cc) promises to produce, so CI can gate `alp stats --prom`,
+the server's periodic snapshots, and `bench_serving_load --metrics-out=`
+artifacts. Standard library only, so it runs on a bare runner.
+
+Rules enforced per file:
+  1. Every line is a `# TYPE <name> <counter|gauge|histogram>` comment or a
+     `<name>[{labels}] <value>` sample (a trailing newline is required).
+  2. Metric and label names match the Prometheus charsets; label values are
+     double-quoted with only `\\"`, `\\\\` and `\\n` escapes.
+  3. Every sample belongs to a family declared by exactly one TYPE line
+     (counter samples strip `_total`, histogram samples strip
+     `_bucket`/`_sum`/`_count`).
+  4. Counter and histogram sample values are non-negative and finite;
+     gauges are finite.
+  5. Histogram buckets are cumulative (non-decreasing in `le` order), the
+     `le="+Inf"` bucket equals `_count`, and `_sum`/`_count` are present,
+     all checked per label set.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+TYPE_LINE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+# One label: name="value" with the three allowed escapes.
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\"|\\\\|\\n)*)"')
+
+
+def fail(path, lineno, msg):
+    where = f"{path}:{lineno}" if lineno else path
+    print(f"{where}: FAIL: {msg}")
+    return False
+
+
+def parse_labels(path, lineno, block):
+    """Parses `k="v",k2="v2"` into a dict, or None on malformed input."""
+    labels = {}
+    pos = 0
+    while pos < len(block):
+        m = LABEL.match(block, pos)
+        if not m:
+            fail(path, lineno, f"malformed label block at ...{block[pos:]!r}")
+            return None
+        name = m.group(1)
+        if name in labels:
+            fail(path, lineno, f"duplicate label {name!r}")
+            return None
+        labels[name] = m.group(2)
+        pos = m.end()
+        if pos < len(block):
+            if block[pos] != ",":
+                fail(path, lineno, f"expected ',' between labels in {block!r}")
+                return None
+            pos += 1
+    return labels
+
+
+def family_of(name, types):
+    """Maps a sample name to its declared family, honoring the suffix
+    conventions: counters carry _total, histogram series carry
+    _bucket/_sum/_count. Returns (family, type) or (None, None)."""
+    if name in types:
+        return name, types[name]
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base, "histogram"
+    return None, None
+
+
+def validate_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        return fail(path, 0, f"cannot read: {e}")
+    if not text:
+        return fail(path, 0, "empty file")
+    if not text.endswith("\n"):
+        return fail(path, 0, "missing trailing newline")
+
+    types = {}  # family -> type
+    # histograms[family][labels-without-le] = {"buckets": [(le, v)...],
+    #                                          "sum": v, "count": v}
+    histograms = {}
+    samples = 0
+    ok = True
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            ok = fail(path, lineno, "blank line")
+            continue
+        if line.startswith("#"):
+            m = TYPE_LINE.match(line)
+            if not m:
+                ok = fail(path, lineno, f"malformed comment {line!r}")
+                continue
+            name, mtype = m.group(1), m.group(2)
+            if name in types:
+                ok = fail(path, lineno, f"duplicate TYPE line for {name}")
+                continue
+            types[name] = mtype
+            continue
+
+        # Sample line: name[{labels}] value
+        m = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)$", line)
+        if not m:
+            ok = fail(path, lineno, f"malformed sample {line!r}")
+            continue
+        name, label_block, value_text = m.group(1), m.group(3), m.group(4)
+        labels = parse_labels(path, lineno, label_block) if label_block else {}
+        if labels is None:
+            ok = False
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            ok = fail(path, lineno, f"non-numeric value {value_text!r}")
+            continue
+        if not math.isfinite(value):
+            ok = fail(path, lineno, f"non-finite value {value_text!r}")
+            continue
+
+        family, mtype = family_of(name, types)
+        if family is None:
+            ok = fail(path, lineno, f"sample {name} has no preceding TYPE line")
+            continue
+        if mtype in ("counter", "histogram") and value < 0:
+            ok = fail(path, lineno, f"{mtype} sample {name} is negative")
+            continue
+        if mtype == "counter" and not name.endswith("_total"):
+            ok = fail(path, lineno, f"counter sample {name} lacks _total suffix")
+            continue
+        samples += 1
+
+        if mtype == "histogram":
+            series = histograms.setdefault(family, {})
+            key = tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+            entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    ok = fail(path, lineno, f"{name} bucket without le label")
+                    continue
+                entry["buckets"].append((labels["le"], value))
+            elif name.endswith("_sum"):
+                entry["sum"] = value
+            elif name.endswith("_count"):
+                entry["count"] = value
+
+    for family, series in histograms.items():
+        for key, entry in series.items():
+            label_str = ",".join(f'{k}="{v}"' for k, v in key) or "(no labels)"
+            where = f"{family}{{{label_str}}}"
+            if entry["sum"] is None or entry["count"] is None:
+                ok = fail(path, 0, f"{where} missing _sum or _count")
+                continue
+            buckets = entry["buckets"]
+            if not buckets or buckets[-1][0] != "+Inf":
+                ok = fail(path, 0, f"{where} missing le=\"+Inf\" bucket")
+                continue
+            values = [v for _, v in buckets]
+            if any(b > a for b, a in zip(values, values[1:])):
+                ok = fail(path, 0, f"{where} buckets are not cumulative: {values}")
+                continue
+            if values[-1] != entry["count"]:
+                ok = fail(
+                    path,
+                    0,
+                    f"{where} le=\"+Inf\" bucket {values[-1]} != _count {entry['count']}",
+                )
+                continue
+
+    if ok:
+        print(f"{path}: OK ({len(types)} families, {samples} samples)")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    ok = all([validate_file(p) for p in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
