@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "alp/alp.h"
+#include "obs/perf_counters.h"
 #include "obs/sink.h"
 #include "obs/trace_buffer.h"
 #include "util/cycle_clock.h"
@@ -55,10 +56,69 @@ double TuplesPerCycle(const Fn& fn, size_t tuples, uint64_t min_cycles = 40'000'
   return static_cast<double>(tuples) / MeasureCycles(fn, min_cycles);
 }
 
+/// Hardware-counter rates for one kernel under the bench loop. `valid` is
+/// false when perf_event is unavailable (forbidden / no hardware /
+/// compiled out) — the rdtsc metrics above are the fallback, and a bench
+/// emits perf records only when this is true.
+struct PerfRates {
+  bool valid = false;
+  double ipc = 0.0;
+  double cache_misses_per_tuple = 0.0;
+  double cache_references_per_tuple = 0.0;
+  double branch_misses_per_tuple = 0.0;
+  double multiplex_scale = 1.0;  ///< >1 when the kernel's group multiplexed.
+};
+
+/// Runs \p fn under one perf_event group read using the same
+/// warm-up-then-budget loop shape as MeasureCycles, and returns per-tuple
+/// counter rates (multiplex-scaled). Returns an invalid PerfRates — never
+/// fails — when counters are unavailable.
+template <typename Fn>
+PerfRates MeasurePerfRates(const Fn& fn, size_t tuples,
+                           uint64_t min_cycles = 40'000'000) {
+  PerfRates rates;
+  if (!obs::PerfAvailable()) return rates;
+  fn();  // Warm-up, as in MeasureCycles.
+  obs::PerfSample begin;
+  if (!obs::PerfReadCurrent(&begin)) return rates;
+  uint64_t iters = 0;
+  const uint64_t start = CycleNow();
+  while (CycleNow() - start < min_cycles) {
+    fn();
+    ++iters;
+  }
+  obs::PerfSample end;
+  if (!obs::PerfReadCurrent(&end)) return rates;
+  const obs::PerfSample delta = obs::PerfDelta(begin, end);
+  if (!delta.valid || iters == 0) return rates;
+  const double total_tuples =
+      static_cast<double>(tuples) * static_cast<double>(iters);
+  rates.valid = true;
+  rates.ipc = delta.Ipc();
+  rates.cache_misses_per_tuple =
+      static_cast<double>(delta.cache_misses) / total_tuples;
+  rates.cache_references_per_tuple =
+      static_cast<double>(delta.cache_references) / total_tuples;
+  rates.branch_misses_per_tuple =
+      static_cast<double>(delta.branch_misses) / total_tuples;
+  rates.multiplex_scale = delta.Scale();
+  return rates;
+}
+
 /// Pretty separator line.
 inline void Rule(char c = '-', int width = 100) {
   for (int i = 0; i < width; ++i) std::putchar(c);
   std::putchar('\n');
+}
+
+/// One stderr line announcing hardware-counter availability, so a bench
+/// run's perf records (or their absence) is explained in its log.
+inline void ReportPerfProbe() {
+  const obs::PerfProbeResult& probe = obs::PerfProbe();
+  std::fprintf(stderr, "perf counters: %s\n",
+               probe.detail.empty()
+                   ? obs::PerfAvailabilityName(probe.availability)
+                   : probe.detail.c_str());
 }
 
 /// Machine-readable emission shared by every bench binary (schema
@@ -141,6 +201,24 @@ class JsonReport {
     records_.push_back(std::move(rec));
   }
 
+  /// Appends the per-tuple hardware-counter records for one measured
+  /// kernel under the canonical names (<prefix>_ipc,
+  /// <prefix>_cache_misses_per_tuple, <prefix>_branch_misses_per_tuple);
+  /// no-op when \p rates is invalid, so benches call it unconditionally
+  /// and hosts without counters emit rdtsc-only reports.
+  void AddPerf(const std::string& dataset, const std::string& scheme,
+               const std::string& metric_prefix, const PerfRates& rates,
+               int threads = -1,
+               const std::string& kernel_tier = std::string()) {
+    if (!rates.valid) return;
+    Add(dataset, scheme, metric_prefix + "_ipc", rates.ipc,
+        "instructions/cycle", threads, kernel_tier);
+    Add(dataset, scheme, metric_prefix + "_cache_misses_per_tuple",
+        rates.cache_misses_per_tuple, "misses/tuple", threads, kernel_tier);
+    Add(dataset, scheme, metric_prefix + "_branch_misses_per_tuple",
+        rates.branch_misses_per_tuple, "misses/tuple", threads, kernel_tier);
+  }
+
   /// Writes the report file; safe to call more than once (later calls
   /// rewrite with any records added since). Returns false on I/O failure.
   bool Write() {
@@ -150,11 +228,16 @@ class JsonReport {
       std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
       return false;
     }
+    const obs::PerfProbeResult& probe = obs::PerfProbe();
     std::fprintf(f,
                  "{\n  \"schema\": \"alp-bench-v1\",\n  \"bench\": %s,\n"
-                 "  \"kernel_tier\": %s,\n  \"records\": [\n",
+                 "  \"kernel_tier\": %s,\n"
+                 "  \"perf\": {\"available\": %s, \"status\": %s},\n"
+                 "  \"records\": [\n",
                  Quote(bench_).c_str(),
-                 Quote(kernels::ActiveTierName()).c_str());
+                 Quote(kernels::ActiveTierName()).c_str(),
+                 probe.available() ? "true" : "false",
+                 Quote(obs::PerfAvailabilityName(probe.availability)).c_str());
     for (size_t i = 0; i < records_.size(); ++i) {
       std::fprintf(f, "%s%s\n", records_[i].c_str(),
                    i + 1 < records_.size() ? "," : "");

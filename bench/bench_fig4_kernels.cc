@@ -30,6 +30,7 @@ constexpr alp::kernels::Tier kSimdTiers[] = {
 int main(int argc, char** argv) {
   auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_fig4_kernels");
+  alp::bench::ReportPerfProbe();
   constexpr uint64_t kBudget = 8'000'000;
 
   std::vector<const alp::kernels::DecodeKernels*> simd;
@@ -76,6 +77,19 @@ int main(int argc, char** argv) {
              "tuples/cycle", -1, "scalar");
     json.Add(ds, "ALP-autovec", "decompress_tuples_per_cycle", autovec,
              "tuples/cycle");
+    // Per-flavour hardware-counter rates — the figure's "why": an explicit
+    // SIMD tier that wins on tuples/cycle should show it in IPC, and a
+    // flavour losing to cache misses is visible per tuple. No-ops without
+    // perf_event.
+    json.AddPerf(ds, "ALP-scalar", "decompress",
+                 alp::bench::MeasurePerfRates(
+                     [&] { alp::scalar::DecodeAlpFused(vec.packed, vec.ffor, c, out); },
+                     alp::kVectorSize, kBudget),
+                 -1, "scalar");
+    json.AddPerf(ds, "ALP-autovec", "decompress",
+                 alp::bench::MeasurePerfRates(
+                     [&] { alp::DecodeVectorFused<double>(vec.packed, vec.ffor, c, out); },
+                     alp::kVectorSize, kBudget));
     sums[0] += scalar;
     sums[1] += autovec;
 
@@ -91,6 +105,14 @@ int main(int argc, char** argv) {
       const std::string tier_name = alp::kernels::TierName(k->tier);
       json.Add(ds, "ALP-" + tier_name, "decompress_tuples_per_cycle", tuples,
                "tuples/cycle", -1, tier_name);
+      json.AddPerf(ds, "ALP-" + tier_name, "decompress",
+                   alp::bench::MeasurePerfRates(
+                       [&] {
+                         k->alp_fused64(vec.packed, vec.ffor.base,
+                                        vec.ffor.width, f10_f, if10_e, out);
+                       },
+                       alp::kVectorSize, kBudget),
+                   -1, tier_name);
       sums[2 + s] += tuples;
     }
     std::printf("\n");

@@ -27,6 +27,7 @@ constexpr uint64_t kMinCycles = 20'000'000;
 int main(int argc, char** argv) {
   auto trace = alp::bench::TraceSession::FromArgs(argc, argv);
   auto json = alp::bench::JsonReport::FromArgs(argc, argv, "bench_table5_speed");
+  alp::bench::ReportPerfProbe();
   const auto& datasets = alp::data::AllDatasets();
   std::map<std::string, std::pair<double, double>> totals;  // name -> (comp, dec).
 
@@ -60,6 +61,21 @@ int main(int argc, char** argv) {
              alp_comp == 0 ? 0.0 : 1.0 / alp_comp, "cycles/value");
     json.Add(ds, "ALP", "decompress_cycles_per_value",
              alp_dec == 0 ? 0.0 : 1.0 / alp_dec, "cycles/value", -1, tier);
+    // Hardware-counter attribution for the same hot loops (no-ops when
+    // perf_event is unavailable — the report stays rdtsc-only). Decode
+    // rates are tier-tagged like the cycle metrics above.
+    json.AddPerf(ds, "ALP", "compress",
+                 alp::bench::MeasurePerfRates(
+                     [&] {
+                       alp::bench::AlpMicroCompress(data.data(), state,
+                                                    &compressed_vec);
+                     },
+                     alp::kVectorSize, kMinCycles));
+    json.AddPerf(ds, "ALP", "decompress",
+                 alp::bench::MeasurePerfRates(
+                     [&] { alp::bench::AlpMicroDecompress(compressed_vec, out); },
+                     alp::kVectorSize, kMinCycles),
+                 -1, tier);
 
     // --- Baselines: one vector per call (Zstd: one rowgroup per call). ---
     for (const auto& codec : alp::codecs::AllDoubleCodecs()) {

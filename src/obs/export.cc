@@ -26,6 +26,103 @@ std::pair<std::string_view, std::string_view> SplitLabels(
           name.substr(brace + 1, name.size() - brace - 2)};
 }
 
+bool IsLabelNameChar(char c, bool first) {
+  if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_') return true;
+  return !first && c >= '0' && c <= '9';
+}
+
+/// Canonicalizes label-value escaping in a block of `k="v",...` pairs per
+/// the exposition format (`\\`, `\"`, `\n` are the only legal escapes).
+/// LabeledName output is already escaped and passes through unchanged;
+/// names registered directly with raw `\`, `"` or newline characters in a
+/// value get them escaped here, so a hostile label value can never break a
+/// sample line (or smuggle a second sample via a raw newline). Best-effort
+/// on the one ambiguous shape: a raw `"` inside a value is treated as
+/// literal unless it sits at the end of the block or before `,name="` —
+/// the only positions where a quote can close its value.
+std::string EscapeLabelBlock(std::string_view block) {
+  std::string out;
+  out.reserve(block.size() + 8);
+
+  // Does the quote at position q close its value?
+  const auto closes_value = [block](size_t q) {
+    if (q + 1 == block.size()) return true;
+    if (block[q + 1] != ',') return false;
+    size_t p = q + 2;
+    if (p >= block.size() || !IsLabelNameChar(block[p], /*first=*/true)) {
+      return false;
+    }
+    while (p < block.size() && IsLabelNameChar(block[p], /*first=*/false)) ++p;
+    return p + 1 < block.size() && block[p] == '=' && block[p + 1] == '"';
+  };
+
+  size_t pos = 0;
+  while (pos < block.size()) {
+    // Key (and '='): passed through — keys come from instrumentation
+    // literals; the linter enforces their charset.
+    while (pos < block.size() && block[pos] != '=') out += block[pos++];
+    if (pos >= block.size()) break;
+    out += '=';
+    ++pos;
+    if (pos >= block.size() || block[pos] != '"') continue;
+    out += '"';
+    ++pos;
+    // Value: decode the legal escapes, escape everything reserved.
+    while (pos < block.size()) {
+      const char c = block[pos];
+      if (c == '\\' && pos + 1 < block.size()) {
+        const char next = block[pos + 1];
+        if (next == 'n') {
+          out += "\\n";
+          pos += 2;
+          continue;
+        }
+        if (next == '\\') {
+          out += "\\\\";
+          pos += 2;
+          continue;
+        }
+        if (next == '"' && !closes_value(pos + 1)) {
+          out += "\\\"";  // escaped quote inside the value
+          pos += 2;
+          continue;
+        }
+        // Raw backslash (before a closing quote, or an illegal escape).
+        out += "\\\\";
+        ++pos;
+        continue;
+      }
+      if (c == '"') {
+        if (closes_value(pos)) break;  // end of this value
+        out += "\\\"";                 // raw quote inside the value
+        ++pos;
+        continue;
+      }
+      if (c == '\\') {  // trailing backslash, nothing after it
+        out += "\\\\";
+        ++pos;
+        continue;
+      }
+      if (c == '\n') {
+        out += "\\n";
+        ++pos;
+        continue;
+      }
+      out += c;
+      ++pos;
+    }
+    if (pos < block.size()) {  // the closing quote
+      out += '"';
+      ++pos;
+      if (pos < block.size() && block[pos] == ',') {
+        out += ',';
+        ++pos;
+      }
+    }
+  }
+  return out;
+}
+
 /// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; registry names use
 /// dots. Sanitize and prefix with the exporter namespace.
 std::string PromName(std::string_view base, std::string_view suffix = "") {
@@ -79,7 +176,8 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
   std::map<std::string, Family> families;
 
   for (const auto& counter : snapshot.counters) {
-    const auto [base, labels] = SplitLabels(counter.name);
+    const auto [base, raw_labels] = SplitLabels(counter.name);
+    const std::string labels = EscapeLabelBlock(raw_labels);
     const std::string name = PromName(base, "_total");
     Family& fam = families[name];
     fam.type = "counter";
@@ -90,7 +188,8 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
   }
 
   for (const auto& gauge : snapshot.gauges) {
-    const auto [base, labels] = SplitLabels(gauge.name);
+    const auto [base, raw_labels] = SplitLabels(gauge.name);
+    const std::string labels = EscapeLabelBlock(raw_labels);
     const std::string name = PromName(base);
     Family& fam = families[name];
     fam.type = "gauge";
@@ -101,7 +200,8 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
   }
 
   for (const auto& histogram : snapshot.histograms) {
-    const auto [base, labels] = SplitLabels(histogram.name);
+    const auto [base, raw_labels] = SplitLabels(histogram.name);
+    const std::string labels = EscapeLabelBlock(raw_labels);
     const std::string name = PromName(base);
     Family& fam = families[name];
     fam.type = "histogram";
@@ -133,12 +233,25 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
   }
 
   for (const auto& stage : snapshot.stages) {
-    const auto [base, labels] = SplitLabels(stage.name);
-    const std::pair<const char*, uint64_t> parts[] = {
+    const auto [base, raw_labels] = SplitLabels(stage.name);
+    const std::string labels = EscapeLabelBlock(raw_labels);
+    std::vector<std::pair<const char*, uint64_t>> parts = {
         {"_calls_total", stage.calls},
         {"_cycles_total", stage.cycles},
         {"_items_total", stage.items},
     };
+    // Hardware-counter families appear only once a perf-armed span has hit
+    // the stage; scrapes on hosts without counters are unchanged.
+    if (stage.perf_calls > 0) {
+      parts.insert(parts.end(),
+                   {{"_perf_calls_total", stage.perf_calls},
+                    {"_perf_cycles_total", stage.perf_cycles},
+                    {"_instructions_total", stage.perf_instructions},
+                    {"_cache_references_total", stage.perf_cache_references},
+                    {"_cache_misses_total", stage.perf_cache_misses},
+                    {"_branch_misses_total", stage.perf_branch_misses},
+                    {"_perf_items_total", stage.perf_items}});
+    }
     for (const auto& [suffix, value] : parts) {
       const std::string name = PromName(base, suffix);
       Family& fam = families[name];

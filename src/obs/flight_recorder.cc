@@ -53,6 +53,14 @@ void FlightRecorder::Reset(uint64_t trace_id, const char* query_class,
   fault_count_ = 0;
   table_overflow_ = 0;
   labels_.clear();
+  perf_samples_ = 0;
+  perf_cycles_ = 0;
+  perf_instructions_ = 0;
+  perf_cache_references_ = 0;
+  perf_cache_misses_ = 0;
+  perf_branch_misses_ = 0;
+  perf_time_enabled_ = 0;
+  perf_time_running_ = 0;
   anchor_cycles_ = CycleNow();
   anchor_ns_ = SteadyNowNs();
   has_outcome_ = false;
@@ -69,6 +77,12 @@ void FlightRecorder::PushEvent(const Event& event) {
     ++events_retained_;
   } else {
     ++events_dropped_;
+    // Surface the loss in the process-wide registry too (AddAlways: the
+    // recorder runs even when the metrics gate is closed, and a dropped
+    // event is obs-health evidence, not pipeline telemetry).
+    static Counter& dropped =
+        MetricRegistry::Global().GetCounter("obs.recorder.dropped");
+    dropped.AddAlways(1);
   }
 }
 
@@ -169,6 +183,18 @@ void FlightRecorder::Label(const char* key, std::string value) {
   labels_.emplace_back(key, std::move(value));
 }
 
+void FlightRecorder::AddPerf(const PerfSample& delta) {
+  if (!delta.valid) return;
+  ++perf_samples_;
+  perf_cycles_ += delta.cycles;
+  perf_instructions_ += delta.instructions;
+  perf_cache_references_ += delta.cache_references;
+  perf_cache_misses_ += delta.cache_misses;
+  perf_branch_misses_ += delta.branch_misses;
+  perf_time_enabled_ += delta.time_enabled;
+  perf_time_running_ += delta.time_running;
+}
+
 void FlightRecorder::SetOutcome(const Status& status, uint64_t queue_ns,
                                 uint64_t exec_ns) {
   has_outcome_ = true;
@@ -235,6 +261,41 @@ std::string FlightRecorder::ToJson() const {
     out += JsonQuote(key);
     out += ":";
     out += JsonQuote(value);
+  }
+
+  // Hardware-counter attribution (only when at least one scaled delta was
+  // folded in): the request-level totals plus the derived rates a tail
+  // investigation reads first. multiplex_scale > 1 flags that the PMU was
+  // shared and the totals are scaled estimates.
+  if (perf_samples_ > 0) {
+    out += ",\"perf\":{\"samples\":";
+    AppendU64(&out, perf_samples_);
+    out += ",\"cycles\":";
+    AppendU64(&out, perf_cycles_);
+    out += ",\"instructions\":";
+    AppendU64(&out, perf_instructions_);
+    out += ",\"cache_references\":";
+    AppendU64(&out, perf_cache_references_);
+    out += ",\"cache_misses\":";
+    AppendU64(&out, perf_cache_misses_);
+    out += ",\"branch_misses\":";
+    AppendU64(&out, perf_branch_misses_);
+    out += ",\"ipc\":";
+    out += JsonDouble(perf_cycles_ == 0
+                          ? 0.0
+                          : static_cast<double>(perf_instructions_) /
+                                static_cast<double>(perf_cycles_));
+    out += ",\"cache_miss_rate\":";
+    out += JsonDouble(perf_cache_references_ == 0
+                          ? 0.0
+                          : static_cast<double>(perf_cache_misses_) /
+                                static_cast<double>(perf_cache_references_));
+    out += ",\"multiplex_scale\":";
+    out += JsonDouble(perf_time_running_ == 0
+                          ? 0.0
+                          : static_cast<double>(perf_time_enabled_) /
+                                static_cast<double>(perf_time_running_));
+    out += "}";
   }
 
   out += ",\"counters\":{";

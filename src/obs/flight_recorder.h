@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "obs/metrics.h"  // ALP_OBS default.
+#include "obs/perf_counters.h"
 #include "util/status.h"
 
 /// \file flight_recorder.h
@@ -102,6 +103,16 @@ class FlightRecorder {
   /// per-request frequency only.
   void Label(const char* key, std::string value);
 
+  /// Folds one multiplex-scaled hardware-counter delta
+  /// (obs/perf_counters.h) into the request's perf totals. Two writers feed
+  /// this: the server reads the worker's counter group around the whole
+  /// execute (one delta per request, cheap enough to be unconditional when
+  /// counters exist), and perf-armed ScopedTimer spans add their intervals
+  /// when PerfSpansEnabled. The dump derives IPC and the cache-miss rate
+  /// from the totals, so a slow query names its miss rate. Invalid deltas
+  /// are ignored.
+  void AddPerf(const PerfSample& delta);
+
   /// Final outcome, emitted as top-level dump fields.
   void SetOutcome(const Status& status, uint64_t queue_ns, uint64_t exec_ns);
 
@@ -111,6 +122,7 @@ class FlightRecorder {
   uint64_t CounterValue(const char* key) const;
   uint64_t SpanCalls(const char* name) const;
   uint64_t FaultFires() const;  ///< Total injected-fault fires attributed.
+  uint64_t PerfSamples() const { return perf_samples_; }
   size_t EventCount() const { return events_retained_; }
   uint64_t DroppedEvents() const { return events_dropped_; }
 
@@ -159,6 +171,17 @@ class FlightRecorder {
   uint64_t table_overflow_ = 0;  ///< Increments lost to a full table.
 
   std::vector<std::pair<const char*, std::string>> labels_;
+
+  /// Summed scaled hardware-counter deltas (AddPerf); 0 samples = the dump
+  /// carries no "perf" object (counters unavailable or never read).
+  uint64_t perf_samples_ = 0;
+  uint64_t perf_cycles_ = 0;
+  uint64_t perf_instructions_ = 0;
+  uint64_t perf_cache_references_ = 0;
+  uint64_t perf_cache_misses_ = 0;
+  uint64_t perf_branch_misses_ = 0;
+  uint64_t perf_time_enabled_ = 0;
+  uint64_t perf_time_running_ = 0;
 
   // Cycle→wall calibration anchor (Reset) for dumping span micros.
   uint64_t anchor_cycles_ = 0;

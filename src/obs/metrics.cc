@@ -127,6 +127,13 @@ void StageStats::Reset() {
   calls_.Reset();
   cycles_.Reset();
   items_.Reset();
+  perf_calls_.Reset();
+  perf_cycles_.Reset();
+  perf_instructions_.Reset();
+  perf_cache_references_.Reset();
+  perf_cache_misses_.Reset();
+  perf_branch_misses_.Reset();
+  perf_items_.Reset();
 }
 
 std::string LabeledName(
@@ -256,10 +263,19 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   }
   snap.stages.reserve(i.stages.size());
   for (const auto& [name, stage] : i.stages) {
-    snap.stages.push_back(
-        {name, stage->Calls(), stage->Cycles(), stage->Items()});
+    snap.stages.push_back({name, stage->Calls(), stage->Cycles(),
+                           stage->Items(), stage->PerfCalls(),
+                           stage->PerfCycles(), stage->PerfInstructions(),
+                           stage->PerfCacheReferences(),
+                           stage->PerfCacheMisses(), stage->PerfBranchMisses(),
+                           stage->PerfItems()});
   }
   return snap;
+}
+
+void RegisterObsHealthMetrics() {
+  MetricRegistry::Global().GetCounter("obs.trace.dropped");
+  MetricRegistry::Global().GetCounter("obs.recorder.dropped");
 }
 
 void MetricRegistry::Reset() {

@@ -85,6 +85,18 @@ class Counter {
   }
   void Increment() { Add(1); }
 
+  /// Records regardless of the runtime gate. Reserved for the obs layer's
+  /// own health accounting (`obs.trace.dropped`, `obs.recorder.dropped`):
+  /// a span ring can overflow while only tracing (not metrics) is on, and a
+  /// flight recorder drops events even in builds where the metrics gate was
+  /// never opened — losing the loss count to the gate would hide exactly
+  /// the signal these counters exist to surface. Pipeline instrumentation
+  /// must keep using Add().
+  void AddAlways(uint64_t delta) {
+    shards_[internal::ThreadShardSlot()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
   /// Sum over all shards (relaxed; exact once writers have quiesced).
   uint64_t Total() const;
   void Reset();
@@ -143,6 +155,14 @@ class Histogram {
 /// Accumulated cost of one pipeline stage: invocation count, total cycles
 /// and total items processed (values, bytes — the caller's unit). The
 /// ScopedTimer in trace.h is the intended writer.
+///
+/// Alongside the always-on rdtsc accounting, a stage carries an optional
+/// hardware-counter side: RecordPerf folds in one multiplex-scaled
+/// perf_event group delta (obs/perf_counters.h). Perf totals accumulate
+/// over their *own* calls/items base — per-span counter reads are opt-in
+/// (PerfSpansEnabled), so only a subset of a stage's invocations may carry
+/// them, and deriving IPC or misses/item against the rdtsc totals would
+/// silently dilute the rates.
 class StageStats {
  public:
   void Record(uint64_t cycles, uint64_t items) {
@@ -151,15 +171,45 @@ class StageStats {
     items_.Add(items);
   }
 
+  /// One scaled perf_event group delta covering one invocation that
+  /// processed \p items items. ScopedTimer is the intended caller.
+  void RecordPerf(uint64_t cycles, uint64_t instructions,
+                  uint64_t cache_references, uint64_t cache_misses,
+                  uint64_t branch_misses, uint64_t items) {
+    perf_calls_.Add(1);
+    perf_cycles_.Add(cycles);
+    perf_instructions_.Add(instructions);
+    perf_cache_references_.Add(cache_references);
+    perf_cache_misses_.Add(cache_misses);
+    perf_branch_misses_.Add(branch_misses);
+    perf_items_.Add(items);
+  }
+
   uint64_t Calls() const { return calls_.Total(); }
   uint64_t Cycles() const { return cycles_.Total(); }
   uint64_t Items() const { return items_.Total(); }
+  uint64_t PerfCalls() const { return perf_calls_.Total(); }
+  uint64_t PerfCycles() const { return perf_cycles_.Total(); }
+  uint64_t PerfInstructions() const { return perf_instructions_.Total(); }
+  uint64_t PerfCacheReferences() const {
+    return perf_cache_references_.Total();
+  }
+  uint64_t PerfCacheMisses() const { return perf_cache_misses_.Total(); }
+  uint64_t PerfBranchMisses() const { return perf_branch_misses_.Total(); }
+  uint64_t PerfItems() const { return perf_items_.Total(); }
   void Reset();
 
  private:
   Counter calls_;
   Counter cycles_;
   Counter items_;
+  Counter perf_calls_;
+  Counter perf_cycles_;
+  Counter perf_instructions_;
+  Counter perf_cache_references_;
+  Counter perf_cache_misses_;
+  Counter perf_branch_misses_;
+  Counter perf_items_;
 };
 
 /// Point-in-time merge of every registered metric; safe to take while
@@ -190,11 +240,43 @@ struct MetricsSnapshot {
     uint64_t calls = 0;
     uint64_t cycles = 0;
     uint64_t items = 0;
+    /// Hardware-counter side (perf_calls == 0 when no perf-armed span hit
+    /// this stage — unavailable counters, or the per-span gate closed).
+    /// Totals are multiplex-scaled at recording; the rate accessors divide
+    /// over the perf-covered base only (see StageStats).
+    uint64_t perf_calls = 0;
+    uint64_t perf_cycles = 0;
+    uint64_t perf_instructions = 0;
+    uint64_t perf_cache_references = 0;
+    uint64_t perf_cache_misses = 0;
+    uint64_t perf_branch_misses = 0;
+    uint64_t perf_items = 0;
     double CyclesPerCall() const {
       return calls == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(calls);
     }
     double CyclesPerItem() const {
       return items == 0 ? 0.0 : static_cast<double>(cycles) / static_cast<double>(items);
+    }
+    double Ipc() const {
+      return perf_cycles == 0 ? 0.0
+                              : static_cast<double>(perf_instructions) /
+                                    static_cast<double>(perf_cycles);
+    }
+    double CacheMissesPerItem() const {
+      return perf_items == 0 ? 0.0
+                             : static_cast<double>(perf_cache_misses) /
+                                   static_cast<double>(perf_items);
+    }
+    double BranchMissesPerItem() const {
+      return perf_items == 0 ? 0.0
+                             : static_cast<double>(perf_branch_misses) /
+                                   static_cast<double>(perf_items);
+    }
+    double CacheMissRate() const {
+      return perf_cache_references == 0
+                 ? 0.0
+                 : static_cast<double>(perf_cache_misses) /
+                       static_cast<double>(perf_cache_references);
     }
   };
 
@@ -216,6 +298,14 @@ std::string LabeledName(
     std::string_view base,
     std::initializer_list<std::pair<std::string_view, std::string_view>>
         labels);
+
+/// Pre-registers the obs layer's self-health counters (`obs.trace.dropped`
+/// spans lost to ring wrap, `obs.recorder.dropped` flight-recorder events
+/// lost to ring overflow) at value 0, so `alp stats` and the Prometheus
+/// exposition always show them — a zero is evidence of no loss, an absent
+/// family is just silence. The drop sites themselves register lazily and
+/// record via Counter::AddAlways, so the counts survive the runtime gate.
+void RegisterObsHealthMetrics();
 
 /// Process-wide metric registry. Get* registers on first use and returns a
 /// stable reference; subsequent lookups of the same name return the same

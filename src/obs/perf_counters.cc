@@ -1,0 +1,300 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if ALP_OBS && defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace alp::obs {
+
+// ---------------------------------------------------------------------------
+// Platform-independent pieces: names, the span gate, delta math. PerfDelta
+// stays real even when counters are compiled out so the multiplex-scaling
+// arithmetic is unit-testable on hosts with no usable PMU.
+// ---------------------------------------------------------------------------
+
+const char* PerfAvailabilityName(PerfAvailability availability) {
+  switch (availability) {
+    case PerfAvailability::kAvailable: return "available";
+    case PerfAvailability::kCompiledOut: return "compiled-out";
+    case PerfAvailability::kUnsupportedPlatform: return "unsupported-platform";
+    case PerfAvailability::kForbidden: return "forbidden";
+    case PerfAvailability::kNoHardware: return "no-hardware";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool EnvPerfSpans() {
+  const char* env = std::getenv("ALP_OBS_PERF");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::atomic<bool> g_perf_spans{EnvPerfSpans()};
+
+}  // namespace
+
+bool PerfSpansEnabled() {
+  return g_perf_spans.load(std::memory_order_relaxed);
+}
+
+void SetPerfSpansEnabled(bool enabled) {
+  g_perf_spans.store(enabled, std::memory_order_relaxed);
+}
+
+PerfSample PerfDelta(const PerfSample& begin, const PerfSample& end) {
+  PerfSample delta;  // invalid until proven otherwise
+  if (!begin.valid || !end.valid) return delta;
+  if (end.time_enabled < begin.time_enabled ||
+      end.time_running < begin.time_running) {
+    return delta;  // readings from different epochs (group reopened)
+  }
+  delta.time_enabled = end.time_enabled - begin.time_enabled;
+  delta.time_running = end.time_running - begin.time_running;
+  // Multiplex correction: the group owned the PMU for time_running of the
+  // time_enabled interval; scale raw deltas by enabled/running to estimate
+  // the full-interval counts. An interval during which the group never ran
+  // has nothing to scale from — stay invalid, the caller keeps rdtsc data.
+  if (delta.time_running == 0) return delta;
+  const double scale = static_cast<double>(delta.time_enabled) /
+                       static_cast<double>(delta.time_running);
+  const auto scaled = [scale](uint64_t b, uint64_t e) -> uint64_t {
+    if (e <= b) return 0;
+    return static_cast<uint64_t>(static_cast<double>(e - b) * scale + 0.5);
+  };
+  delta.cycles = scaled(begin.cycles, end.cycles);
+  delta.instructions = scaled(begin.instructions, end.instructions);
+  delta.cache_references = scaled(begin.cache_references, end.cache_references);
+  delta.cache_misses = scaled(begin.cache_misses, end.cache_misses);
+  delta.branch_misses = scaled(begin.branch_misses, end.branch_misses);
+  delta.valid = true;
+  return delta;
+}
+
+void PublishPerfAvailability() {
+  MetricRegistry::Global()
+      .GetGauge("obs.perf.available")
+      .Set(PerfAvailable() ? 1 : 0);
+}
+
+#if ALP_OBS && defined(__linux__)
+
+// ---------------------------------------------------------------------------
+// Linux implementation: one grouped perf_event fd set per thread.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct EventSpec {
+  uint64_t config;
+  const char* name;
+};
+
+/// The five-event group, leader first. Order matches the PerfSample fields.
+constexpr EventSpec kEvents[] = {
+    {PERF_COUNT_HW_CPU_CYCLES, "cycles"},
+    {PERF_COUNT_HW_INSTRUCTIONS, "instructions"},
+    {PERF_COUNT_HW_CACHE_REFERENCES, "cache-references"},
+    {PERF_COUNT_HW_CACHE_MISSES, "cache-misses"},
+    {PERF_COUNT_HW_BRANCH_MISSES, "branch-misses"},
+};
+constexpr size_t kEventCount = sizeof(kEvents) / sizeof(kEvents[0]);
+
+/// Opens one hardware event on the calling thread, joined to \p group_fd
+/// (-1 makes it a group leader). User-space only: excluding kernel and
+/// hypervisor counts both matches what the benches measure and keeps the
+/// open permitted at perf_event_paranoid=2 (the common default).
+int OpenEvent(const EventSpec& spec, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.config = spec.config;
+  attr.disabled = group_fd == -1 ? 1 : 0;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  return static_cast<int>(syscall(SYS_perf_event_open, &attr, /*pid=*/0,
+                                  /*cpu=*/-1, group_fd, /*flags=*/0UL));
+}
+
+int ReadParanoid() {
+  std::FILE* f = std::fopen("/proc/sys/kernel/perf_event_paranoid", "r");
+  if (f == nullptr) return -1;
+  int value = -1;
+  if (std::fscanf(f, "%d", &value) != 1) value = -1;
+  std::fclose(f);
+  return value;
+}
+
+/// One thread's counter group. Opened lazily on the thread's first read,
+/// closed at thread exit. `position_[i]` maps PerfSample slot i to its
+/// index in the group read() value array, or -1 for a sibling the PMU
+/// refused (its delta stays 0).
+class ThreadPerfGroup {
+ public:
+  ThreadPerfGroup() {
+    if (!PerfAvailable()) return;
+    int leader = OpenEvent(kEvents[0], -1);
+    if (leader < 0) return;  // probe passed but this thread lost the race
+    fds_[0] = leader;
+    position_[0] = 0;
+    opened_ = 1;
+    for (size_t i = 1; i < kEventCount; ++i) {
+      const int fd = OpenEvent(kEvents[i], leader);
+      fds_[i] = fd;
+      position_[i] = fd >= 0 ? static_cast<int>(opened_++) : -1;
+    }
+    ioctl(leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+
+  ThreadPerfGroup(const ThreadPerfGroup&) = delete;
+  ThreadPerfGroup& operator=(const ThreadPerfGroup&) = delete;
+
+  ~ThreadPerfGroup() {
+    for (size_t i = 0; i < kEventCount; ++i) {
+      if (fds_[i] >= 0) close(fds_[i]);
+    }
+  }
+
+  bool ok() const { return fds_[0] >= 0; }
+
+  bool Read(PerfSample* out) {
+    if (!ok()) return false;
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, values[nr].
+    uint64_t buf[3 + kEventCount] = {};
+    ssize_t n;
+    do {
+      n = read(fds_[0], buf, sizeof(buf));
+    } while (n < 0 && errno == EINTR);
+    const size_t expect = (3 + opened_) * sizeof(uint64_t);
+    if (n < 0 || static_cast<size_t>(n) < expect || buf[0] != opened_) {
+      return false;
+    }
+    out->time_enabled = buf[1];
+    out->time_running = buf[2];
+    uint64_t* slots[kEventCount] = {&out->cycles, &out->instructions,
+                                    &out->cache_references, &out->cache_misses,
+                                    &out->branch_misses};
+    for (size_t i = 0; i < kEventCount; ++i) {
+      *slots[i] = position_[i] >= 0 ? buf[3 + position_[i]] : 0;
+    }
+    out->valid = true;
+    return true;
+  }
+
+ private:
+  int fds_[kEventCount] = {-1, -1, -1, -1, -1};
+  int position_[kEventCount] = {-1, -1, -1, -1, -1};
+  uint64_t opened_ = 0;
+};
+
+ThreadPerfGroup& LocalGroup() {
+  thread_local ThreadPerfGroup group;
+  return group;
+}
+
+PerfProbeResult RunProbe() {
+  PerfProbeResult result;
+  result.paranoid = ReadParanoid();
+
+  const int leader = OpenEvent(kEvents[0], -1);
+  if (leader < 0) {
+    const int err = errno;
+    char buf[192];
+    if (err == EPERM || err == EACCES) {
+      result.availability = PerfAvailability::kForbidden;
+      std::snprintf(buf, sizeof(buf),
+                    "forbidden: perf_event_open denied (%s; "
+                    "perf_event_paranoid=%d)",
+                    std::strerror(err), result.paranoid);
+    } else {
+      // ENOENT/ENODEV/EOPNOTSUPP: no PMU behind the syscall (VMs,
+      // containers without a virtualized PMU). ENOSYS and anything else
+      // land here too — still just "no counters", never fatal.
+      result.availability = PerfAvailability::kNoHardware;
+      std::snprintf(buf, sizeof(buf),
+                    "no-hardware: perf_event_open failed (%s; "
+                    "perf_event_paranoid=%d)",
+                    std::strerror(err), result.paranoid);
+    }
+    result.detail = buf;
+    return result;
+  }
+
+  // Leader opened: counters are usable. Record which siblings this PMU can
+  // host (VMs often expose cycles/instructions but not the cache events).
+  std::string events = kEvents[0].name;
+  for (size_t i = 1; i < kEventCount; ++i) {
+    const int fd = OpenEvent(kEvents[i], leader);
+    if (fd >= 0) {
+      events += ',';
+      events += kEvents[i].name;
+      close(fd);
+    }
+  }
+  close(leader);
+
+  result.availability = PerfAvailability::kAvailable;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " (perf_event_paranoid=%d)",
+                result.paranoid);
+  result.detail = "available: " + events + buf;
+  return result;
+}
+
+}  // namespace
+
+const PerfProbeResult& PerfProbe() {
+  static const PerfProbeResult result = RunProbe();
+  return result;
+}
+
+bool PerfReadCurrent(PerfSample* out) {
+  *out = PerfSample{};
+  if (!PerfAvailable()) return false;
+  return LocalGroup().Read(out);
+}
+
+#else  // !ALP_OBS || !__linux__
+
+// ---------------------------------------------------------------------------
+// Stub: the API exists (callers need no conditional code) but the probe
+// names why nothing can be measured and every read reports unavailability.
+// ---------------------------------------------------------------------------
+
+const PerfProbeResult& PerfProbe() {
+  static const PerfProbeResult result = [] {
+    PerfProbeResult r;
+#if !ALP_OBS
+    r.availability = PerfAvailability::kCompiledOut;
+    r.detail = "compiled-out: library built with -DALP_OBS=OFF";
+#else
+    r.availability = PerfAvailability::kUnsupportedPlatform;
+    r.detail = "unsupported-platform: perf_event_open is Linux-only";
+#endif
+    return r;
+  }();
+  return result;
+}
+
+bool PerfReadCurrent(PerfSample* out) {
+  *out = PerfSample{};
+  return false;
+}
+
+#endif  // ALP_OBS && __linux__
+
+}  // namespace alp::obs

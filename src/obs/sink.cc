@@ -127,6 +127,25 @@ std::string TraceSink::ToJson(const MetricsSnapshot& snapshot) {
     out += ",\"items\":" + std::to_string(s.items);
     out += ",\"cycles_per_call\":" + JsonDouble(s.CyclesPerCall());
     out += ",\"cycles_per_item\":" + JsonDouble(s.CyclesPerItem());
+    // Hardware-counter side, present only when perf-armed spans hit the
+    // stage — absent keys keep pre-perf consumers parsing unchanged.
+    if (s.perf_calls > 0) {
+      out += ",\"perf\":{\"calls\":" + std::to_string(s.perf_calls);
+      out += ",\"cycles\":" + std::to_string(s.perf_cycles);
+      out += ",\"instructions\":" + std::to_string(s.perf_instructions);
+      out += ",\"cache_references\":" +
+             std::to_string(s.perf_cache_references);
+      out += ",\"cache_misses\":" + std::to_string(s.perf_cache_misses);
+      out += ",\"branch_misses\":" + std::to_string(s.perf_branch_misses);
+      out += ",\"items\":" + std::to_string(s.perf_items);
+      out += ",\"ipc\":" + JsonDouble(s.Ipc());
+      out += ",\"cache_misses_per_item\":" +
+             JsonDouble(s.CacheMissesPerItem());
+      out += ",\"branch_misses_per_item\":" +
+             JsonDouble(s.BranchMissesPerItem());
+      out += ",\"cache_miss_rate\":" + JsonDouble(s.CacheMissRate());
+      out += '}';
+    }
     out += '}';
   }
   out += "}}";
@@ -185,7 +204,13 @@ std::string TraceSink::ToText(const MetricsSnapshot& snapshot) {
       out << "  " << s.name << std::string(width - s.name.size() + 2, ' ')
           << "calls=" << s.calls << " cycles=" << s.cycles
           << " items=" << s.items
-          << " cyc/item=" << FormatDouble(s.CyclesPerItem()) << "\n";
+          << " cyc/item=" << FormatDouble(s.CyclesPerItem());
+      if (s.perf_calls > 0) {
+        out << " ipc=" << FormatDouble(s.Ipc())
+            << " cmiss/item=" << FormatDouble(s.CacheMissesPerItem(), 4)
+            << " bmiss/item=" << FormatDouble(s.BranchMissesPerItem(), 4);
+      }
+      out << "\n";
     }
   }
   return out.str();

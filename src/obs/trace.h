@@ -5,6 +5,7 @@
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace_buffer.h"
 #include "util/cycle_clock.h"
 
@@ -44,6 +45,11 @@ class ScopedTimer {
     recorder_ = CurrentFlightRecorder();
     if (Enabled() || TraceEnabled() || recorder_ != nullptr) {
       armed_ = true;
+      // Hardware counters ride the same span when the per-span perf gate is
+      // open (PerfSpansEnabled — two syscalls per span, so opt-in). Arm
+      // before the rdtsc read: the group read's syscall cost then sits
+      // outside the timed interval on the begin side at least.
+      perf_.Arm();
       start_ = ::alp::CycleNow();
     }
   }
@@ -64,6 +70,17 @@ class ScopedTimer {
     if (metrics) stage_.Record(end - start_, items_);
     if (trace) TraceRecordSpan(name_, start_, end, items_);
     if (recorder_ != nullptr) recorder_->Span(name_, start_, end, items_);
+    if (perf_.armed()) {
+      const PerfSample delta = perf_.Finish();
+      if (delta.valid) {
+        if (metrics) {
+          stage_.RecordPerf(delta.cycles, delta.instructions,
+                            delta.cache_references, delta.cache_misses,
+                            delta.branch_misses, items_);
+        }
+        if (recorder_ != nullptr) recorder_->AddPerf(delta);
+      }
+    }
   }
 
  private:
@@ -72,6 +89,7 @@ class ScopedTimer {
   uint64_t items_;
   uint64_t start_ = 0;
   FlightRecorder* recorder_ = nullptr;
+  PerfScope perf_;
   bool armed_ = false;
 };
 

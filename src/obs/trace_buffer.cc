@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "obs/sink.h"
 #include "util/cycle_clock.h"
 #include "util/thread_pool.h"
@@ -151,6 +152,12 @@ void TraceRecordSpan(const char* name, uint64_t begin_cycles,
   if (h >= kTraceRingCapacity) {
     // Overwriting the oldest retained span.
     Registry().dropped.fetch_add(1, std::memory_order_relaxed);
+    // Mirror the loss into the metric registry (AddAlways: tracing can run
+    // with the metrics gate closed, and span loss is exactly what the
+    // obs-health counter must not lose to that gate).
+    static Counter& dropped =
+        MetricRegistry::Global().GetCounter("obs.trace.dropped");
+    dropped.AddAlways(1);
   }
   ring.Push(name, begin_cycles, end_cycles, items, CurrentTraceId());
 }

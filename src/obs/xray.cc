@@ -7,7 +7,9 @@
 
 #include "alp/constants.h"
 #include "alp/kernel_dispatch.h"
+#include "obs/perf_counters.h"
 #include "obs/sink.h"
+#include "util/cycle_clock.h"
 
 namespace alp::obs {
 
@@ -160,7 +162,78 @@ StatusOr<XRayReport> ColumnXRay::Analyze(const uint8_t* data, size_t size) {
   return as_double.status();  // The double error names the real problem.
 }
 
-std::string ColumnXRay::ToJson(const XRayReport& report, size_t top_n) {
+namespace {
+
+template <typename T>
+StatusOr<XRayDecodePerf> MeasureDecodePerfAs(const uint8_t* data,
+                                             size_t size) {
+  StatusOr<ColumnReader<T>> reader_or = ColumnReader<T>::Open(data, size);
+  if (!reader_or.ok()) return reader_or.status();
+  const ColumnReader<T>& reader = reader_or.value();
+
+  XRayDecodePerf perf;
+  perf.values = reader.value_count();
+  std::vector<T> out(reader.value_count());
+
+  // Warm-up pass: faults the buffer in and settles dispatch, so the
+  // measured passes profile steady-state decode, not first-touch.
+  Status warm = reader.TryDecodeAll(out.data());
+  if (!warm.ok()) return warm;
+
+  PerfSample begin;
+  const bool counters = PerfReadCurrent(&begin);
+  const uint64_t cycles_begin = ::alp::CycleNow();
+  // Repeat until the window is long enough for rates to be stable; small
+  // test columns get many passes, real columns typically one or two.
+  constexpr uint64_t kMinCycles = 20'000'000;
+  uint64_t passes = 0;
+  do {
+    reader.DecodeAll(out.data());
+    ++passes;
+  } while (::alp::CycleNow() - cycles_begin < kMinCycles && passes < 1000);
+  const uint64_t cycles = ::alp::CycleNow() - cycles_begin;
+  perf.passes = passes;
+
+  const double total_values =
+      static_cast<double>(perf.values) * static_cast<double>(passes);
+  if (total_values > 0) {
+    perf.cycles_per_value = static_cast<double>(cycles) / total_values;
+  }
+
+  if (counters) {
+    PerfSample end;
+    if (PerfReadCurrent(&end)) {
+      const PerfSample delta = PerfDelta(begin, end);
+      if (delta.valid && total_values > 0) {
+        perf.measured = true;
+        perf.ipc = delta.Ipc();
+        perf.cache_misses_per_value =
+            static_cast<double>(delta.cache_misses) / total_values;
+        perf.cache_references_per_value =
+            static_cast<double>(delta.cache_references) / total_values;
+        perf.branch_misses_per_value =
+            static_cast<double>(delta.branch_misses) / total_values;
+        perf.cache_miss_rate = delta.CacheMissRate();
+        perf.multiplex_scale = delta.Scale();
+      }
+    }
+  }
+  return perf;
+}
+
+}  // namespace
+
+StatusOr<XRayDecodePerf> ColumnXRay::MeasureDecodePerf(const uint8_t* data,
+                                                       size_t size) {
+  StatusOr<XRayDecodePerf> as_double = MeasureDecodePerfAs<double>(data, size);
+  if (as_double.ok()) return as_double;
+  StatusOr<XRayDecodePerf> as_float = MeasureDecodePerfAs<float>(data, size);
+  if (as_float.ok()) return as_float;
+  return as_double.status();
+}
+
+std::string ColumnXRay::ToJson(const XRayReport& report, size_t top_n,
+                               const XRayDecodePerf* perf) {
   std::string out;
   out.reserve(4096 + report.rowgroups.size() * 128);
   out += "{\"alp_xray\":1,\"type\":";
@@ -235,6 +308,28 @@ std::string ColumnXRay::ToJson(const XRayReport& report, size_t top_n) {
   }
   out += ']';
 
+  if (perf != nullptr) {
+    out += ",\"decode_perf\":{\"measured\":";
+    out += perf->measured ? "true" : "false";
+    out += ",\"values\":" + std::to_string(perf->values);
+    out += ",\"passes\":" + std::to_string(perf->passes);
+    out += ",\"cycles_per_value\":" + Fixed(perf->cycles_per_value);
+    if (perf->measured) {
+      out += ",\"ipc\":" + Fixed(perf->ipc);
+      out += ",\"cache_misses_per_value\":" +
+             Fixed(perf->cache_misses_per_value, 4);
+      out += ",\"cache_references_per_value\":" +
+             Fixed(perf->cache_references_per_value, 4);
+      out += ",\"branch_misses_per_value\":" +
+             Fixed(perf->branch_misses_per_value, 4);
+      out += ",\"cache_miss_rate\":" + Fixed(perf->cache_miss_rate);
+      out += ",\"multiplex_scale\":" + Fixed(perf->multiplex_scale);
+    }
+    out += ",\"perf_status\":";
+    out += JsonQuote(PerfAvailabilityName(PerfProbe().availability));
+    out += '}';
+  }
+
   out += ",\"outliers\":[";
   const std::vector<size_t> order = RankedOutliers(report, top_n);
   for (size_t i = 0; i < order.size(); ++i) {
@@ -245,7 +340,8 @@ std::string ColumnXRay::ToJson(const XRayReport& report, size_t top_n) {
   return out;
 }
 
-std::string ColumnXRay::ToText(const XRayReport& report, size_t top_n) {
+std::string ColumnXRay::ToText(const XRayReport& report, size_t top_n,
+                               const XRayDecodePerf* perf) {
   std::ostringstream out;
   out << "== alp x-ray ==\n";
   out << "type " << report.type << "  format v" << int(report.format_version)
@@ -295,6 +391,27 @@ std::string ColumnXRay::ToText(const XRayReport& report, size_t top_n) {
     for (uint64_t c : report.exception_position_histogram) out << " " << c;
   }
   out << "\n";
+
+  if (perf != nullptr) {
+    out << "decode profile (" << perf->passes << " passes over "
+        << perf->values << " values):\n";
+    out << "  cycles/value " << Fixed(perf->cycles_per_value, 2);
+    if (perf->measured) {
+      out << "  ipc " << Fixed(perf->ipc, 2) << "  cache-miss/value "
+          << Fixed(perf->cache_misses_per_value, 4) << "  miss-rate "
+          << Fixed(perf->cache_miss_rate * 100.0, 1) << "%  branch-miss/value "
+          << Fixed(perf->branch_misses_per_value, 4);
+      if (perf->multiplex_scale > 1.001) {
+        out << "  (multiplex-scaled x" << Fixed(perf->multiplex_scale, 2)
+            << ")";
+      }
+      out << "\n";
+    } else {
+      out << "  (hardware counters "
+          << PerfAvailabilityName(PerfProbe().availability)
+          << "; rdtsc only)\n";
+    }
+  }
 
   out << "rowgroups:\n";
   for (const RowgroupMeta& rm : report.rowgroups) {

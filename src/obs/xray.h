@@ -95,6 +95,26 @@ struct XRayReport {
 /// ranking key for the report's "top outliers" view.
 double XRayVectorBitsPerValue(const VectorMeta& vm);
 
+/// Measured full-decode hardware profile of one column buffer — the
+/// `alp explain --perf` payload that answers "is my decode cache-bound?".
+/// Unlike the rest of the x-ray this DOES decode: repeated full-column
+/// passes run under one perf_event group read (obs/perf_counters.h).
+/// cycles_per_value comes from rdtsc and is always filled; the counter-
+/// derived rates are meaningful only when `measured` is true (counters
+/// available and the group delta valid).
+struct XRayDecodePerf {
+  bool measured = false;   ///< Hardware counters covered the passes.
+  uint64_t values = 0;     ///< Values decoded per pass.
+  uint64_t passes = 0;     ///< Full-column decode passes timed.
+  double cycles_per_value = 0.0;  ///< rdtsc cycles per value (always set).
+  double ipc = 0.0;
+  double cache_misses_per_value = 0.0;
+  double cache_references_per_value = 0.0;
+  double branch_misses_per_value = 0.0;
+  double cache_miss_rate = 0.0;   ///< misses / references.
+  double multiplex_scale = 1.0;   ///< time_enabled / time_running.
+};
+
 class ColumnXRay {
  public:
   /// Analyzes a column buffer of element type T.
@@ -106,15 +126,26 @@ class ColumnXRay {
   /// error is reported when both fail.
   static StatusOr<XRayReport> Analyze(const uint8_t* data, size_t size);
 
+  /// Decodes the column repeatedly under a hardware-counter read and
+  /// returns the per-value profile. Degrades gracefully: on hosts without
+  /// perf_event the rdtsc numbers are still measured and `measured` stays
+  /// false. Fails only when the buffer does not open as a column.
+  static StatusOr<XRayDecodePerf> MeasureDecodePerf(const uint8_t* data,
+                                                    size_t size);
+
   /// Renders the report as one JSON object (schema: docs/OBSERVABILITY.md).
   /// \p top_n bounds the per-vector "outliers" array (vectors ranked by
-  /// bits per value, descending); 0 means include every vector.
-  static std::string ToJson(const XRayReport& report, size_t top_n = 0);
+  /// bits per value, descending); 0 means include every vector. A non-null
+  /// \p perf adds a "decode_perf" object.
+  static std::string ToJson(const XRayReport& report, size_t top_n = 0,
+                            const XRayDecodePerf* perf = nullptr);
 
   /// Human-oriented rendering: summary block, stream table with
   /// percentages, scheme/width/exception breakdowns, per-rowgroup lines and
-  /// the top \p top_n outlier vectors.
-  static std::string ToText(const XRayReport& report, size_t top_n = 5);
+  /// the top \p top_n outlier vectors. A non-null \p perf adds a measured
+  /// decode-profile block.
+  static std::string ToText(const XRayReport& report, size_t top_n = 5,
+                            const XRayDecodePerf* perf = nullptr);
 };
 
 }  // namespace alp::obs

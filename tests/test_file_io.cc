@@ -2,6 +2,7 @@
 // files, byte buffers, and failure paths.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <random>
@@ -15,8 +16,12 @@ namespace alp {
 namespace {
 
 std::string TempPath(const char* suffix) {
+  // The counter alone is not unique across processes: ctest runs each test
+  // of this binary as its own process, all starting at 0, and parallel
+  // FileIo tests then race on one path. Scope the name by PID.
   static int counter = 0;
-  return testing::TempDir() + "/alp_file_io_" + std::to_string(counter++) + suffix;
+  return testing::TempDir() + "/alp_file_io_" + std::to_string(::getpid()) +
+         "_" + std::to_string(counter++) + suffix;
 }
 
 TEST(FileIo, IsTextPath) {

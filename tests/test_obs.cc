@@ -21,7 +21,9 @@
 
 #include "alp/alp.h"
 #include "obs/export.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/sink.h"
 #include "obs/trace.h"
 #include "test_fixtures.h"
@@ -542,6 +544,356 @@ TEST_F(ObsTest, SpanMacroCompilesInBothConfigurations) {
   }
 #endif
 }
+
+// ---------------------------------------------------------------------------
+// Hardware counters (obs/perf_counters.h). Nothing here requires a working
+// PMU: the subsystem's core contract is that unavailability is data, not an
+// error, so every assertion holds on bare metal, in counterless VMs, under a
+// hardened perf_event_paranoid, and in ALP_OBS=OFF builds alike.
+
+TEST(PerfCountersTest, ProbeIsStableCachedAndNeverFatal) {
+  const PerfProbeResult& probe = PerfProbe();
+  // One probe per process: every call returns the same cached verdict.
+  EXPECT_EQ(&probe, &PerfProbe());
+
+  const std::string token = PerfAvailabilityName(probe.availability);
+  const char* const kTokens[] = {"available", "compiled-out",
+                                 "unsupported-platform", "forbidden",
+                                 "no-hardware"};
+  bool known = false;
+  for (const char* t : kTokens) known = known || token == t;
+  EXPECT_TRUE(known) << "unknown availability token: " << token;
+  EXPECT_FALSE(probe.detail.empty());
+  EXPECT_EQ(probe.available(),
+            probe.availability == PerfAvailability::kAvailable);
+  EXPECT_EQ(PerfAvailable(), probe.available());
+#if !ALP_OBS
+  EXPECT_EQ(probe.availability, PerfAvailability::kCompiledOut);
+#endif
+}
+
+TEST(PerfCountersTest, ReadCurrentMatchesProbeVerdict) {
+  PerfSample sample;
+  const bool ok = PerfReadCurrent(&sample);
+  // Reads succeed exactly when the probe said counters are usable, and a
+  // failed read leaves the sample invalid so callers cannot consume garbage.
+  EXPECT_EQ(ok, PerfAvailable());
+  EXPECT_EQ(sample.valid, ok);
+  if (ok) {
+    PerfSample later;
+    ASSERT_TRUE(PerfReadCurrent(&later));
+    // Cumulative readings of one thread's group never run backwards.
+    EXPECT_GE(later.time_enabled, sample.time_enabled);
+    EXPECT_GE(later.cycles, sample.cycles);
+  }
+}
+
+TEST(PerfCountersTest, DeltaAppliesMultiplexScaling) {
+  PerfSample begin;
+  begin.valid = true;
+  begin.time_enabled = 1000;
+  begin.time_running = 1000;
+  begin.cycles = 100;
+  begin.instructions = 200;
+  begin.cache_references = 50;
+  begin.cache_misses = 10;
+  begin.branch_misses = 4;
+  PerfSample end = begin;
+  end.time_enabled = 1200;  // Enabled for 200 ns...
+  end.time_running = 1100;  // ...on the PMU for 100: counts ran at half
+  end.cycles = 600;         // coverage, so raw deltas are doubled.
+  end.instructions = 1200;
+  end.cache_references = 80;
+  end.cache_misses = 25;
+  end.branch_misses = 9;
+
+  const PerfSample delta = PerfDelta(begin, end);
+  ASSERT_TRUE(delta.valid);
+  EXPECT_EQ(delta.time_enabled, 200u);
+  EXPECT_EQ(delta.time_running, 100u);
+  EXPECT_DOUBLE_EQ(delta.Scale(), 2.0);
+  EXPECT_EQ(delta.cycles, 1000u);        // (600 - 100) * 2
+  EXPECT_EQ(delta.instructions, 2000u);  // (1200 - 200) * 2
+  EXPECT_EQ(delta.cache_references, 60u);
+  EXPECT_EQ(delta.cache_misses, 30u);
+  EXPECT_EQ(delta.branch_misses, 10u);
+  EXPECT_DOUBLE_EQ(delta.Ipc(), 2.0);
+  EXPECT_DOUBLE_EQ(delta.CacheMissRate(), 0.5);
+}
+
+TEST(PerfCountersTest, DeltaRejectsInvalidAndBackwardsEndpoints) {
+  PerfSample valid;
+  valid.valid = true;
+  valid.time_enabled = 100;
+  valid.time_running = 100;
+  valid.cycles = 10;
+  PerfSample invalid;  // Default-constructed: valid == false.
+
+  EXPECT_FALSE(PerfDelta(invalid, valid).valid);
+  EXPECT_FALSE(PerfDelta(valid, invalid).valid);
+
+  // Reversed epochs (a reopened group restarts its clocks): invalid.
+  PerfSample earlier = valid;
+  earlier.time_enabled = 50;
+  EXPECT_FALSE(PerfDelta(valid, earlier).valid);
+
+  // An interval during which the group never owned the PMU has nothing to
+  // scale from: invalid, and the caller keeps its rdtsc numbers.
+  EXPECT_FALSE(PerfDelta(valid, valid).valid);
+}
+
+TEST(PerfCountersTest, PerfScopeHonorsTheSpanGate) {
+  const bool was = PerfSpansEnabled();
+
+  SetPerfSpansEnabled(false);
+  PerfScope closed;
+  closed.Arm();
+  EXPECT_FALSE(closed.armed());
+  EXPECT_FALSE(closed.Finish().valid);
+
+  SetPerfSpansEnabled(true);
+  PerfScope open;
+  open.Arm();
+  // Arms exactly when counters exist; Finish never fabricates a delta.
+  EXPECT_EQ(open.armed(), PerfAvailable());
+  const PerfSample delta = open.Finish();
+  EXPECT_FALSE(open.armed());  // Single-shot.
+  if (!PerfAvailable()) EXPECT_FALSE(delta.valid);
+
+  SetPerfSpansEnabled(was);
+}
+
+TEST_F(ObsTest, StageRecordPerfFlowsToSnapshotAndSink) {
+  StageStats& stage = MetricRegistry::Global().GetStage("test.perf.stage");
+  stage.Reset();
+  stage.Record(/*cycles=*/4000, /*items=*/1024);
+  stage.RecordPerf(/*cycles=*/1000, /*instructions=*/2000,
+                   /*cache_references=*/300, /*cache_misses=*/30,
+                   /*branch_misses=*/10, /*items=*/1024);
+
+  bool found = false;
+  for (const auto& s : MetricRegistry::Global().Snapshot().stages) {
+    if (s.name != "test.perf.stage") continue;
+    found = true;
+    EXPECT_EQ(s.perf_calls, 1u);
+    EXPECT_EQ(s.perf_cycles, 1000u);
+    EXPECT_EQ(s.perf_items, 1024u);
+    EXPECT_DOUBLE_EQ(s.Ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(s.CacheMissesPerItem(), 30.0 / 1024.0);
+    EXPECT_DOUBLE_EQ(s.BranchMissesPerItem(), 10.0 / 1024.0);
+    EXPECT_DOUBLE_EQ(s.CacheMissRate(), 0.1);
+
+    MetricsSnapshot one;
+    one.enabled = true;
+    one.stages.push_back(s);
+    const std::string json = TraceSink::ToJson(one);
+    EXPECT_NE(json.find("\"perf\""), std::string::npos) << json;
+    EXPECT_NE(json.find("\"ipc\":"), std::string::npos) << json;
+    const std::string text = TraceSink::ToText(one);
+    EXPECT_NE(text.find("ipc="), std::string::npos) << text;
+    EXPECT_NE(text.find("cmiss/item="), std::string::npos) << text;
+  }
+  EXPECT_TRUE(found);
+
+  // A stage no perf-armed span ever hit renders without the perf block, so
+  // rdtsc-only hosts see exactly the pre-counter output.
+  StageStats& plain = MetricRegistry::Global().GetStage("test.perf.plain");
+  plain.Reset();
+  plain.Record(100, 10);
+  for (const auto& s : MetricRegistry::Global().Snapshot().stages) {
+    if (s.name != "test.perf.plain") continue;
+    MetricsSnapshot one;
+    one.enabled = true;
+    one.stages.push_back(s);
+    EXPECT_EQ(TraceSink::ToJson(one).find("\"ipc\":"), std::string::npos);
+    EXPECT_EQ(TraceSink::ToText(one).find("ipc="), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, ObsHealthCountersBypassTheRuntimeGate) {
+  RegisterObsHealthMetrics();
+  MetricRegistry& reg = MetricRegistry::Global();
+  Counter& trace_dropped = reg.GetCounter("obs.trace.dropped");
+  Counter& recorder_dropped = reg.GetCounter("obs.recorder.dropped");
+  const uint64_t t0 = trace_dropped.Total();
+  const uint64_t r0 = recorder_dropped.Total();
+
+  // Loss accounting must survive a closed gate: a process that toggles
+  // recording still needs to know telemetry was dropped while it was off.
+  SetEnabled(false);
+  trace_dropped.AddAlways(2);
+  recorder_dropped.AddAlways(1);
+  SetEnabled(true);
+  EXPECT_EQ(trace_dropped.Total(), t0 + 2);
+  EXPECT_EQ(recorder_dropped.Total(), r0 + 1);
+
+  // Registration makes both visible to `alp stats` even at zero.
+  bool saw_trace = false, saw_recorder = false;
+  for (const auto& c : reg.Snapshot().counters) {
+    if (c.name == "obs.trace.dropped") saw_trace = true;
+    if (c.name == "obs.recorder.dropped") saw_recorder = true;
+  }
+  EXPECT_TRUE(saw_trace);
+  EXPECT_TRUE(saw_recorder);
+}
+
+TEST(FlightRecorderPerfTest, DumpCarriesAggregatedRates) {
+  FlightRecorder recorder;
+  recorder.Reset(/*trace_id=*/0x1234, "lookup", "t0");
+
+  PerfSample delta;
+  delta.valid = true;
+  delta.time_enabled = 100;
+  delta.time_running = 100;
+  delta.cycles = 1000;
+  delta.instructions = 2500;
+  delta.cache_references = 100;
+  delta.cache_misses = 25;
+  delta.branch_misses = 7;
+  recorder.AddPerf(delta);
+
+  PerfSample ignored;  // Invalid deltas must not count as samples.
+  recorder.AddPerf(ignored);
+  EXPECT_EQ(recorder.PerfSamples(), 1u);
+
+  recorder.SetOutcome(Status::Ok(), /*queue_ns=*/1000, /*exec_ns=*/2000);
+  const std::string json = recorder.ToJson();
+  EXPECT_NE(json.find("\"perf\":{\"samples\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ipc\":2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cache_miss_rate\":0.25"), std::string::npos) << json;
+
+  // A request that never saw a valid delta dumps no perf object at all.
+  recorder.Reset(0x5678, "lookup", "t0");
+  EXPECT_EQ(recorder.PerfSamples(), 0u);
+  EXPECT_EQ(recorder.ToJson().find("\"perf\""), std::string::npos);
+}
+
+TEST(PrometheusExportTest, StagePerfFamiliesAppearOnlyWhenMeasured) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::StageSample covered;
+  covered.name = "decode.vector{tier=\"avx2\"}";
+  covered.calls = 4;
+  covered.cycles = 400;
+  covered.items = 4096;
+  covered.perf_calls = 2;
+  covered.perf_cycles = 200;
+  covered.perf_instructions = 500;
+  covered.perf_cache_references = 64;
+  covered.perf_cache_misses = 8;
+  covered.perf_branch_misses = 3;
+  covered.perf_items = 2048;
+  MetricsSnapshot::StageSample plain;
+  plain.name = "decode.vector{tier=\"scalar\"}";
+  plain.calls = 1;
+  plain.cycles = 100;
+  plain.items = 1024;
+  snap.stages.push_back(covered);
+  snap.stages.push_back(plain);
+
+  const std::string text = PrometheusText(snap);
+  EXPECT_NE(
+      text.find("alp_decode_vector_instructions_total{tier=\"avx2\"} 500\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("alp_decode_vector_cache_misses_total{tier=\"avx2\"} 8\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("alp_decode_vector_perf_items_total{tier=\"avx2\"} 2048\n"),
+      std::string::npos)
+      << text;
+  // The uncovered tier contributes no counter families...
+  EXPECT_EQ(text.find("_instructions_total{tier=\"scalar\"}"),
+            std::string::npos)
+      << text;
+  // ...but keeps its rdtsc families untouched.
+  EXPECT_NE(text.find("alp_decode_vector_cycles_total{tier=\"scalar\"} 100\n"),
+            std::string::npos)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Exporter label-value escaping: names registered directly (bypassing
+// LabeledName) may carry raw `\`, `"` or newline characters; the exposition
+// must escape them so one hostile value cannot break a sample line or
+// smuggle a second one.
+
+TEST(PrometheusExportTest, EscapesHostileRawLabelValues) {
+  MetricsSnapshot snap;
+  snap.counters.push_back(
+      {"evil.raw{path=\"C:\\temp\",note=\"say \"hi\"\nbye\"}", 1});
+  const std::string text = PrometheusText(snap);
+  EXPECT_NE(text.find("alp_evil_raw_total{path=\"C:\\\\temp\","
+                      "note=\"say \\\"hi\\\"\\nbye\"} 1\n"),
+            std::string::npos)
+      << text;
+  // No raw newline survives inside any sample line.
+  EXPECT_EQ(text.find("\nbye"), std::string::npos) << text;
+}
+
+TEST(PrometheusExportTest, LabeledNameEscapesSurviveExportUnchanged) {
+  // LabeledName escapes at registration time; the exporter must recognize
+  // already-escaped values and not double-escape them.
+  const std::string name =
+      LabeledName("io.file", {{"path", "C:\\temp\nx"}, {"q", "say \"hi\""}});
+  MetricsSnapshot snap;
+  snap.counters.push_back({name, 3});
+  const std::string text = PrometheusText(snap);
+  EXPECT_NE(text.find("path=\"C:\\\\temp\\nx\""), std::string::npos) << text;
+  EXPECT_NE(text.find("q=\"say \\\"hi\\\"\""), std::string::npos) << text;
+}
+
+#ifdef ALP_TOOLS_DIR
+
+bool HavePython3() {
+  return std::system("python3 -c pass >/dev/null 2>&1") == 0;
+}
+
+/// Writes \p text to a temp file and runs tools/validate_prometheus.py on
+/// it. Returns the linter's exit status (0 = clean), or -1 on setup failure.
+int RunPromLinter(const std::string& text, const std::string& tag) {
+  const std::string path = ::testing::TempDir() + "test_obs_" + tag + ".prom";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return -1;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  const std::string cmd = std::string("python3 \"") + ALP_TOOLS_DIR +
+                          "/validate_prometheus.py\" \"" + path +
+                          "\" >/dev/null 2>&1";
+  const int rc = std::system(cmd.c_str());
+  std::remove(path.c_str());
+  return rc;
+}
+
+// The real gate for the escaping rules: exporter output with hostile label
+// values, already-escaped LabeledName values, and labeled/unlabeled variants
+// of one family must all pass the repo's own Prometheus linter — and the
+// linter must reject the raw-backslash shape the exporter promises never to
+// emit (so the test would catch a regression on either side).
+TEST(PrometheusExportTest, ExporterOutputRoundTripsThroughTheLinter) {
+  if (!HavePython3()) GTEST_SKIP() << "python3 not on PATH";
+
+  MetricsSnapshot snap;
+  snap.counters.push_back({"evil.lint", 4});  // Unlabeled + labeled family.
+  snap.counters.push_back({"evil.lint{v=\"a\\b \"quote\" \nnl\"}", 1});
+  snap.counters.push_back(
+      {LabeledName("evil.lint", {{"v", "pre \\ \" \n post"}}), 2});
+  snap.gauges.push_back({"evil.gauge{v=\"trailing\\\"}", 7});
+  EXPECT_EQ(RunPromLinter(PrometheusText(snap), "hostile"), 0);
+
+  // A raw backslash (an escape the format does not define) must fail.
+  EXPECT_NE(RunPromLinter("# TYPE alp_bad_total counter\n"
+                          "alp_bad_total{k=\"a\\d\"} 1\n",
+                          "rawescape"),
+            0);
+
+  // An empty registry exports an empty exposition; that lints clean too.
+  EXPECT_TRUE(PrometheusText(MetricsSnapshot{}).empty());
+  EXPECT_EQ(RunPromLinter(PrometheusText(MetricsSnapshot{}), "empty"), 0);
+}
+
+#endif  // ALP_TOOLS_DIR
 
 }  // namespace
 }  // namespace alp::obs

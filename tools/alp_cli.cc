@@ -3,11 +3,19 @@
 //   alp [--threads=N] compress   <in.bin|in.csv> <out.alp>   compress doubles
 //   alp [--threads=N] decompress <in.alp> <out.bin|out.csv>  restore doubles
 //   alp inspect    <in.alp>                      header, schemes, ratios
-//   alp explain    <in.alp> [--json] [--top=N]   per-vector x-ray report
+//   alp explain    <in.alp> [--json] [--top=N] [--perf]  per-vector x-ray
+//                                                report (--perf adds a
+//                                                measured decode profile:
+//                                                IPC, cache misses/value)
 //   alp [--threads=N] verify <in.alp> <original> bit-exactness check
 //   alp bench      <in.bin|in.csv>               compare all schemes on a file
-//   alp [--threads=N] stats <in.bin|in.csv> [--prom]  telemetry profile
-//                                                (--prom: Prometheus text)
+//   alp [--threads=N] stats <in.bin|in.csv> [--prom] [--perf]  telemetry
+//                                                profile (--prom: Prometheus
+//                                                text; --perf: arm per-span
+//                                                hardware counters — stage
+//                                                IPC and miss rates, rdtsc-
+//                                                only when perf_event is
+//                                                unavailable)
 //   alp gen        <dataset> <count> <out>       emit a surrogate dataset
 //   alp datasets                                 list surrogate names
 //   alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] [--queue=N]
@@ -71,6 +79,7 @@
 #include "data/datasets.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/sink.h"
 #include "obs/trace_buffer.h"
 #include "io/decoded_vector_cache.h"
@@ -109,10 +118,10 @@ int Usage() {
                "  alp [--threads=N] [--float32] compress <in.bin|in.csv> <out.alp>\n"
                "  alp [--threads=N] decompress <in.alp> <out.bin|out.csv>\n"
                "  alp inspect    <in.alp>\n"
-               "  alp explain    <in.alp> [--json] [--top=N]\n"
+               "  alp explain    <in.alp> [--json] [--top=N] [--perf]\n"
                "  alp [--threads=N] verify <in.alp> <original.bin|original.csv>\n"
                "  alp bench      <in.bin|in.csv>\n"
-               "  alp [--threads=N] stats <in.bin|in.csv> [--prom]\n"
+               "  alp [--threads=N] stats <in.bin|in.csv> [--prom] [--perf]\n"
                "  alp gen        <dataset> <count> <out.bin|out.csv>\n"
                "  alp datasets\n"
                "  alp [--threads=N] serve-bench <in.bin|in.csv> [--requests=N] "
@@ -277,19 +286,34 @@ int CmdInspect(const std::string& in_path) {
   return Fail(reader.status(), "not a valid ALP column");
 }
 
-int CmdExplain(const std::string& in_path, bool json, size_t top_n) {
+int CmdExplain(const std::string& in_path, bool json, size_t top_n,
+               bool perf) {
   const auto buffer = alp::ReadFileBytes(in_path);
   if (!buffer.has_value()) return Fail(alp::Status::Io(in_path), "cannot read input");
   const auto report = alp::obs::ColumnXRay::Analyze(buffer->data(), buffer->size());
   if (!report.ok()) {
     return Fail(report.status(), "not a valid ALP column");
   }
+  // --perf is the one x-ray section that decodes: repeated full passes
+  // under a hardware-counter read. Degrades to rdtsc-only (and says so)
+  // when perf_event is unavailable.
+  alp::obs::XRayDecodePerf decode_perf;
+  const alp::obs::XRayDecodePerf* perf_ptr = nullptr;
+  if (perf) {
+    const auto measured =
+        alp::obs::ColumnXRay::MeasureDecodePerf(buffer->data(), buffer->size());
+    if (!measured.ok()) {
+      return Fail(measured.status(), "decode-perf measurement failed");
+    }
+    decode_perf = *measured;
+    perf_ptr = &decode_perf;
+  }
   if (json) {
     std::printf("%s\n",
-                alp::obs::ColumnXRay::ToJson(*report, top_n).c_str());
+                alp::obs::ColumnXRay::ToJson(*report, top_n, perf_ptr).c_str());
   } else {
     std::printf("file: %s\n%s", in_path.c_str(),
-                alp::obs::ColumnXRay::ToText(*report, top_n).c_str());
+                alp::obs::ColumnXRay::ToText(*report, top_n, perf_ptr).c_str());
   }
   return 0;
 }
@@ -369,12 +393,28 @@ int CmdBench(const std::string& in_path) {
 /// in memory with the registry enabled, then dump the snapshot. This is the
 /// quickest way to see where a dataset's cycles go and how the sampler
 /// behaved, without writing any output file.
-int CmdStats(const std::string& in_path, bool prom) {
+int CmdStats(const std::string& in_path, bool prom, bool perf) {
   const auto values = alp::ReadDoublesFileEx(in_path);
   if (!values.ok()) return Fail(values.status(), "cannot read input");
 
   alp::obs::SetEnabled(true);
   alp::obs::MetricRegistry::Global().Reset();
+  // Obs-layer health (trace/recorder drop counts) registered up front so
+  // the snapshot and the Prometheus exposition name them even at zero.
+  alp::obs::RegisterObsHealthMetrics();
+  if (perf) {
+    // Arm per-span hardware counters for the run: every instrumented stage
+    // (sample/choose/encode/pack, unFFOR-decode, chunk-fetch, ...) reports
+    // IPC and miss rates on top of its cycle counts. The probe line goes to
+    // stderr so --prom output stays a clean exposition.
+    alp::obs::SetPerfSpansEnabled(true);
+    alp::obs::PublishPerfAvailability();
+    const alp::obs::PerfProbeResult& probe = alp::obs::PerfProbe();
+    std::fprintf(stderr, "perf counters: %s\n",
+                 probe.detail.empty()
+                     ? alp::obs::PerfAvailabilityName(probe.availability)
+                     : probe.detail.c_str());
+  }
 
   alp::CompressionInfo info;
   const auto buffer =
@@ -610,14 +650,17 @@ int main(int argc, char** argv) {
   if (command == "compress" && argc == 4) rc = CmdCompress(argv[2], argv[3]);
   else if (command == "decompress" && argc == 4) rc = CmdDecompress(argv[2], argv[3]);
   else if (command == "inspect" && argc == 3) rc = CmdInspect(argv[2]);
-  else if (command == "explain" && argc >= 3 && argc <= 5) {
-    // Trailing command options: [--json] [--top=N], any order.
+  else if (command == "explain" && argc >= 3 && argc <= 6) {
+    // Trailing command options: [--json] [--top=N] [--perf], any order.
     bool json = false;
+    bool perf = false;
     size_t top = SIZE_MAX;  // Sentinel: per-format default.
     bool bad = false;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--json") == 0) {
         json = true;
+      } else if (std::strcmp(argv[i], "--perf") == 0) {
+        perf = true;
       } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
         const long v = std::atol(argv[i] + 6);
         if (v < 0) return Fail("bad --top value", argv[i]);
@@ -628,15 +671,22 @@ int main(int argc, char** argv) {
     }
     if (!bad) {
       if (top == SIZE_MAX) top = json ? 16 : 5;
-      rc = CmdExplain(argv[2], json, top);
+      rc = CmdExplain(argv[2], json, top, perf);
     }
   }
   else if (command == "verify" && argc == 4) rc = CmdVerify(argv[2], argv[3]);
   else if (command == "bench" && argc == 3) rc = CmdBench(argv[2]);
-  else if (command == "stats" && (argc == 3 || argc == 4)) {
-    // Trailing command option: [--prom] (Prometheus text exposition).
-    if (argc == 3) rc = CmdStats(argv[2], /*prom=*/false);
-    else if (std::strcmp(argv[3], "--prom") == 0) rc = CmdStats(argv[2], true);
+  else if (command == "stats" && argc >= 3 && argc <= 5) {
+    // Trailing command options: [--prom] [--perf], any order.
+    bool prom = false;
+    bool perf = false;
+    bool bad = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--prom") == 0) prom = true;
+      else if (std::strcmp(argv[i], "--perf") == 0) perf = true;
+      else bad = true;
+    }
+    if (!bad) rc = CmdStats(argv[2], prom, perf);
   }
   else if (command == "gen" && argc == 5) rc = CmdGen(argv[2], argv[3], argv[4]);
   else if (command == "datasets" && argc == 2) rc = CmdDatasets();

@@ -14,6 +14,21 @@ import sys
 REQUIRED_STR = ("dataset", "scheme", "metric", "unit")
 ALLOWED_FIELDS = set(REQUIRED_STR) | {"value", "threads", "kernel_tier", "tenant"}
 KERNEL_TIERS = ("scalar", "neon", "avx2", "avx512")
+# Hardware-counter availability tokens (obs/perf_counters.h).
+PERF_STATUSES = (
+    "available",
+    "compiled-out",
+    "unsupported-platform",
+    "forbidden",
+    "no-hardware",
+)
+# Canonical units for the hardware-counter metric suffixes, so cross-bench
+# perf records stay comparable (docs/BENCH_SCHEMA.md).
+PERF_METRIC_UNITS = {
+    "_ipc": "instructions/cycle",
+    "_cache_misses_per_tuple": "misses/tuple",
+    "_branch_misses_per_tuple": "misses/tuple",
+}
 
 
 def fail(path, msg):
@@ -50,6 +65,34 @@ def validate_record(path, i, rec):
         tenant = rec["tenant"]
         if not isinstance(tenant, str) or not tenant:
             return fail(path, f"{where}.tenant must be a non-empty string")
+    for suffix, unit in PERF_METRIC_UNITS.items():
+        if rec["metric"].endswith(suffix) and rec["unit"] != unit:
+            return fail(
+                path,
+                f"{where}: metric {rec['metric']!r} must use unit {unit!r}, "
+                f"got {rec['unit']!r}",
+            )
+    return True
+
+
+def validate_perf(path, perf):
+    """The optional top-level "perf" object: hardware-counter probe result
+    recorded by the emitting bench (bench_common.h JsonReport)."""
+    if not isinstance(perf, dict):
+        return fail(path, "top-level perf is not an object")
+    unknown = set(perf) - {"available", "status"}
+    if unknown:
+        return fail(path, f"perf has unknown fields {sorted(unknown)}")
+    if not isinstance(perf.get("available"), bool):
+        return fail(path, "perf.available missing or not a boolean")
+    if perf.get("status") not in PERF_STATUSES:
+        return fail(
+            path,
+            f"perf.status must be one of {PERF_STATUSES}, "
+            f"got {perf.get('status')!r}",
+        )
+    if perf["available"] != (perf["status"] == "available"):
+        return fail(path, "perf.available contradicts perf.status")
     return True
 
 
@@ -71,12 +114,24 @@ def validate_file(path):
             f"top-level kernel_tier must be one of {KERNEL_TIERS}, "
             f"got {doc['kernel_tier']!r}",
         )
+    if "perf" in doc and not validate_perf(path, doc["perf"]):
+        return False
     records = doc.get("records")
     if not isinstance(records, list) or not records:
         return fail(path, "records missing, not an array, or empty")
     for i, rec in enumerate(records):
         if not validate_record(path, i, rec):
             return False
+    # A report claiming counters were unavailable must not carry counter-
+    # derived records — that would mean the rates are fabricated.
+    if "perf" in doc and not doc["perf"]["available"]:
+        for i, rec in enumerate(records):
+            if any(rec["metric"].endswith(s) for s in PERF_METRIC_UNITS):
+                return fail(
+                    path,
+                    f"records[{i}] carries perf metric {rec['metric']!r} "
+                    "but perf.available is false",
+                )
     print(f"{path}: OK ({doc['bench']}, {len(records)} records)")
     return True
 
