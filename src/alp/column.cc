@@ -638,6 +638,44 @@ uint16_t ColumnReader<T>::VectorExceptionCount(size_t v) const {
 }
 
 template <typename T>
+bool ColumnReader<T>::GetPackedVectorView(size_t v, PackedVectorView* view) const {
+  using Uint = typename AlpTraits<T>::Uint;
+  if (v >= vector_count_) return false;
+  const RowgroupInfo& rg = rowgroups_[v / kRowgroupVectors];
+  if (rg.scheme != Scheme::kAlp) return false;
+  const size_t local_v = v - rg.first_vector;
+  const size_t vec_at = rg.byte_offset + rg.vector_offsets[local_v];
+  if (vec_at + sizeof(AlpVectorHeader) > size_) return false;
+  ByteReader reader(data_, size_);
+  reader.SeekTo(vec_at);
+  const auto header = reader.Read<AlpVectorHeader>();
+  if (header.int_encoding != kIntFfor) return false;  // Delta: no lane frame
+  if (header.width > sizeof(Uint) * 8 || header.n > kVectorSize ||
+      header.exc_count > header.n ||
+      header.e > AlpTraits<T>::kMaxExponent || header.f > header.e) {
+    return false;
+  }
+  const size_t packed_bytes =
+      static_cast<size_t>(header.width) * fastlanes::kLanes<Uint> * sizeof(Uint);
+  const size_t exc_bytes =
+      static_cast<size_t>(header.exc_count) * (sizeof(Uint) + sizeof(uint16_t));
+  if (vec_at + sizeof(AlpVectorHeader) + packed_bytes + exc_bytes > size_) {
+    return false;
+  }
+  view->packed = reinterpret_cast<const Uint*>(reader.Here());
+  reader.Skip(packed_bytes);
+  view->exc_bits = reinterpret_cast<const Uint*>(reader.Here());
+  reader.Skip(static_cast<size_t>(header.exc_count) * sizeof(Uint));
+  view->exc_positions = reinterpret_cast<const uint16_t*>(reader.Here());
+  view->ffor.base = header.base;
+  view->ffor.width = header.width;
+  view->c = Combination{header.e, header.f};
+  view->n = header.n;
+  view->exc_count = header.exc_count;
+  return true;
+}
+
+template <typename T>
 void ColumnReader<T>::DecodeVector(size_t v, T* out) const {
   const RowgroupInfo& rg = rowgroups_[v / kRowgroupVectors];
   const size_t local_v = v - rg.first_vector;

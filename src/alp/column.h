@@ -10,6 +10,7 @@
 #include "alp/constants.h"
 #include "alp/rd.h"
 #include "alp/sampler.h"
+#include "fastlanes/ffor.h"
 #include "util/cancellation.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -189,6 +190,28 @@ class ColumnReader {
   /// without decoding any values (out of range or truncated headers read
   /// as 0). Feeds the flight recorder's decode.exceptions counter.
   uint16_t VectorExceptionCount(size_t v) const;
+
+  /// Zero-copy view of one ALP+FFOR vector's compressed streams, for
+  /// compressed-domain predicate evaluation (alp/pushdown.h): the packed
+  /// lane words, the frame parameters, the (e, f) combination and the
+  /// exception value/position arrays, all pointing into the column buffer.
+  /// Exception lane slots hold placeholder integers — any consumer must
+  /// resolve those positions from `exc_bits` instead.
+  struct PackedVectorView {
+    const typename AlpTraits<T>::Uint* packed = nullptr;
+    const typename AlpTraits<T>::Uint* exc_bits = nullptr;
+    const uint16_t* exc_positions = nullptr;
+    fastlanes::FforParams ffor;
+    Combination c;
+    unsigned n = 0;
+    uint16_t exc_count = 0;
+  };
+
+  /// Fills \p view for vector \p v. Returns false — meaning the caller
+  /// must decode-then-filter — for ALP_rd rowgroups, Delta-encoded
+  /// vectors, invalid (e, f) headers, and any extent that would leave the
+  /// buffer (so it is safe on chunk readers too).
+  bool GetPackedVectorView(size_t v, PackedVectorView* view) const;
 
   /// Decodes vector \p v into \p out (room for VectorLength(v) values).
   /// Trusted path: no per-vector re-validation.

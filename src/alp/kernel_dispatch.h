@@ -92,6 +92,26 @@ struct DecodeKernels {
                     const uint64_t* dict_shifted, double* out);
   void (*rd_glue32)(const uint16_t* codes, const uint32_t* right_parts,
                     const uint32_t* dict_shifted, float* out);
+
+  /// Compressed-domain range filter over FFOR-packed 64-bit lanes (double
+  /// columns): unpacks `packed` (width bits/lane) into `lanes` (1024
+  /// entries, 64-byte aligned scratch owned by the caller so a following
+  /// gather never re-unpacks) and writes a 1024-bit selection bitmap
+  /// (16 words, little-endian bit order: bit i of word i/64 is lane i),
+  /// bit set iff t_lo <= lanes[i] <= t_hi as *unsigned* deltas. The caller
+  /// translates the double predicate into [t_lo, t_hi] (alp/predicate.h)
+  /// and fixes up exception positions / tail lanes on the bitmap itself.
+  void (*cmp_range64)(const uint64_t* packed, unsigned width, uint64_t t_lo,
+                      uint64_t t_hi, uint64_t* lanes, uint64_t* bitmap);
+
+  /// Late materialization: decodes only the selected lanes,
+  /// out[k] = (double)(int64)(lanes[i] + base) * f10_f * if10_e for each
+  /// set bit i in ascending order, returning the survivor count. Ascending
+  /// order is a hard contract: the engine's filtered aggregates must add
+  /// survivors in index order to stay bit-identical to the decode-then-
+  /// filter oracle.
+  unsigned (*gather64)(const uint64_t* lanes, uint64_t base, double f10_f,
+                       double if10_e, const uint64_t* bitmap, double* out);
 };
 
 /// Whether the running CPU can execute \p tier (hardware probe only).
@@ -178,6 +198,20 @@ inline void RdDecodeFused(const typename AlpTraits<T>::Uint* packed_right,
     Active().rd_fused32(packed_right, packed_codes, right_bits, dict_width,
                         dict_shifted, out);
   }
+}
+
+/// Active-tier packed range compare (see DecodeKernels::cmp_range64).
+inline void CmpRangePacked64(const uint64_t* packed, unsigned width,
+                             uint64_t t_lo, uint64_t t_hi, uint64_t* lanes,
+                             uint64_t* bitmap) {
+  Active().cmp_range64(packed, width, t_lo, t_hi, lanes, bitmap);
+}
+
+/// Active-tier selective materialization (see DecodeKernels::gather64).
+inline unsigned GatherSelected64(const uint64_t* lanes, uint64_t base,
+                                 double f10_f, double if10_e,
+                                 const uint64_t* bitmap, double* out) {
+  return Active().gather64(lanes, base, f10_f, if10_e, bitmap, out);
 }
 
 template <typename T>

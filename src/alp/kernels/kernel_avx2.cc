@@ -149,6 +149,35 @@ void Patch32(float* out, const uint32_t* bits, const uint16_t* pos,
   for (unsigned i = 0; i < count; ++i) out[pos[i]] = std::bit_cast<float>(bits[i]);
 }
 
+// Unsigned 64-bit range test. AVX2 only has a *signed* 64-bit compare, so
+// both the lanes and the thresholds get their sign bit flipped first
+// (x ^ 2^63 is an order-preserving map from unsigned to signed order).
+// movemask_pd harvests 4 comparison sign bits per 256-bit vector; 16
+// iterations fill one 64-lane bitmap word.
+void CmpMask64(const uint64_t* vals, uint64_t t_lo, uint64_t t_hi,
+               uint64_t* bitmap) {
+  const __m256i flip = _mm256_set1_epi64x(static_cast<long long>(1ull << 63));
+  const __m256i lo =
+      _mm256_set1_epi64x(static_cast<long long>(t_lo ^ (1ull << 63)));
+  const __m256i hi =
+      _mm256_set1_epi64x(static_cast<long long>(t_hi ^ (1ull << 63)));
+  for (unsigned w = 0; w < kVectorSize / 64; ++w) {
+    uint64_t bits = 0;
+    for (unsigned j = 0; j < 64; j += 4) {
+      const __m256i v = _mm256_xor_si256(
+          _mm256_load_si256(
+              reinterpret_cast<const __m256i*>(vals + w * 64 + j)),
+          flip);
+      const __m256i outside = _mm256_or_si256(_mm256_cmpgt_epi64(lo, v),
+                                              _mm256_cmpgt_epi64(v, hi));
+      const unsigned m =
+          static_cast<unsigned>(_mm256_movemask_pd(_mm256_castsi256_pd(outside)));
+      bits |= static_cast<uint64_t>(~m & 0xF) << j;
+    }
+    bitmap[w] = bits;
+  }
+}
+
 #include "alp/kernels/kernel_body.inc"
 
 }  // namespace

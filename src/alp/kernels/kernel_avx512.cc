@@ -139,6 +139,24 @@ void Patch32(float* out, const uint32_t* bits, const uint16_t* pos,
   for (; i < count; ++i) out[pos[i]] = std::bit_cast<float>(bits[i]);
 }
 
+// Native unsigned 64-bit mask compares; each 8-lane pair of compares
+// yields one __mmask8, eight of which assemble a 64-lane bitmap word.
+void CmpMask64(const uint64_t* vals, uint64_t t_lo, uint64_t t_hi,
+               uint64_t* bitmap) {
+  const __m512i lo = _mm512_set1_epi64(static_cast<long long>(t_lo));
+  const __m512i hi = _mm512_set1_epi64(static_cast<long long>(t_hi));
+  for (unsigned w = 0; w < kVectorSize / 64; ++w) {
+    uint64_t bits = 0;
+    for (unsigned j = 0; j < 64; j += 8) {
+      const __m512i v = _mm512_load_si512(vals + w * 64 + j);
+      const __mmask8 m = _mm512_cmpge_epu64_mask(v, lo) &
+                         _mm512_cmple_epu64_mask(v, hi);
+      bits |= static_cast<uint64_t>(m) << j;
+    }
+    bitmap[w] = bits;
+  }
+}
+
 #include "alp/kernels/kernel_body.inc"
 
 }  // namespace

@@ -120,9 +120,43 @@ void RdGlue32(const uint16_t* codes, const uint32_t* right_parts,
   }
 }
 
+// Compressed-domain range filter: unpack into the caller's lane scratch,
+// then a branchless unsigned range test per 64-lane bitmap word. This loop
+// is the portable reference the SIMD tiers' CmpMask64 hooks are tested
+// against (bitmaps, unlike doubles, must match bit-for-bit trivially).
+void CmpRange64(const uint64_t* packed, unsigned width, uint64_t t_lo,
+                uint64_t t_hi, uint64_t* lanes, uint64_t* bitmap) {
+  kUnpack64[width](packed, lanes);
+  for (unsigned w = 0; w < kVectorSize / 64; ++w) {
+    uint64_t bits = 0;
+    for (unsigned b = 0; b < 64; ++b) {
+      const uint64_t v = lanes[w * 64 + b];
+      bits |= static_cast<uint64_t>(v >= t_lo && v <= t_hi) << b;
+    }
+    bitmap[w] = bits;
+  }
+}
+
+// Late materialization of bitmap survivors, in ascending lane order (the
+// engine's bit-identity contract; see kernel_dispatch.h).
+unsigned Gather64(const uint64_t* lanes, uint64_t base, double f10_f,
+                  double if10_e, const uint64_t* bitmap, double* out) {
+  unsigned k = 0;
+  for (unsigned w = 0; w < kVectorSize / 64; ++w) {
+    uint64_t bits = bitmap[w];
+    while (bits != 0) {
+      const unsigned i = w * 64 + static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      out[k++] = static_cast<double>(static_cast<int64_t>(lanes[i] + base)) *
+                 f10_f * if10_e;
+    }
+  }
+  return k;
+}
+
 constexpr DecodeKernels kKernels = {
     Tier::kScalar, AlpFused64, AlpFused32, Patch64,  Patch32,
-    RdFused64,     RdFused32,  RdGlue64,   RdGlue32,
+    RdFused64,     RdFused32,  RdGlue64,   RdGlue32, CmpRange64, Gather64,
 };
 
 }  // namespace

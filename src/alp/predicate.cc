@@ -1,0 +1,115 @@
+#include "alp/predicate.h"
+
+#include <cmath>
+#include <optional>
+
+namespace alp {
+namespace {
+
+// The decode map for one (e, f): must be arithmetically identical to the
+// kernels' convert+multiply pipeline (two ordered multiplies), or the
+// translated bounds would not be exact.
+inline double Decode(int64_t d, double f10_f, double if10_e) {
+  return static_cast<double>(d) * f10_f * if10_e;
+}
+
+// Smallest d with Decode(d) >= c (Cmp = greater_equal) or Decode(d) > c
+// (Cmp = greater). nullopt when no int64 qualifies — which also absorbs
+// NaN c, whose comparisons are all false.
+template <typename Cmp>
+std::optional<int64_t> FirstSatisfying(double c, double f10_f, double if10_e,
+                                       Cmp cmp) {
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (!cmp(Decode(kMax, f10_f, if10_e), c)) return std::nullopt;
+  int64_t lo = kMin, hi = kMax;  // invariant: Decode(hi) satisfies cmp
+  while (lo < hi) {
+    const int64_t mid = static_cast<int64_t>(
+        (static_cast<__int128>(lo) + static_cast<__int128>(hi)) >> 1);
+    if (cmp(Decode(mid, f10_f, if10_e), c)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+IntBounds TranslateToInts(const Predicate& pred, uint8_t e, uint8_t f) {
+  IntBounds out;  // empty by default
+  if (std::isnan(pred.lo) || std::isnan(pred.hi)) return out;
+  const double f10_f = AlpTraits<double>::kF10[f];
+  const double if10_e = AlpTraits<double>::kIF10[e];
+  const auto ge = [](double x, double c) { return x >= c; };
+  const auto gt = [](double x, double c) { return x > c; };
+
+  // Lower cut: first d whose decode satisfies the lo constraint.
+  std::optional<int64_t> d_lo =
+      pred.lo_open ? FirstSatisfying(pred.lo, f10_f, if10_e, gt)
+                   : FirstSatisfying(pred.lo, f10_f, if10_e, ge);
+  if (!d_lo) return out;  // nothing decodes high enough
+
+  // Upper cut: (first d whose decode *violates* the hi constraint) - 1.
+  std::optional<int64_t> first_over =
+      pred.hi_open ? FirstSatisfying(pred.hi, f10_f, if10_e, ge)
+                   : FirstSatisfying(pred.hi, f10_f, if10_e, gt);
+  int64_t d_hi;
+  if (!first_over) {
+    d_hi = std::numeric_limits<int64_t>::max();  // no d decodes past hi
+  } else if (*first_over == std::numeric_limits<int64_t>::min()) {
+    return out;  // every d decodes past hi
+  } else {
+    d_hi = *first_over - 1;
+  }
+
+  if (*d_lo > d_hi) return out;
+  out.lo = *d_lo;
+  out.hi = d_hi;
+  out.empty = false;
+  return out;
+}
+
+LaneRange ToLaneRange(const IntBounds& bounds,
+                      const fastlanes::FforParams& ffor) {
+  LaneRange r;
+  if (bounds.empty) {
+    r.applicable = true;
+    return r;
+  }
+  if (ffor.width > 64) return r;  // corrupt header; not applicable
+  const auto base = static_cast<int64_t>(ffor.base);
+  const unsigned __int128 mask =
+      ffor.width == 64 ? ~static_cast<uint64_t>(0)
+                       : (static_cast<uint64_t>(1) << ffor.width) - 1;
+  // Lanes decode as (int64)(delta + base): if base + mask wraps past
+  // INT64_MAX the lane domain is not an interval in d and the packed
+  // compare would be wrong — fall back (encoder output never does this;
+  // base is the vector min and max - min fits the width).
+  if (static_cast<__int128>(base) + static_cast<__int128>(mask) >
+      std::numeric_limits<int64_t>::max()) {
+    return r;
+  }
+  r.applicable = true;
+  __int128 lo = static_cast<__int128>(bounds.lo) - base;
+  __int128 hi = static_cast<__int128>(bounds.hi) - base;
+  if (lo < 0) lo = 0;
+  if (hi > static_cast<__int128>(mask)) hi = static_cast<__int128>(mask);
+  if (hi < 0 || lo > hi) return r;  // interval misses the lane domain
+  r.empty = false;
+  r.lo = static_cast<uint64_t>(lo);
+  r.hi = static_cast<uint64_t>(hi);
+  return r;
+}
+
+TranslatedPredicate::TranslatedPredicate(const Predicate& pred) : pred_(pred) {
+  for (int e = 0; e <= AlpTraits<double>::kMaxExponent; ++e) {
+    for (int f = 0; f <= e; ++f) {
+      bounds_[e][f] = TranslateToInts(pred, static_cast<uint8_t>(e),
+                                      static_cast<uint8_t>(f));
+    }
+  }
+}
+
+}  // namespace alp

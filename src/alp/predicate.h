@@ -1,0 +1,123 @@
+#ifndef ALP_ALP_PREDICATE_H_
+#define ALP_ALP_PREDICATE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "alp/constants.h"
+#include "fastlanes/ffor.h"
+
+/// \file predicate.h
+/// Exact translation of double range predicates into the ALP integer
+/// domain, so filters can run on FFOR-packed lanes without decoding
+/// (compressed-domain execution; cf. Lemire & Boytsov and the pushdown
+/// work in PAPERS.md).
+///
+/// The key fact: for a fixed (e, f) combination the decode map
+///
+///     decode(d) = (double)d * 10^f * 10^-e      (both multiplies rounded,
+///                                                in exactly this order)
+///
+/// is monotone non-decreasing over the whole int64 range — int64->double
+/// conversion is correctly rounded and monotone, and each multiply by a
+/// positive constant is correctly rounded and therefore monotone. So for
+/// any constant c the set { d : decode(d) >= c } is upward closed and its
+/// boundary can be found by binary search *using the decode arithmetic
+/// itself*. Every kernel tier computes decode(d) bit-identically (see
+/// kernel_dispatch.h), so one translation is exact for all of them:
+///
+///     decode(d) >= c  <=>  d >= LowerBound(c)
+///     decode(d) >  c  <=>  d >= UpperBoundExcl(c)
+///
+/// which turns `lo <= v <= hi` (with open/closed variants) into a closed
+/// int64 interval [d_lo, d_hi] that holds *exactly* for non-exception
+/// lanes. Exception slots hold placeholder integers, so their predicate
+/// result is decided from the exception value list instead; NaN/±inf
+/// never decode from a lane (ALP's round-trip verification forces them
+/// into exceptions), and NaN bounds translate to the empty interval.
+/// decode(d) stays finite for every int64 d (|d|*10^f <= 2^63 * 10^18 is
+/// far below the double overflow threshold), so ±inf bounds degenerate to
+/// "no cut" / "empty" naturally.
+
+namespace alp {
+
+/// One range predicate over doubles: lo <op> v <op> hi where each <op> is
+/// <= (closed, default) or < (open). Point lookups are [c, c] closed;
+/// one-sided predicates leave the other bound at ±infinity closed. NaN
+/// never matches (IEEE comparison semantics), matching the engine's
+/// decode-then-filter oracle loops.
+struct Predicate {
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_open = false;
+  bool hi_open = false;
+
+  static Predicate Between(double lo, double hi) { return {lo, hi, false, false}; }
+  static Predicate LessThan(double c) {
+    return {-std::numeric_limits<double>::infinity(), c, false, true};
+  }
+  static Predicate LessEqual(double c) {
+    return {-std::numeric_limits<double>::infinity(), c, false, false};
+  }
+  static Predicate GreaterThan(double c) {
+    return {c, std::numeric_limits<double>::infinity(), true, false};
+  }
+  static Predicate GreaterEqual(double c) {
+    return {c, std::numeric_limits<double>::infinity(), false, false};
+  }
+  static Predicate Equals(double c) { return {c, c, false, false}; }
+
+  bool Matches(double v) const {
+    return (lo_open ? v > lo : v >= lo) && (hi_open ? v < hi : v <= hi);
+  }
+};
+
+/// The predicate translated for one (e, f) combination: a closed interval
+/// of decoded integers. `empty` means no non-exception lane can match.
+struct IntBounds {
+  int64_t lo = 0;
+  int64_t hi = -1;
+  bool empty = true;
+};
+
+/// Exact translation of \p pred into the integer domain of (e, f), via
+/// binary search over the monotone decode map (see file comment).
+IntBounds TranslateToInts(const Predicate& pred, uint8_t e, uint8_t f);
+
+/// IntBounds rebased into one vector's FFOR lane domain (unsigned deltas
+/// of `width` bits over `base`). When `applicable` is false the vector
+/// must fall back to decode-then-filter (pathological base/width whose
+/// base + mask overflows int64 — impossible for encoder output, possible
+/// for hand-built buffers). `empty` means no lane qualifies; otherwise
+/// lanes match iff lo <= delta <= hi (unsigned).
+struct LaneRange {
+  bool applicable = false;
+  bool empty = true;
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+};
+
+LaneRange ToLaneRange(const IntBounds& bounds, const fastlanes::FforParams& ffor);
+
+/// A Predicate plus its eagerly precomputed IntBounds for every (e, f)
+/// combination (f <= e <= 18, ~190 binary searches — microseconds, done
+/// once per query). Immutable after construction, safe to share across
+/// worker threads.
+class TranslatedPredicate {
+ public:
+  explicit TranslatedPredicate(const Predicate& pred);
+
+  const Predicate& pred() const { return pred_; }
+  bool Matches(double v) const { return pred_.Matches(v); }
+
+  const IntBounds& Bounds(Combination c) const { return bounds_[c.e][c.f]; }
+
+ private:
+  Predicate pred_;
+  IntBounds bounds_[AlpTraits<double>::kMaxExponent + 1]
+                   [AlpTraits<double>::kMaxExponent + 1];
+};
+
+}  // namespace alp
+
+#endif  // ALP_ALP_PREDICATE_H_

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "alp/pushdown.h"
 #include "obs/flight_recorder.h"
 #include "util/aligned_buffer.h"
 #include "util/cycle_clock.h"
@@ -136,15 +137,45 @@ QueryResult RunSum(const StoredColumn& column, ThreadPool& pool,
 
 QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
                          ThreadPool& pool, const OpContext* ctx) {
+  return RunFilterSum(column, Predicate::Between(lo, hi), pool, ctx);
+}
+
+QueryResult RunFilterSum(const StoredColumn& column, const Predicate& pred,
+                         ThreadPool& pool, const OpContext* ctx,
+                         FilterMode mode) {
   const ColumnReader<double>* alp_reader = column.AlpReader();
   std::atomic<size_t> skipped{0};
+  std::atomic<size_t> packed_eval{0};
+  std::atomic<size_t> full_inside{0};
+  // Translated once per query (immutable, shared by all workers). The zone
+  // map is still consulted with the closed envelope [lo, hi] — a superset
+  // of the open variants, so skipping stays conservative.
+  const TranslatedPredicate tp(pred);
 
   QueryResult result;
   const io::SeekableReader<double>* seekable = column.Seekable();
-  if (seekable != nullptr) {
-    // Out-of-core push-down: the zone map lives in the resident index
-    // region, so unwanted vectors are filtered before any chunk is fetched
-    // and a rowgroup none of whose vectors qualify is never read at all.
+  if (seekable != nullptr && mode == FilterMode::kAuto) {
+    // Out-of-core compressed-domain push-down: the zone map (resident
+    // index region) drops vectors before any chunk is fetched, and the
+    // fetched chunk's surviving vectors are filtered on their packed lanes
+    // without decoding (cache hits filter the already-decoded values).
+    result = RunParallel(
+        column, pool, ctx, [&](size_t rg, double*, double* acc) {
+          double sum = 0.0;
+          pushdown::VectorCounters counters;
+          Status s = seekable->FilterSumRowgroup(rg, tp, &sum, &counters, ctx);
+          if (!s.ok()) return s;
+          skipped.fetch_add(counters.skipped, std::memory_order_relaxed);
+          packed_eval.fetch_add(counters.packed_eval,
+                                std::memory_order_relaxed);
+          full_inside.fetch_add(counters.full_inside,
+                                std::memory_order_relaxed);
+          *acc += sum;
+          return Status::Ok();
+        });
+  } else if (seekable != nullptr) {
+    // Oracle mode over the out-of-core path: decode every surviving vector
+    // through the chunked reader and run the predicated loop.
     result = RunParallel(
         column, pool, ctx, [&](size_t rg, double*, double* acc) {
           const size_t first_vector = rg * kRowgroupVectors;
@@ -152,19 +183,25 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
               (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
           size_t local_skipped = 0;
           for (size_t v = first_vector; v < first_vector + vectors; ++v) {
-            if (!seekable->VectorMayContain(v, lo, hi)) ++local_skipped;
+            if (!seekable->VectorMayContain(v, pred.lo, pred.hi)) {
+              ++local_skipped;
+            }
           }
           skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+          pushdown::NoteSkippedVectors(local_skipped);
           double sum = 0.0;
-          const io::SeekableReader<double>::VectorFilter want =
-              [&](size_t v) { return seekable->VectorMayContain(v, lo, hi); };
+          const io::SeekableReader<double>::VectorFilter want = [&](size_t v) {
+            return seekable->VectorMayContain(v, pred.lo, pred.hi);
+          };
           Status s = seekable->VisitRowgroup(
               rg,
               [&](size_t, const double* values, unsigned len) {
+                pushdown::SurvivorSum ss;
                 for (unsigned i = 0; i < len; ++i) {
                   const double x = values[i];
-                  sum += (x >= lo && x <= hi) ? x : 0.0;
+                  ss.AddPredicated(x, pred.Matches(x));
                 }
+                sum += ss.Reduce();
                 return Status::Ok();
               },
               ctx, &want);
@@ -173,8 +210,9 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
           return Status::Ok();
         });
   } else if (alp_reader != nullptr) {
-    // Push-down path: consult the zone map per vector, decode only vectors
-    // whose [min, max] intersects the predicate range.
+    // In-memory push-down: the zone map skips disjoint vectors; survivors
+    // are evaluated on their packed lanes (kAuto) or decoded into the
+    // oracle's predicated loop (kDecodeThenFilter).
     result = RunParallel(
         column, pool, ctx, [&](size_t rg, double* buffer, double* acc) {
           const size_t first_vector = rg * kRowgroupVectors;
@@ -182,36 +220,67 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
               (column.RowgroupLength(rg) + kVectorSize - 1) / kVectorSize;
           double sum = 0.0;
           size_t local_skipped = 0;
+          pushdown::VectorCounters counters;
+          pushdown::EvalScratch scratch;
           for (size_t v = 0; v < vectors; ++v) {
             const size_t vec = first_vector + v;
-            if (!alp_reader->VectorMayContain(vec, lo, hi)) {
+            if (!alp_reader->VectorMayContain(vec, pred.lo, pred.hi)) {
               ++local_skipped;
+              continue;
+            }
+            if (mode == FilterMode::kAuto) {
+              if (pushdown::CanSumWholeVector(*alp_reader, vec, pred)) {
+                // Zone map proves every value qualifies: striped sum with
+                // no predicate (bit-identical — the oracle would select
+                // every value, giving the same survivor sequence).
+                ++counters.full_inside;
+                alp_reader->DecodeVector(vec, buffer);
+                const unsigned len = alp_reader->VectorLength(vec);
+                sum += pushdown::StripedSumAll(buffer, len);
+                continue;
+              }
+              pushdown::FilterSumVector(*alp_reader, vec, tp, &scratch, &sum,
+                                        &counters);
               continue;
             }
             alp_reader->DecodeVector(vec, buffer);
             const unsigned len = alp_reader->VectorLength(vec);
+            pushdown::SurvivorSum ss;
             for (unsigned i = 0; i < len; ++i) {
               const double x = buffer[i];
-              sum += (x >= lo && x <= hi) ? x : 0.0;  // Predicated.
+              ss.AddPredicated(x, pred.Matches(x));  // Predicated.
             }
+            sum += ss.Reduce();
           }
           skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+          pushdown::NoteSkippedVectors(local_skipped);
+          packed_eval.fetch_add(counters.packed_eval,
+                                std::memory_order_relaxed);
+          full_inside.fetch_add(counters.full_inside,
+                                std::memory_order_relaxed);
           *acc += sum;
           return Status::Ok();
         });
   } else if (column.RowgroupPointer(0) != nullptr) {
-    result = RunParallel(column, pool, ctx,
-                         [&](size_t rg, double*, double* acc) {
-                           const double* data = column.RowgroupPointer(rg);
-                           const unsigned len = column.RowgroupLength(rg);
-                           double sum = 0.0;
-                           for (unsigned i = 0; i < len; ++i) {
-                             const double x = data[i];
-                             sum += (x >= lo && x <= hi) ? x : 0.0;
-                           }
-                           *acc += sum;
-                           return Status::Ok();
-                         });
+    result = RunParallel(
+        column, pool, ctx, [&](size_t rg, double*, double* acc) {
+          const double* data = column.RowgroupPointer(rg);
+          const unsigned len = column.RowgroupLength(rg);
+          double sum = 0.0;
+          // The oracle stripes per vector, so every storage scheme chunks
+          // the same way regardless of rowgroup shape.
+          for (unsigned v0 = 0; v0 < len; v0 += kVectorSize) {
+            const unsigned n = std::min<unsigned>(kVectorSize, len - v0);
+            pushdown::SurvivorSum ss;
+            for (unsigned i = 0; i < n; ++i) {
+              const double x = data[v0 + i];
+              ss.AddPredicated(x, pred.Matches(x));
+            }
+            sum += ss.Reduce();
+          }
+          *acc += sum;
+          return Status::Ok();
+        });
   } else {
     // Block-based storage: the whole rowgroup must be decompressed before
     // the predicate can run (the paper's Zstd disadvantage).
@@ -221,15 +290,22 @@ QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
           if (!s.ok()) return s;
           const unsigned len = column.RowgroupLength(rg);
           double sum = 0.0;
-          for (unsigned i = 0; i < len; ++i) {
-            const double x = buffer[i];
-            sum += (x >= lo && x <= hi) ? x : 0.0;
+          for (unsigned v0 = 0; v0 < len; v0 += kVectorSize) {
+            const unsigned n = std::min<unsigned>(kVectorSize, len - v0);
+            pushdown::SurvivorSum ss;
+            for (unsigned i = 0; i < n; ++i) {
+              const double x = buffer[v0 + i];
+              ss.AddPredicated(x, pred.Matches(x));
+            }
+            sum += ss.Reduce();
           }
           *acc += sum;
           return Status::Ok();
         });
   }
   result.vectors_skipped = skipped.load();
+  result.vectors_packed_eval = packed_eval.load();
+  result.vectors_full_inside = full_inside.load();
   return result;
 }
 

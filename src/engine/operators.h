@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "alp/predicate.h"
 #include "engine/column_store.h"
 #include "util/cancellation.h"
 #include "util/status.h"
@@ -33,6 +34,8 @@ struct QueryResult {
   uint64_t cycles = 0;     ///< Elapsed cycles (wall TSC) for the query.
   size_t tuples = 0;       ///< Logical tuples processed.
   size_t vectors_skipped = 0;  ///< Vectors never decoded (FILTER push-down).
+  size_t vectors_packed_eval = 0;   ///< Vectors filtered on packed lanes.
+  size_t vectors_full_inside = 0;   ///< Vectors summed whole (zone-map proof).
   unsigned threads = 1;
 
   /// The paper's Table 6 metric.
@@ -70,12 +73,33 @@ QueryResult RunSum(const StoredColumn& column, ThreadPool& pool,
 /// measuring compression cycles; the result buffer is discarded.
 QueryResult RunCompression(const StoredColumn& column, const double* data, size_t n);
 
+/// How FILTER queries evaluate vectors that survive the zone map.
+enum class FilterMode {
+  /// Compressed-domain execution: the predicate is translated into the
+  /// integer domain and evaluated on FFOR-packed lanes; only survivors are
+  /// materialized (alp/pushdown.h). Vectors the packed path cannot serve
+  /// (ALP_rd, Delta, non-ALP storage) decode-then-filter per vector.
+  kAuto,
+  /// Always decode every surviving vector and run the predicated loop —
+  /// the bit-identity oracle the packed path is measured and tested
+  /// against.
+  kDecodeThenFilter,
+};
+
 /// FILTER + SUM: SUM(x) WHERE lo <= x <= hi. ALP columns push the predicate
 /// down to the per-vector zone maps and skip decoding disjoint vectors (the
 /// paper's skippability advantage); block-based storage must decode whole
 /// rowgroups. `vectors_skipped` in the result reports the push-down effect.
 QueryResult RunFilterSum(const StoredColumn& column, double lo, double hi,
                          ThreadPool& pool, const OpContext* ctx = nullptr);
+
+/// General form: arbitrary open/closed range predicate and an explicit
+/// evaluation mode. Both modes return bit-identical sums (enforced by
+/// tests/test_pushdown.cc at every kernel tier); kAuto additionally
+/// reports `vectors_packed_eval` / `vectors_full_inside`.
+QueryResult RunFilterSum(const StoredColumn& column, const Predicate& pred,
+                         ThreadPool& pool, const OpContext* ctx = nullptr,
+                         FilterMode mode = FilterMode::kAuto);
 
 /// MIN/MAX aggregate. ALP columns answer from the zone maps alone - zero
 /// vectors decoded (vectors_skipped == all) - while every other storage

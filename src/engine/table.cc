@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <cassert>
+#include <cstring>
 
+#include "alp/pushdown.h"
 #include "util/cycle_clock.h"
 
 namespace alp::engine {
@@ -16,6 +18,8 @@ class VectorSource {
     assert(reader_ != nullptr || raw_ != nullptr);
   }
 
+  const ColumnReader<double>* reader() const { return reader_; }
+
   /// Pointer to vector \p v's values, decoding into \p scratch if needed.
   const double* Vector(size_t v, double* scratch) const {
     if (raw_ != nullptr) return raw_ + v * kVectorSize;
@@ -28,6 +32,26 @@ class VectorSource {
     return reader_ == nullptr || reader_->VectorMayContain(v, lo, hi);
   }
 
+  /// Late materialization: compacts vector \p v's survivors per \p bitmap
+  /// into out[] in ascending index order. ALP columns go through the
+  /// gather kernel (pushdown::GatherVector); uncompressed columns compact
+  /// straight from the raw rowgroup pointer.
+  unsigned Gather(size_t v, unsigned len, const uint64_t* bitmap,
+                  pushdown::EvalScratch* scratch, double* out,
+                  pushdown::VectorCounters* counters) const {
+    if (raw_ != nullptr) {
+      const double* values = raw_ + v * kVectorSize;
+      unsigned count = 0;
+      for (unsigned i = 0; i < len; ++i) {
+        if (bitmap[i / 64] & (uint64_t{1} << (i % 64))) {
+          out[count++] = values[i];
+        }
+      }
+      return count;
+    }
+    return pushdown::GatherVector(*reader_, v, bitmap, scratch, out, counters);
+  }
+
  private:
   const ColumnReader<double>* reader_;
   const double* raw_;
@@ -36,8 +60,9 @@ class VectorSource {
 }  // namespace
 
 QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column,
-                              double lo, double hi, std::string_view a_column,
-                              std::string_view b_column, ThreadPool& pool) {
+                              const Predicate& pred, std::string_view a_column,
+                              std::string_view b_column, ThreadPool& pool,
+                              FilterMode mode) {
   const StoredColumn* filter = table.Column(filter_column);
   const StoredColumn* a = table.Column(a_column);
   const StoredColumn* b = table.Column(b_column);
@@ -47,19 +72,26 @@ QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column
   const VectorSource a_source(*a);
   const VectorSource b_source(*b);
 
+  // One translation serves every vector of the query: the integer bounds
+  // depend only on (e, f), not on vector contents.
+  const TranslatedPredicate tp(pred);
+
   const size_t rows = table.row_count();
   const size_t vectors = (rows + kVectorSize - 1) / kVectorSize;
   std::atomic<size_t> next{0};
   std::atomic<size_t> skipped{0};
+  std::atomic<size_t> packed_eval{0};
   std::vector<double> partials(pool.size(), 0.0);
 
   const uint64_t start = CycleNow();
   pool.Run([&](unsigned worker) {
     double local = 0.0;
-    size_t local_skipped = 0;
+    pushdown::VectorCounters counters;
+    pushdown::EvalScratch scratch;
+    uint64_t bitmap[kVectorSize / 64];
     double f_buf[kVectorSize];
-    double a_buf[kVectorSize];
-    double b_buf[kVectorSize];
+    alignas(64) double a_buf[kVectorSize];
+    alignas(64) double b_buf[kVectorSize];
     // Morsels of whole rowgroups keep vector decodes cache-friendly.
     while (true) {
       const size_t rg = next.fetch_add(1, std::memory_order_relaxed);
@@ -67,26 +99,50 @@ QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column
       if (first >= vectors) break;
       const size_t last = std::min(first + kRowgroupVectors, vectors);
       for (size_t v = first; v < last; ++v) {
-        if (!filter_source.MayContain(v, lo, hi)) {
-          ++local_skipped;  // No column decodes at all for this vector.
+        // The closed [lo, hi] envelope check is a superset of the open
+        // variants, so skipping on it is safe for any bound shape.
+        if (!filter_source.MayContain(v, pred.lo, pred.hi)) {
+          ++counters.skipped;  // No column decodes at all for this vector.
           continue;
         }
         const size_t base_row = v * kVectorSize;
         const unsigned len =
             static_cast<unsigned>(std::min<size_t>(kVectorSize, rows - base_row));
-        const double* f = filter_source.Vector(v, f_buf);
-        const double* av = a_source.Vector(v, a_buf);
-        const double* bv = b_source.Vector(v, b_buf);
-        double sum = 0.0;
-        for (unsigned i = 0; i < len; ++i) {
-          const bool selected = f[i] >= lo && f[i] <= hi;
-          sum += selected ? av[i] * bv[i] : 0.0;
+        // FILTER: selection bitmap over the filter column — on packed
+        // lanes when possible, else from decoded values (the oracle).
+        unsigned count = 0;
+        if (mode == FilterMode::kAuto && filter_source.reader() != nullptr) {
+          pushdown::SelectVector(*filter_source.reader(), v, tp, &scratch,
+                                 bitmap, &count, &counters);
+        } else {
+          const double* f = filter_source.Vector(v, f_buf);
+          std::memset(bitmap, 0, sizeof(bitmap));
+          for (unsigned i = 0; i < len; ++i) {
+            if (pred.Matches(f[i])) {
+              bitmap[i / 64] |= uint64_t{1} << (i % 64);
+              ++count;
+            }
+          }
         }
-        local += sum;
+        if (count == 0) continue;  // Nothing survives: a/b never touched.
+        // PROJECT: late-materialize only the survivors of each projected
+        // column, in ascending index order (the bit-identity contract).
+        const unsigned na =
+            a_source.Gather(v, len, bitmap, &scratch, a_buf, &counters);
+        const unsigned nb =
+            b_source.Gather(v, len, bitmap, &scratch, b_buf, &counters);
+        assert(na == count && nb == count);
+        (void)na;
+        (void)nb;
+        // AGGREGATE over the compacted survivor arrays: the striped
+        // per-vector oracle (pushdown.h), fed survivor products.
+        local += pushdown::StripedDotAll(a_buf, b_buf, count);
       }
     }
     partials[worker] = local;
-    skipped.fetch_add(local_skipped, std::memory_order_relaxed);
+    skipped.fetch_add(counters.skipped, std::memory_order_relaxed);
+    packed_eval.fetch_add(counters.packed_eval, std::memory_order_relaxed);
+    pushdown::NoteSkippedVectors(counters.skipped);
   });
   const uint64_t cycles = CycleNow() - start;
 
@@ -96,7 +152,15 @@ QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column
   result.tuples = rows;
   result.threads = pool.size();
   result.vectors_skipped = skipped.load();
+  result.vectors_packed_eval = packed_eval.load();
   return result;
+}
+
+QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column,
+                              double lo, double hi, std::string_view a_column,
+                              std::string_view b_column, ThreadPool& pool) {
+  return RunFilteredDotSum(table, filter_column, Predicate::Between(lo, hi),
+                           a_column, b_column, pool);
 }
 
 }  // namespace alp::engine

@@ -43,13 +43,27 @@ class Table {
   std::vector<std::pair<std::string, StoredColumn>> columns_;
 };
 
-/// SELECT SUM(a * b) WHERE lo <= filter <= hi, vector-at-a-time.
+/// SELECT SUM(a * b) WHERE filter matches \p pred, vector-at-a-time with
+/// selection vectors and late materialization.
 ///
-/// When the filter column is ALP-compressed, its zone maps prune vectors
-/// before *any* column is decoded; qualifying vectors are decoded from all
-/// three columns and combined with a branch-free predicated multiply-add.
+/// The filter column's zone maps prune vectors before *any* column is
+/// decoded. Under FilterMode::kAuto an ALP filter column is then evaluated
+/// directly on its FFOR-packed lanes (alp/pushdown.h) into a 1024-bit
+/// selection bitmap — the filter column itself is never decoded — and only
+/// the surviving lanes of `a` and `b` are materialized, via the gather
+/// kernel when those columns are FFOR-packed. A vector with zero survivors
+/// costs one packed compare and no decode in any column. Results are
+/// bit-identical to the decode-then-filter loop (survivor products are
+/// accumulated in ascending index order; see pushdown.h for the proof).
 /// Columns must be ALP or Uncompressed (vector-addressable storage).
-/// `vectors_skipped` counts vectors never decoded in any column.
+/// `vectors_skipped` counts vectors never decoded in any column;
+/// `vectors_packed_eval` counts filter vectors evaluated on packed lanes.
+QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column,
+                              const Predicate& pred, std::string_view a_column,
+                              std::string_view b_column, ThreadPool& pool,
+                              FilterMode mode = FilterMode::kAuto);
+
+/// Closed-range convenience: pred = Predicate::Between(lo, hi).
 QueryResult RunFilteredDotSum(const Table& table, std::string_view filter_column,
                               double lo, double hi, std::string_view a_column,
                               std::string_view b_column, ThreadPool& pool);

@@ -348,6 +348,122 @@ Status SeekableReader<T>::VisitRowgroup(size_t rg, const Visitor& visit,
 }
 
 template <typename T>
+Status SeekableReader<T>::FilterSumRowgroup(size_t rg,
+                                            const TranslatedPredicate& pred,
+                                            double* sum,
+                                            pushdown::VectorCounters* counters,
+                                            const OpContext* ctx) const {
+  if (rg >= rowgroup_count()) {
+    return Status::Corrupt("rowgroup index out of range");
+  }
+  if constexpr (sizeof(T) != 8) {
+    (void)pred;
+    (void)sum;
+    (void)counters;
+    (void)ctx;
+    return Status::InvalidArgument(
+        "compressed-domain filter requires a double column");
+  } else {
+    const uint64_t rg_values = RowgroupValueCount(rg);
+    if (rg_values == 0) return Status::Ok();
+    const size_t first_vector = rg * kRowgroupVectors;
+    const size_t vectors =
+        static_cast<size_t>((rg_values + kVectorSize - 1) / kVectorSize);
+    uint64_t chunk_base, chunk_end;
+    ChunkExtent(rg, &chunk_base, &chunk_end);
+
+    DecodedVectorCache* cache = options_.cache;
+    const bool caching = cache != nullptr && cache->capacity_bytes() > 0;
+#if ALP_OBS
+    obs::FlightRecorder* recorder =
+        ctx != nullptr && ctx->request != nullptr ? ctx->request->recorder
+                                                  : nullptr;
+#endif
+
+    std::vector<uint8_t> chunk;
+    std::optional<ColumnReader<T>> chunk_reader;
+    pushdown::EvalScratch scratch;
+
+    for (size_t lv = 0; lv < vectors; ++lv) {
+      const size_t v = first_vector + lv;
+      if (ctx != nullptr) {
+        Status cs = ctx->Check();
+        if (!cs.ok()) return cs;
+      }
+      const unsigned len = VectorLength(v);
+      // Zone-map push-down from the resident index region: a vector (or a
+      // whole rowgroup) whose [min, max] misses the closed envelope is
+      // never fetched, let alone decoded.
+      if (!index_.stats[v].MayContain(pred.pred().lo, pred.pred().hi)) {
+        ++counters->skipped;
+        pushdown::NoteSkippedVectors(1);
+        continue;
+      }
+      if (caching) {
+        if (DecodedVectorCache::Value hit = cache->Lookup(column_id_, v)) {
+          ALP_OBS_ONLY({
+            if (labeled_cache_hits_ != nullptr) {
+              labeled_cache_hits_->Increment();
+            }
+            if (recorder != nullptr) recorder->Count("io.cache.hit");
+          });
+          // Already materialized: filter the cached doubles (the oracle
+          // loop, so the result cannot depend on cache state).
+          const double* values = reinterpret_cast<const double*>(hit->data());
+          ++counters->decoded;
+          pushdown::SurvivorSum ss;
+          for (unsigned i = 0; i < len; ++i) {
+            const double x = values[i];
+            ss.AddPredicated(x, pred.Matches(x));
+          }
+          *sum += ss.Reduce();
+          continue;
+        }
+        ALP_OBS_ONLY({
+          if (labeled_cache_misses_ != nullptr) {
+            labeled_cache_misses_->Increment();
+          }
+          if (recorder != nullptr) recorder->Count("io.cache.miss");
+        });
+      }
+      if (!chunk_reader.has_value()) {
+        Status s = LoadChunk(rg, nullptr, &chunk);
+        if (!s.ok()) return s;
+        ALP_OBS_ONLY({
+          if (recorder != nullptr) {
+            recorder->Count("io.chunk.reads");
+            recorder->Count("io.chunk.bytes", chunk.size());
+          }
+        });
+        StatusOr<ColumnReader<T>> opened = ColumnReader<T>::OpenRowgroupChunk(
+            chunk.data(), chunk.size(), rg_values);
+        if (!opened.ok()) return RebaseOffset(opened.status(), chunk_base);
+        chunk_reader.emplace(std::move(*opened));
+      }
+      // Full-inside fast path: the resident zone map proves every value
+      // qualifies (valid only for ALP vectors with zero exceptions — see
+      // pushdown::ZoneFullInside); decode and sum without the predicate.
+      if (chunk_reader->VectorScheme(lv) == Scheme::kAlp &&
+          chunk_reader->VectorExceptionCount(lv) == 0 &&
+          pushdown::ZoneFullInside(index_.stats[v], pred.pred())) {
+        ++counters->full_inside;
+        pushdown::NoteFullInsideVector();
+        Status ds = chunk_reader->TryDecodeVector(lv, scratch.values, ctx);
+        if (!ds.ok()) return RebaseOffset(std::move(ds), chunk_base);
+        *sum += pushdown::StripedSumAll(scratch.values, len);
+        continue;
+      }
+      // Packed-lane evaluation (or per-vector decode-then-filter fallback)
+      // inside the verified chunk. The chunk passed OpenRowgroupChunk's
+      // structural walk, so the trusted per-vector paths are safe here.
+      pushdown::FilterSumVector(*chunk_reader, lv, pred, &scratch, sum,
+                                counters);
+    }
+    return Status::Ok();
+  }
+}
+
+template <typename T>
 Status SeekableReader<T>::TryDecodeVector(size_t v, T* out,
                                           const OpContext* ctx) const {
   if (ctx != nullptr) {

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "alp/column.h"
+#include "alp/predicate.h"
+#include "alp/pushdown.h"
 #include "io/decoded_vector_cache.h"
 #include "io/random_access_source.h"
 #include "obs/metrics.h"
@@ -165,6 +167,20 @@ class SeekableReader {
   Status VisitRowgroup(size_t rg, const Visitor& visit,
                        const OpContext* ctx = nullptr,
                        const VectorFilter* want = nullptr) const;
+
+  /// Compressed-domain FILTER+SUM over rowgroup \p rg (double columns
+  /// only; non-double readers return kInvalidArgument). The resident zone
+  /// map drops disjoint vectors before any chunk fetch — a rowgroup none
+  /// of whose vectors qualify is never read — and surviving vectors are
+  /// evaluated on their FFOR-packed lanes inside the fetched chunk
+  /// (alp/pushdown.h), adding qualifying values to *sum in index order,
+  /// bit-identical to filtering the decoded values. Cache hits are
+  /// filtered in the double domain; the packed path does not insert into
+  /// the cache (it never materializes whole vectors). \p counters
+  /// accumulates the per-vector outcome mix.
+  Status FilterSumRowgroup(size_t rg, const TranslatedPredicate& pred,
+                           double* sum, pushdown::VectorCounters* counters,
+                           const OpContext* ctx = nullptr) const;
 
   /// Logical values stored in rowgroup \p rg.
   uint64_t RowgroupValueCount(size_t rg) const;

@@ -6,6 +6,8 @@
 
 #include "alp/constants.h"
 #include "alp/kernel_dispatch.h"
+#include "alp/predicate.h"
+#include "alp/pushdown.h"
 #include "obs/export.h"
 #include "obs/trace.h"
 #include "util/fault_injection.h"
@@ -473,43 +475,47 @@ Response Server::ExecuteOnColumn(const Request& request,
     case QueryClass::kAggregate: {
       double sum = 0.0;
       size_t tuples = 0;
-      size_t skipped = 0;
-      const double lo = request.filter_lo;
-      const double hi = request.filter_hi;
-      // Zone-map push-down from the resident index region: filtered-out
-      // vectors are counted here and never fetched; a rowgroup with no
-      // qualifying vector is never read from storage at all.
-      io::SeekableReader<double>::VectorFilter want;
-      const io::SeekableReader<double>::VectorFilter* want_ptr = nullptr;
       if (request.has_filter) {
+        // Compressed-domain FILTER+SUM: one predicate translation serves
+        // the whole request; each rowgroup is then evaluated through
+        // FilterSumRowgroup — the resident zone map drops disjoint vectors
+        // before any chunk fetch, survivors are compared on their
+        // FFOR-packed lanes, and the result is bit-identical to the
+        // decode-then-filter loop this replaced.
+        const TranslatedPredicate tp(
+            Predicate::Between(request.filter_lo, request.filter_hi));
+        // `tuples` keeps its historical meaning: values in vectors that
+        // passed the zone map (counted from the resident index, no I/O).
         for (size_t v = 0; v < seekable->vector_count(); ++v) {
-          if (!seekable->VectorMayContain(v, lo, hi)) ++skipped;
+          if (seekable->VectorMayContain(v, request.filter_lo,
+                                         request.filter_hi)) {
+            tuples += seekable->VectorLength(v);
+          }
         }
-        want = [&](size_t v) {
-          return seekable->VectorMayContain(v, lo, hi);
-        };
-        want_ptr = &want;
+        pushdown::VectorCounters counters;
+        for (size_t rg = 0; rg < seekable->rowgroup_count(); ++rg) {
+          response.status =
+              seekable->FilterSumRowgroup(rg, tp, &sum, &counters, &ctx);
+          if (!response.status.ok()) return response;
+        }
+        response.sum = sum;
+        response.tuples = tuples;
+        response.vectors_skipped = counters.skipped;
+        response.vectors_packed_eval = counters.packed_eval;
+        return response;
       }
-      // Scan polls ctx and the decode fault site per vector, like the
-      // in-memory TryDecodeVector loop this replaced.
+      // Unfiltered SUM: streaming scan, polling ctx and the decode fault
+      // site per vector like the in-memory TryDecodeVector loop.
       response.status = seekable->Scan(
           [&](size_t, const double* values, unsigned len) {
-            if (request.has_filter) {
-              for (unsigned i = 0; i < len; ++i) {
-                const double x = values[i];
-                sum += (x >= lo && x <= hi) ? x : 0.0;
-              }
-            } else {
-              for (unsigned i = 0; i < len; ++i) sum += values[i];
-            }
+            for (unsigned i = 0; i < len; ++i) sum += values[i];
             tuples += len;
             return Status::Ok();
           },
-          &ctx, want_ptr);
+          &ctx);
       if (!response.status.ok()) return response;
       response.sum = sum;
       response.tuples = tuples;
-      response.vectors_skipped = skipped;
       return response;
     }
     case QueryClass::kScan: {

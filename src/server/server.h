@@ -143,6 +143,9 @@ struct Response {
   double sum = 0.0;            ///< Aggregate / scan checksum / values[0].
   size_t tuples = 0;           ///< Logical values the request covered.
   size_t vectors_skipped = 0;  ///< Zone-map skips (filtered aggregate).
+  /// Vectors evaluated on FFOR-packed lanes without decoding (filtered
+  /// aggregate; see alp/pushdown.h).
+  size_t vectors_packed_eval = 0;
   std::vector<double> values;  ///< Point-lookup vector / opted-in scan.
   uint64_t queue_ns = 0;       ///< Admission → start of execution.
   uint64_t exec_ns = 0;        ///< Execution wall time.

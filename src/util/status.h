@@ -37,6 +37,9 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,   ///< Admission control declined the work (queue full,
                         ///< tenant quota, load shed, shutdown).
   kNotFound,            ///< A named entity (catalog column) does not exist.
+  kInvalidArgument,     ///< Caller misuse: the request cannot apply to the
+                        ///< target (e.g. a compressed-domain double
+                        ///< predicate aimed at a float column).
 };
 
 /// Human-readable name of a status code.
@@ -52,6 +55,7 @@ constexpr std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
   }
   return "UNKNOWN";
 }
@@ -97,6 +101,9 @@ class Status {
   }
   static Status NotFound(std::string message) {
     return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
